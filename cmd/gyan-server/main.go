@@ -1,0 +1,71 @@
+// Command gyan-server serves the GPU-aware Galaxy instance over HTTP — the
+// reproduction of Galaxy's web interface (step 1 of the paper's Fig. 2).
+//
+//	gyan-server -addr :8080 &
+//	curl localhost:8080/api/tools
+//	curl -X POST localhost:8080/api/jobs -d '{"tool":"racon","dataset":"alzheimers_nfl","params":{"scale":"0.01"}}'
+//	curl localhost:8080/api/smi
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"gyan/internal/api"
+	"gyan/internal/core"
+	"gyan/internal/galaxy"
+	"gyan/internal/workload"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:8080", "listen address")
+		policy = flag.String("policy", "pid", "multi-GPU allocation policy: pid, memory, utilization")
+		seed   = flag.Uint64("seed", 42, "synthetic dataset seed")
+	)
+	flag.Parse()
+	if err := run(*addr, *policy, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, policyName string, seed uint64) error {
+	var pol core.Policy
+	switch policyName {
+	case "pid":
+		pol = core.PolicyPID
+	case "memory":
+		pol = core.PolicyMemory
+	case "utilization":
+		pol = core.PolicyUtilization
+	default:
+		return fmt.Errorf("unknown policy %q", policyName)
+	}
+
+	g := galaxy.New(nil, galaxy.WithPolicy(pol))
+	if err := g.RegisterDefaultTools(); err != nil {
+		return err
+	}
+	s := api.NewServer(g)
+
+	reads, err := workload.AlzheimersNFL(seed)
+	if err != nil {
+		return err
+	}
+	s.RegisterDataset("alzheimers_nfl", reads)
+	small, err := workload.AcinetobacterPittii(seed)
+	if err != nil {
+		return err
+	}
+	s.RegisterDataset("acinetobacter_pittii", small)
+	large, err := workload.KlebsiellaPneumoniae(seed)
+	if err != nil {
+		return err
+	}
+	s.RegisterDataset("klebsiella_pneumoniae_ksb2", large)
+
+	log.Printf("gyan-server listening on %s (policy=%s)", addr, policyName)
+	return http.ListenAndServe(addr, s.Handler())
+}

@@ -1,0 +1,87 @@
+// Command gyanbench regenerates the paper's evaluation: every figure and
+// every headline number of Section VI, printed as tables and console
+// captures.
+//
+// Usage:
+//
+//	gyanbench                     # run every experiment
+//	gyanbench -experiment fig3    # one experiment
+//	gyanbench -list               # list experiment IDs
+//	gyanbench -seed 7 -quick      # smaller synthetic payloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"gyan/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment ID to run, or 'all'")
+		seed       = flag.Uint64("seed", 42, "seed for synthetic dataset generation")
+		quick      = flag.Bool("quick", false, "shrink the real synthetic payloads (model numbers unchanged)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		parallel   = flag.Bool("parallel", false, "run experiments concurrently (each has its own simulated cluster)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			caption, _ := experiments.Caption(id)
+			fmt.Printf("%-8s %s\n", id, caption)
+		}
+		return
+	}
+
+	opt := experiments.Options{Seed: *seed, Quick: *quick}
+	ids := experiments.IDs()
+	if *experiment != "all" {
+		ids = []string{*experiment}
+	}
+
+	type outcome struct {
+		res *experiments.Result
+		err error
+	}
+	results := make([]outcome, len(ids))
+	if *parallel {
+		// Experiments are hermetic (each builds its own cluster and
+		// clock), so they parallelize over host cores; output order is
+		// preserved.
+		var wg sync.WaitGroup
+		for i, id := range ids {
+			wg.Add(1)
+			go func(i int, id string) {
+				defer wg.Done()
+				res, err := experiments.Run(id, opt)
+				results[i] = outcome{res, err}
+			}(i, id)
+		}
+		wg.Wait()
+	} else {
+		for i, id := range ids {
+			res, err := experiments.Run(id, opt)
+			results[i] = outcome{res, err}
+		}
+	}
+
+	for i, id := range ids {
+		if results[i].err != nil {
+			fmt.Fprintf(os.Stderr, "gyanbench: %s: %v\n", id, results[i].err)
+			os.Exit(1)
+		}
+		res := results[i].res
+		fmt.Printf("######## %s — %s\n\n", res.ID, res.Caption)
+		for _, tb := range res.Tables {
+			fmt.Println(tb)
+		}
+		for _, txt := range res.Text {
+			fmt.Println(txt)
+			fmt.Println()
+		}
+	}
+}

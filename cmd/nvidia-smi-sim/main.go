@@ -1,0 +1,68 @@
+// Command nvidia-smi-sim renders the simulated cluster the way the real
+// nvidia-smi does. By default it shows the idle 2x Tesla K80 testbed; with
+// -scenario fig10 it reproduces the paper's Fig. 10 snapshot (racon_gpu
+// busy on GPU 1).
+//
+//	nvidia-smi-sim                  # idle testbed, console view
+//	nvidia-smi-sim -scenario fig10  # Fig. 10 snapshot
+//	nvidia-smi-sim -q -x            # XML query output (what GYAN parses)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gyan/internal/experiments"
+	"gyan/internal/gpu"
+	"gyan/internal/smi"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "idle", "cluster scenario: idle or fig10")
+		query    = flag.Bool("q", false, "query mode (with -x, print the XML document)")
+		xmlOut   = flag.Bool("x", false, "XML output (with -q)")
+	)
+	flag.Parse()
+
+	if err := run(*scenario, *query && *xmlOut); err != nil {
+		fmt.Fprintln(os.Stderr, "nvidia-smi-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario string, asXML bool) error {
+	switch scenario {
+	case "idle":
+		c := gpu.NewPaperTestbed(nil)
+		return render(c, 0, asXML)
+	case "fig10":
+		res, err := experiments.Run("fig10", experiments.Options{Seed: 42, Quick: true})
+		if err != nil {
+			return err
+		}
+		// The experiment already rendered the console; print it as-is.
+		if asXML {
+			return fmt.Errorf("-scenario fig10 supports console output only")
+		}
+		fmt.Println(res.Text[1])
+		return nil
+	default:
+		return fmt.Errorf("unknown scenario %q (have: idle, fig10)", scenario)
+	}
+}
+
+func render(c *gpu.Cluster, at time.Duration, asXML bool) error {
+	if asXML {
+		doc, err := smi.Query(c, at)
+		if err != nil {
+			return err
+		}
+		fmt.Print(doc)
+		return nil
+	}
+	fmt.Println(smi.Console(smi.Snapshot(c, at)))
+	return nil
+}

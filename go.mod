@@ -1,0 +1,3 @@
+module gyan
+
+go 1.22

@@ -1,0 +1,403 @@
+// Package api exposes a Galaxy instance over HTTP/JSON — the reproduction of
+// Galaxy's web-facing surface (the paper's Fig. 2 begins with "users trigger
+// a job submission through the Galaxy web-interface"). The API is
+// deliberately small: tool discovery, job submission/status, the nvidia-smi
+// views, and the hardware monitor aggregate.
+//
+// Because execution time is virtual, a submission runs the discrete-event
+// engine to completion before responding; the returned job carries both its
+// placement decision and its modeled timings.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gyan/internal/galaxy"
+	"gyan/internal/monitor"
+	"gyan/internal/smi"
+	"gyan/internal/tools/racon"
+	"gyan/internal/workload"
+)
+
+// Server wraps a Galaxy instance. Create with NewServer, mount Handler.
+type Server struct {
+	mu       sync.Mutex
+	g        *galaxy.Galaxy
+	mon      *monitor.Monitor
+	datasets map[string]any
+}
+
+// NewServer wraps g. Datasets submitted by name must be registered with
+// RegisterDataset first.
+func NewServer(g *galaxy.Galaxy) *Server {
+	return &Server{
+		g:        g,
+		mon:      monitor.New(g.Cluster),
+		datasets: make(map[string]any),
+	}
+}
+
+// RegisterDataset makes a dataset submittable by name.
+func (s *Server) RegisterDataset(name string, dataset any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.datasets[name] = dataset
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/version", s.handleVersion)
+	mux.HandleFunc("/api/tools", s.handleTools)
+	mux.HandleFunc("/api/datasets", s.handleDatasets)
+	mux.HandleFunc("/api/jobs", s.handleJobs)
+	mux.HandleFunc("/api/jobs/", s.handleJob)
+	mux.HandleFunc("/api/smi", s.handleSMI)
+	mux.HandleFunc("/api/monitor", s.handleMonitor)
+	mux.HandleFunc("/api/history", s.handleHistory)
+	mux.HandleFunc("/api/workflows", s.handleWorkflows)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"name":    "gyan",
+		"version": "1.0",
+		"paper":   "GYAN: Accelerating Bioinformatics Tools in Galaxy with GPU-Aware Computation Mapping (IPPS 2021)",
+	})
+}
+
+// toolJSON is the wire form of a registered tool.
+type toolJSON struct {
+	ID          string   `json:"id"`
+	Name        string   `json:"name"`
+	Version     string   `json:"version"`
+	RequiresGPU bool     `json:"requires_gpu"`
+	Containers  []string `json:"containers,omitempty"`
+}
+
+func (s *Server) handleTools(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []toolJSON
+	for _, id := range []string{"racon", "bonito", "pypaswas", "seqstats"} {
+		b, err := s.g.Tool(id)
+		if err != nil {
+			continue
+		}
+		tj := toolJSON{
+			ID:          b.XML.ID,
+			Name:        b.XML.Name,
+			Version:     b.XML.Version,
+			RequiresGPU: b.XML.RequiresGPU(),
+		}
+		for _, runtime := range []string{"docker", "singularity"} {
+			if _, ok := b.XML.ContainerFor(runtime); ok {
+				tj.Containers = append(tj.Containers, runtime)
+			}
+		}
+		out = append(out, tj)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.datasets))
+	for name := range s.datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, names)
+}
+
+// submitRequest is the POST /api/jobs body.
+type submitRequest struct {
+	Tool       string            `json:"tool"`
+	Params     map[string]string `json:"params"`
+	Dataset    string            `json:"dataset"`
+	Runtime    string            `json:"runtime"`
+	GPURequest string            `json:"gpu_request"`
+}
+
+// jobJSON is the wire form of a job.
+type jobJSON struct {
+	ID               int               `json:"id"`
+	Tool             string            `json:"tool"`
+	State            string            `json:"state"`
+	Destination      string            `json:"destination"`
+	GPUEnabled       bool              `json:"gpu_enabled"`
+	VisibleDevices   string            `json:"cuda_visible_devices,omitempty"`
+	PID              int               `json:"pid"`
+	Command          string            `json:"command"`
+	ContainerCommand []string          `json:"container_command,omitempty"`
+	Info             string            `json:"info"`
+	WallSeconds      float64           `json:"wall_seconds"`
+	Output           string            `json:"output,omitempty"`
+	Params           map[string]string `json:"params,omitempty"`
+}
+
+func toJobJSON(j *galaxy.Job) jobJSON {
+	out := jobJSON{
+		ID:               j.ID,
+		Tool:             j.ToolID,
+		State:            string(j.State),
+		Destination:      j.Destination,
+		GPUEnabled:       j.GPUEnabled,
+		VisibleDevices:   j.VisibleDevices,
+		PID:              j.PID,
+		Command:          j.CommandLine,
+		ContainerCommand: j.ContainerCommand,
+		Info:             j.Info,
+		WallSeconds:      j.WallTime().Seconds(),
+		Params:           j.Params,
+	}
+	if j.Result != nil {
+		out.Output = j.Result.Output
+	}
+	return out
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		out := make([]jobJSON, 0, len(s.g.Jobs()))
+		for _, j := range s.g.Jobs() {
+			out = append(out, toJobJSON(j))
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var req submitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad body: %v", err)
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		dataset, ok := s.datasets[req.Dataset]
+		if !ok {
+			writeErr(w, http.StatusBadRequest, "unknown dataset %q", req.Dataset)
+			return
+		}
+		job, err := s.g.Submit(req.Tool, req.Params, dataset, galaxy.SubmitOptions{
+			Runtime:    req.Runtime,
+			GPURequest: req.GPURequest,
+		})
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// Virtual time: drive the simulation to completion and sample
+		// the monitor once per virtual second along the way.
+		_ = s.mon.Attach(s.g.Engine, time.Second, s.g.Engine.Clock().Now()+time.Hour)
+		s.g.Run()
+		writeJSON(w, http.StatusCreated, toJobJSON(job))
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "GET or POST")
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	idText := strings.TrimPrefix(r.URL.Path, "/api/jobs/")
+	id, err := strconv.Atoi(idText)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad job id %q", idText)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.g.Jobs() {
+		if j.ID == id {
+			writeJSON(w, http.StatusOK, toJobJSON(j))
+			return
+		}
+	}
+	writeErr(w, http.StatusNotFound, "no job %d", id)
+}
+
+func (s *Server) handleSMI(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.g.Engine.Clock().Now()
+	switch r.URL.Query().Get("format") {
+	case "xml":
+		doc, err := smi.Query(s.g.Cluster, now)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		fmt.Fprint(w, doc)
+	case "", "console":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, smi.Console(smi.Snapshot(s.g.Cluster, now)))
+	case "pmon":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, smi.RenderPmon(smi.Pmon(s.g.Cluster, []time.Duration{now})))
+	case "dmon":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, smi.RenderDmon(smi.Dmon(s.g.Cluster, []time.Duration{now})))
+	default:
+		writeErr(w, http.StatusBadRequest, "format must be console, xml, pmon or dmon")
+	}
+}
+
+func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.mon.Stats())
+}
+
+// handleHistory serves the shareable JSON-lines job history.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := s.g.ExportHistory(w); err != nil {
+		// Headers are out; nothing more to do than log via the body.
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+	}
+}
+
+// workflowStepRequest is one step of a POST /api/workflows body. Steps
+// after the first may set chain_backbone to feed the previous racon
+// consensus in as the next draft (iterated polishing).
+type workflowStepRequest struct {
+	Tool          string            `json:"tool"`
+	Params        map[string]string `json:"params"`
+	Dataset       string            `json:"dataset,omitempty"`
+	Runtime       string            `json:"runtime,omitempty"`
+	GPURequest    string            `json:"gpu_request,omitempty"`
+	ChainBackbone bool              `json:"chain_backbone,omitempty"`
+}
+
+type workflowRequest struct {
+	Name  string                `json:"name"`
+	Steps []workflowStepRequest `json:"steps"`
+}
+
+type workflowResponse struct {
+	Name        string    `json:"name"`
+	State       string    `json:"state"`
+	Info        string    `json:"info,omitempty"`
+	WallSeconds float64   `json:"wall_seconds"`
+	Jobs        []jobJSON `json:"jobs"`
+}
+
+func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req workflowRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	steps := make([]galaxy.WorkflowStep, 0, len(req.Steps))
+	for i, sr := range req.Steps {
+		step := galaxy.WorkflowStep{
+			ToolID: sr.Tool,
+			Params: sr.Params,
+			Options: galaxy.SubmitOptions{
+				Runtime:    sr.Runtime,
+				GPURequest: sr.GPURequest,
+			},
+		}
+		if sr.Dataset != "" {
+			dataset, ok := s.datasets[sr.Dataset]
+			if !ok {
+				writeErr(w, http.StatusBadRequest, "step %d: unknown dataset %q", i, sr.Dataset)
+				return
+			}
+			step.Dataset = dataset
+		}
+		if sr.ChainBackbone {
+			step.Transform = chainBackbone
+		}
+		steps = append(steps, step)
+	}
+	wf, err := s.g.SubmitWorkflow(req.Name, steps)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	_ = s.mon.Attach(s.g.Engine, time.Second, s.g.Engine.Clock().Now()+time.Hour)
+	s.g.Run()
+	resp := workflowResponse{
+		Name:        wf.Name,
+		State:       string(wf.State),
+		Info:        wf.Info,
+		WallSeconds: wf.WallTime().Seconds(),
+	}
+	for _, j := range wf.Jobs {
+		resp.Jobs = append(resp.Jobs, toJobJSON(j))
+	}
+	status := http.StatusCreated
+	if wf.State == galaxy.StateError {
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, resp)
+}
+
+// chainBackbone is the iterated-polishing transform: the previous step's
+// consensus becomes the next step's draft backbone.
+func chainBackbone(prev *galaxy.Job) (any, error) {
+	res, ok := prev.Result.Detail.(*racon.Result)
+	if !ok {
+		return nil, fmt.Errorf("chain_backbone requires a racon step, got %T", prev.Result.Detail)
+	}
+	set, ok := prev.Dataset.(*workload.ReadSet)
+	if !ok {
+		return nil, fmt.Errorf("chain_backbone requires a read-set dataset, got %T", prev.Dataset)
+	}
+	next := *set
+	next.Backbone = res.Consensus
+	return &next, nil
+}

@@ -1,0 +1,146 @@
+package bioseq
+
+// Pairwise alignment utilities. Racon's consensus engine aligns reads to the
+// backbone before POA, and the test suite uses alignment identity as the
+// oracle for "did polishing improve the draft".
+
+// AlignScores parameterizes the global aligner.
+type AlignScores struct {
+	Match    int
+	Mismatch int
+	Gap      int
+}
+
+// DefaultScores mirror the unit scores Racon uses for its partial-order
+// alignment (match +3, mismatch -5, gap -4 in the original tool; any
+// consistent scheme preserves the optimum structure we rely on).
+func DefaultScores() AlignScores {
+	return AlignScores{Match: 3, Mismatch: -5, Gap: -4}
+}
+
+// EditDistance returns the Levenshtein distance between two base strings,
+// computed with a two-row dynamic program (O(min) memory).
+func EditDistance(a, b []byte) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// Identity returns the fraction of matching positions implied by the edit
+// distance, relative to the longer sequence. Two equal sequences have
+// identity 1; completely dissimilar ones approach 0.
+func Identity(a, b []byte) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 1
+	}
+	d := EditDistance(a, b)
+	return 1 - float64(d)/float64(n)
+}
+
+// AlignOp is one column of a pairwise alignment.
+type AlignOp byte
+
+// Alignment operation kinds.
+const (
+	OpMatch  AlignOp = 'M' // bases aligned (may mismatch)
+	OpInsert AlignOp = 'I' // base present only in the query
+	OpDelete AlignOp = 'D' // base present only in the target
+)
+
+// Cigar is a sequence of alignment operations, one per column.
+type Cigar []AlignOp
+
+// Global computes a Needleman-Wunsch global alignment of query against
+// target and returns the score and per-column operations.
+func Global(query, target []byte, sc AlignScores) (int, Cigar) {
+	n, m := len(query), len(target)
+	// score[i][j]: best score aligning query[:i] with target[:j].
+	score := make([][]int, n+1)
+	for i := range score {
+		score[i] = make([]int, m+1)
+	}
+	for i := 1; i <= n; i++ {
+		score[i][0] = i * sc.Gap
+	}
+	for j := 1; j <= m; j++ {
+		score[0][j] = j * sc.Gap
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			diag := score[i-1][j-1] + sc.Mismatch
+			if query[i-1] == target[j-1] {
+				diag = score[i-1][j-1] + sc.Match
+			}
+			up := score[i-1][j] + sc.Gap   // consume query base: insertion
+			left := score[i][j-1] + sc.Gap // consume target base: deletion
+			best := diag
+			if up > best {
+				best = up
+			}
+			if left > best {
+				best = left
+			}
+			score[i][j] = best
+		}
+	}
+	// Traceback.
+	var rev Cigar
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && score[i][j] == score[i-1][j-1]+matchScore(query[i-1], target[j-1], sc):
+			rev = append(rev, OpMatch)
+			i--
+			j--
+		case i > 0 && score[i][j] == score[i-1][j]+sc.Gap:
+			rev = append(rev, OpInsert)
+			i--
+		default:
+			rev = append(rev, OpDelete)
+			j--
+		}
+	}
+	// Reverse in place.
+	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+		rev[a], rev[b] = rev[b], rev[a]
+	}
+	return score[n][m], rev
+}
+
+func matchScore(a, b byte, sc AlignScores) int {
+	if a == b {
+		return sc.Match
+	}
+	return sc.Mismatch
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

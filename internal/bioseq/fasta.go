@@ -1,0 +1,145 @@
+package bioseq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteFASTA writes records in FASTA format with 80-column wrapping.
+func WriteFASTA(w io.Writer, seqs []Seq) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range seqs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", s.ID); err != nil {
+			return err
+		}
+		for off := 0; off < len(s.Bases); off += 80 {
+			end := off + 80
+			if end > len(s.Bases) {
+				end = len(s.Bases)
+			}
+			if _, err := bw.Write(s.Bases[off:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseFASTA reads all records from a FASTA stream. Blank lines are
+// tolerated; sequences are validated against the DNA alphabet.
+func ParseFASTA(r io.Reader) ([]Seq, error) {
+	var (
+		out []Seq
+		cur *Seq
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case text == "":
+			continue
+		case strings.HasPrefix(text, ">"):
+			if cur != nil {
+				out = append(out, *cur)
+			}
+			cur = &Seq{ID: strings.TrimSpace(text[1:])}
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("bioseq: fasta line %d: sequence data before first header", line)
+			}
+			cur.Bases = append(cur.Bases, []byte(strings.ToUpper(text))...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bioseq: fasta read: %w", err)
+	}
+	if cur != nil {
+		out = append(out, *cur)
+	}
+	for _, s := range out {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// FASTAString is a convenience wrapper rendering records to a string.
+func FASTAString(seqs []Seq) string {
+	var b bytes.Buffer
+	// bytes.Buffer writes cannot fail.
+	_ = WriteFASTA(&b, seqs)
+	return b.String()
+}
+
+// WriteFASTQ writes records with a constant quality value (the simulated
+// tools do not model per-base quality; basecallers emit a uniform score).
+func WriteFASTQ(w io.Writer, seqs []Seq, quality byte) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range seqs {
+		if _, err := fmt.Fprintf(bw, "@%s\n%s\n+\n%s\n",
+			s.ID, s.Bases, bytes.Repeat([]byte{quality + 33}, len(s.Bases))); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseFASTQ reads all records from a FASTQ stream, discarding qualities.
+func ParseFASTQ(r io.Reader) ([]Seq, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	var out []Seq
+	for {
+		rec, ok, err := scanFASTQRecord(sc)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func scanFASTQRecord(sc *bufio.Scanner) (Seq, bool, error) {
+	if !sc.Scan() {
+		return Seq{}, false, sc.Err()
+	}
+	head := strings.TrimSpace(sc.Text())
+	if head == "" {
+		return scanFASTQRecord(sc) // tolerate blank separator lines
+	}
+	if !strings.HasPrefix(head, "@") {
+		return Seq{}, false, fmt.Errorf("bioseq: fastq: expected '@' header, got %q", head)
+	}
+	var lines [3]string
+	for i := range lines {
+		if !sc.Scan() {
+			return Seq{}, false, fmt.Errorf("bioseq: fastq: truncated record %q", head)
+		}
+		lines[i] = strings.TrimSpace(sc.Text())
+	}
+	if !strings.HasPrefix(lines[1], "+") {
+		return Seq{}, false, fmt.Errorf("bioseq: fastq: record %q missing '+' separator", head)
+	}
+	if len(lines[2]) != len(lines[0]) {
+		return Seq{}, false, fmt.Errorf("bioseq: fastq: record %q quality length %d != sequence length %d",
+			head, len(lines[2]), len(lines[0]))
+	}
+	s := Seq{ID: strings.TrimSpace(head[1:]), Bases: []byte(strings.ToUpper(lines[0]))}
+	if err := s.Validate(); err != nil {
+		return Seq{}, false, err
+	}
+	return s, true, nil
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gyan/internal/gpu"
+	"gyan/internal/jobconf"
+	"gyan/internal/smi"
+	"gyan/internal/toolxml"
+)
+
+// surveyOf builds a usage survey from a cluster state via the full
+// nvidia-smi XML round trip, exactly as GYAN consumes it.
+func surveyOf(t *testing.T, c *gpu.Cluster) smi.Usage {
+	t.Helper()
+	doc, err := smi.Query(c, c.Clock().Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := smi.UsageFromXML(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func raconTool(t *testing.T) *toolxml.Tool {
+	t.Helper()
+	tool, err := toolxml.RaconGPUTool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tool
+}
+
+func occupy(t *testing.T, c *gpu.Cluster, minor int, memMiB int64) int {
+	t.Helper()
+	d, err := c.Device(minor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := c.NextPID()
+	d.Attach(pid, "occupant")
+	if err := d.Alloc(pid, memMiB<<20); err != nil {
+		t.Fatal(err)
+	}
+	return pid
+}
+
+func TestCPUToolGoesToCPUDestination(t *testing.T) {
+	tool, err := toolxml.Parse(toolxml.CPUOnlyToolXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := gpu.NewPaperTestbed(nil)
+	var m Mapper
+	dec, err := m.Map(tool, jobconf.Default(), surveyOf(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.GPUEnabled || dec.Destination.ID != "local_cpu" {
+		t.Fatalf("CPU tool mapped to %s (gpu=%v)", dec.Destination.ID, dec.GPUEnabled)
+	}
+	if len(dec.Devices) != 0 || dec.VisibleDevices != "" {
+		t.Fatalf("CPU placement allocated devices: %+v", dec)
+	}
+}
+
+func TestGPUToolOnIdleClusterGetsGPUDestination(t *testing.T) {
+	c := gpu.NewPaperTestbed(nil)
+	var m Mapper
+	dec, err := m.Map(raconTool(t), jobconf.Default(), surveyOf(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.GPUEnabled {
+		t.Fatal("GALAXY_GPU_ENABLED not set for GPU tool with idle GPUs")
+	}
+	if dec.Destination.ID != "local_gpu" {
+		t.Fatalf("destination = %s", dec.Destination.ID)
+	}
+	if !dec.Destination.BoolParam("gpu_enabled") {
+		t.Error("chosen destination lacks gpu_enabled param")
+	}
+	// No device preference in the wrapper: PID policy grants all
+	// available GPUs.
+	if dec.VisibleDevices != "0,1" {
+		t.Fatalf("CUDA_VISIBLE_DEVICES = %q, want \"0,1\"", dec.VisibleDevices)
+	}
+}
+
+func TestGPUToolFallsBackToCPUWhenNoGPUs(t *testing.T) {
+	// A host without GPUs: empty survey (e.g. nvidia-smi absent).
+	var m Mapper
+	dec, err := m.Map(raconTool(t), jobconf.Default(), smi.Usage{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.GPUEnabled || dec.Destination.ID != "local_cpu" {
+		t.Fatalf("expected user-agnostic CPU fallback, got %s (gpu=%v)",
+			dec.Destination.ID, dec.GPUEnabled)
+	}
+	if !strings.Contains(dec.Reason, "falling back") {
+		t.Errorf("reason = %q", dec.Reason)
+	}
+}
+
+// requirementWithIDs builds the GPU compute requirement with the version tag
+// carrying minor IDs, as Section IV-C specifies.
+func requirementWithIDs(ids string) toolxml.Requirement {
+	return toolxml.Requirement{Type: "compute", Name: "gpu", Version: ids}
+}
+
+func TestAllocateRequestedAvailableDevice(t *testing.T) {
+	// Case 1: racon requests device 0, bonito device 1; both get their
+	// requested GPU.
+	c := gpu.NewPaperTestbed(nil)
+	var m Mapper
+	dev, _, err := m.Allocate(requirementWithIDs("0"), surveyOf(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dev) != 1 || dev[0] != 0 {
+		t.Fatalf("requested GPU 0, allocated %v", dev)
+	}
+	occupy(t, c, 0, 60)
+	dev, _, err = m.Allocate(requirementWithIDs("1"), surveyOf(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dev) != 1 || dev[0] != 1 {
+		t.Fatalf("requested GPU 1, allocated %v", dev)
+	}
+}
+
+func TestAllocateDivertsFromBusyRequestedDevice(t *testing.T) {
+	// Case 2: bonito requests GPU 1 twice; the second instance must be
+	// diverted to the free GPU 0.
+	c := gpu.NewPaperTestbed(nil)
+	occupy(t, c, 1, 3100)
+	var m Mapper
+	dev, reason, err := m.Allocate(requirementWithIDs("1"), surveyOf(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dev) != 1 || dev[0] != 0 {
+		t.Fatalf("busy request should divert to GPU 0, got %v (%s)", dev, reason)
+	}
+}
+
+func TestAllocatePIDScattersWhenAllBusy(t *testing.T) {
+	// Case 3: with both GPUs busy, upcoming processes scatter across all.
+	c := gpu.NewPaperTestbed(nil)
+	occupy(t, c, 0, 60)
+	occupy(t, c, 1, 60)
+	m := Mapper{Policy: PolicyPID}
+	dev, _, err := m.Allocate(requirementWithIDs("0"), surveyOf(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dev) != 2 || dev[0] != 0 || dev[1] != 1 {
+		t.Fatalf("PID policy with all GPUs busy allocated %v, want [0 1]", dev)
+	}
+}
+
+func TestAllocateMemoryPolicyPicksMinMemory(t *testing.T) {
+	// Case 4: racon on GPU 0 (60 MiB), bonito on GPU 1 (3 GiB); the
+	// second bonito goes to GPU 0, the minimum-memory device.
+	c := gpu.NewPaperTestbed(nil)
+	occupy(t, c, 0, 60)
+	occupy(t, c, 1, 3132)
+	m := Mapper{Policy: PolicyMemory}
+	dev, reason, err := m.Allocate(requirementWithIDs("1"), surveyOf(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dev) != 1 || dev[0] != 0 {
+		t.Fatalf("memory policy allocated %v (%s), want [0]", dev, reason)
+	}
+	if !strings.Contains(reason, "minimum memory") {
+		t.Errorf("reason = %q", reason)
+	}
+}
+
+func TestAllocateRejectsNonexistentDevice(t *testing.T) {
+	c := gpu.NewPaperTestbed(nil)
+	var m Mapper
+	if _, _, err := m.Allocate(requirementWithIDs("7"), surveyOf(t, c)); err == nil {
+		t.Fatal("allocation for nonexistent GPU 7 succeeded")
+	}
+}
+
+func TestAllocateMultiDeviceRequest(t *testing.T) {
+	c := gpu.NewPaperTestbed(nil)
+	var m Mapper
+	dev, _, err := m.Allocate(requirementWithIDs("0,1"), surveyOf(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dev) != 2 {
+		t.Fatalf("multi-GPU request allocated %v", dev)
+	}
+}
+
+func TestAllocateBadVersionTag(t *testing.T) {
+	c := gpu.NewPaperTestbed(nil)
+	var m Mapper
+	if _, _, err := m.Allocate(requirementWithIDs("first"), surveyOf(t, c)); err == nil {
+		t.Fatal("garbage version tag accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyPID.String() != "pid" || PolicyMemory.String() != "memory" ||
+		PolicyUtilization.String() != "utilization" {
+		t.Fatalf("policy names: %s, %s, %s", PolicyPID, PolicyMemory, PolicyUtilization)
+	}
+}
+
+// utilScenario builds a cluster where the two pressure signals disagree:
+// GPU 0 is idle but holds a large allocation; GPU 1 is compute-busy with a
+// small footprint.
+func utilScenario(t *testing.T) smi.Usage {
+	t.Helper()
+	c := gpu.NewPaperTestbed(nil)
+	occupy(t, c, 0, 6000) // memory-heavy, idle
+	d1, _ := c.Device(1)
+	s := d1.NewStream(c.NextPID(), "busy", 0, nil)
+	spec := d1.Spec()
+	if err := s.Launch(gpu.Kernel{
+		Name:            "k",
+		Ops:             spec.PeakOpsPerSecond() * spec.ComputeEfficiency * 100,
+		Blocks:          4 * spec.SMs,
+		ThreadsPerBlock: 256,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Survey mid-kernel so GPU 1 reports high utilization.
+	doc, err := smi.Query(c, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := smi.UsageFromXML(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestUtilizationPolicyDisagreesWithMemoryPolicy(t *testing.T) {
+	survey := utilScenario(t)
+	req := requirementWithIDs("") // no preference, both GPUs busy
+
+	mem := Mapper{Policy: PolicyMemory}
+	memDev, _, err := mem.Allocate(req, survey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := Mapper{Policy: PolicyUtilization}
+	utilDev, reason, err := util.Allocate(req, survey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Memory policy avoids the 6 GiB allocation (picks GPU 1); the
+	// utilization policy avoids the spinning SMs (picks GPU 0).
+	if len(memDev) != 1 || memDev[0] != 1 {
+		t.Fatalf("memory policy chose %v, want [1]", memDev)
+	}
+	if len(utilDev) != 1 || utilDev[0] != 0 {
+		t.Fatalf("utilization policy chose %v (%s), want [0]", utilDev, reason)
+	}
+	if !strings.Contains(reason, "minimum SM utilization") {
+		t.Errorf("reason = %q", reason)
+	}
+}
+
+func TestUtilizationPolicyHonorsAvailableRequest(t *testing.T) {
+	c := gpu.NewPaperTestbed(nil)
+	m := Mapper{Policy: PolicyUtilization}
+	dev, _, err := m.Allocate(requirementWithIDs("1"), surveyOf(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dev) != 1 || dev[0] != 1 {
+		t.Fatalf("available request overridden: %v", dev)
+	}
+}
+
+func TestMapNilTool(t *testing.T) {
+	var m Mapper
+	if _, err := m.Map(nil, jobconf.Default(), smi.Usage{}); err == nil {
+		t.Fatal("nil tool accepted")
+	}
+}
+
+func TestDecisionReasonIsInformative(t *testing.T) {
+	c := gpu.NewPaperTestbed(nil)
+	var m Mapper
+	dec, err := m.Map(raconTool(t), jobconf.Default(), surveyOf(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Reason == "" {
+		t.Fatal("decision carries no reason")
+	}
+}

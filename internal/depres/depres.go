@@ -1,0 +1,223 @@
+// Package depres models Galaxy's tool-dependency resolution. Wrapper files
+// carry software requirements — Code 1's
+// `<requirement type="package" version="1.4.20">racon</requirement>` — which
+// Galaxy resolves through conda or containers ("Biocontainers include ...
+// Conda based containers", Section II-B). The resolver here implements the
+// conda-style flow: a channel index of packages with versions and
+// dependencies, version matching, recursive resolution, and an environment
+// cache so a tool's first run pays the install cost and later runs do not.
+package depres
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Package identifies one installable unit.
+type Package struct {
+	Name    string
+	Version string
+	// SizeBytes drives the modeled download/install time.
+	SizeBytes int64
+	// Requires lists dependencies as (name, version-spec) pairs; an empty
+	// spec means any version.
+	Requires []Dep
+}
+
+// Dep is a dependency edge.
+type Dep struct {
+	Name string
+	// Spec is an exact version, a "1.4.*"-style prefix wildcard, or ""
+	// for any.
+	Spec string
+}
+
+// Channel is a package index (the conda channel / bioconda equivalent).
+type Channel struct {
+	name     string
+	packages map[string][]Package // name -> versions, insertion order
+}
+
+// NewChannel returns an empty channel.
+func NewChannel(name string) *Channel {
+	return &Channel{name: name, packages: make(map[string][]Package)}
+}
+
+// Add registers a package version.
+func (c *Channel) Add(p Package) error {
+	if p.Name == "" || p.Version == "" {
+		return fmt.Errorf("depres: package with empty name or version: %+v", p)
+	}
+	for _, existing := range c.packages[p.Name] {
+		if existing.Version == p.Version {
+			return fmt.Errorf("depres: %s %s already in channel %s", p.Name, p.Version, c.name)
+		}
+	}
+	c.packages[p.Name] = append(c.packages[p.Name], p)
+	return nil
+}
+
+// matchVersion reports whether version satisfies spec.
+func matchVersion(version, spec string) bool {
+	switch {
+	case spec == "" || spec == "*":
+		return true
+	case strings.HasSuffix(spec, ".*"):
+		prefix := strings.TrimSuffix(spec, "*")
+		return strings.HasPrefix(version, prefix)
+	default:
+		return version == spec
+	}
+}
+
+// Find returns the newest package version matching the spec ("newest" =
+// highest by lexicographic dotted-component comparison).
+func (c *Channel) Find(name, spec string) (Package, error) {
+	var candidates []Package
+	for _, p := range c.packages[name] {
+		if matchVersion(p.Version, spec) {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return Package{}, fmt.Errorf("depres: no package %s matching %q in channel %s", name, spec, c.name)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		return versionLess(candidates[i].Version, candidates[j].Version)
+	})
+	return candidates[len(candidates)-1], nil
+}
+
+// versionLess compares dotted numeric versions; non-numeric components fall
+// back to string comparison.
+func versionLess(a, b string) bool {
+	as, bs := strings.Split(a, "."), strings.Split(b, ".")
+	for i := 0; i < len(as) && i < len(bs); i++ {
+		if as[i] == bs[i] {
+			continue
+		}
+		an, aok := atoi(as[i])
+		bn, bok := atoi(bs[i])
+		if aok && bok {
+			return an < bn
+		}
+		return as[i] < bs[i]
+	}
+	return len(as) < len(bs)
+}
+
+func atoi(s string) (int, bool) {
+	n := 0
+	if s == "" {
+		return 0, false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n, true
+}
+
+// Resolver resolves requirement sets against a channel, caching installed
+// environments.
+type Resolver struct {
+	channel *Channel
+	// installBandwidth models download+install throughput.
+	installBandwidth float64
+	installed        map[string]bool // "name=version"
+}
+
+// NewResolver returns a resolver over the channel.
+func NewResolver(channel *Channel) *Resolver {
+	return &Resolver{
+		channel:          channel,
+		installBandwidth: 50e6,
+		installed:        make(map[string]bool),
+	}
+}
+
+// Resolution is the outcome of resolving one requirement set.
+type Resolution struct {
+	// Packages lists everything the environment needs, dependencies
+	// included, in install order (dependencies first).
+	Packages []Package
+	// Installed lists what actually had to be installed this time.
+	Installed []Package
+	// InstallTime is the modeled cost of the new installs.
+	InstallTime time.Duration
+}
+
+// Resolve builds the environment for the given requirements. Cycles in
+// dependency declarations are detected and reported.
+func (r *Resolver) Resolve(reqs []Dep) (*Resolution, error) {
+	res := &Resolution{}
+	seen := map[string]bool{}
+	visiting := map[string]bool{}
+
+	var visit func(d Dep, chain []string) error
+	visit = func(d Dep, chain []string) error {
+		p, err := r.channel.Find(d.Name, d.Spec)
+		if err != nil {
+			return err
+		}
+		key := p.Name + "=" + p.Version
+		if seen[key] {
+			return nil
+		}
+		if visiting[key] {
+			return fmt.Errorf("depres: dependency cycle: %s -> %s", strings.Join(chain, " -> "), key)
+		}
+		visiting[key] = true
+		for _, dep := range p.Requires {
+			if err := visit(dep, append(chain, key)); err != nil {
+				return err
+			}
+		}
+		visiting[key] = false
+		seen[key] = true
+		res.Packages = append(res.Packages, p)
+		if !r.installed[key] {
+			r.installed[key] = true
+			res.Installed = append(res.Installed, p)
+			res.InstallTime += time.Duration(float64(p.SizeBytes) / r.installBandwidth * float64(time.Second))
+		}
+		return nil
+	}
+	for _, d := range reqs {
+		if err := visit(d, nil); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Bioconda returns a channel pre-populated with the tools of the paper's
+// evaluation and their (simplified) dependency closures.
+func Bioconda() *Channel {
+	c := NewChannel("bioconda")
+	must := func(p Package) {
+		if err := c.Add(p); err != nil {
+			panic(err)
+		}
+	}
+	must(Package{Name: "zlib", Version: "1.2.11", SizeBytes: 2 << 20})
+	must(Package{Name: "cudatoolkit", Version: "10.2", SizeBytes: 600 << 20})
+	must(Package{Name: "python", Version: "3.6.9", SizeBytes: 60 << 20,
+		Requires: []Dep{{Name: "zlib"}}})
+	must(Package{Name: "pytorch", Version: "1.5.0", SizeBytes: 700 << 20,
+		Requires: []Dep{{Name: "python", Spec: "3.*"}, {Name: "cudatoolkit", Spec: "10.2"}}})
+	must(Package{Name: "racon", Version: "1.4.20", SizeBytes: 8 << 20,
+		Requires: []Dep{{Name: "zlib"}}})
+	must(Package{Name: "racon", Version: "1.4.13", SizeBytes: 8 << 20,
+		Requires: []Dep{{Name: "zlib"}}})
+	must(Package{Name: "ont-bonito", Version: "0.3.2", SizeBytes: 15 << 20,
+		Requires: []Dep{{Name: "pytorch", Spec: "1.*"}}})
+	must(Package{Name: "pypaswas", Version: "3.0", SizeBytes: 5 << 20,
+		Requires: []Dep{{Name: "python", Spec: "3.*"}}})
+	must(Package{Name: "seqstats", Version: "1.0", SizeBytes: 1 << 20})
+	return c
+}

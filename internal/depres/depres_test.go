@@ -1,0 +1,165 @@
+package depres
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatchVersion(t *testing.T) {
+	cases := []struct {
+		version, spec string
+		want          bool
+	}{
+		{"1.4.20", "1.4.20", true},
+		{"1.4.20", "1.4.*", true},
+		{"1.5.0", "1.4.*", false},
+		{"3.6.9", "3.*", true},
+		{"2.7.1", "3.*", false},
+		{"1.0", "", true},
+		{"1.0", "*", true},
+	}
+	for _, tc := range cases {
+		if got := matchVersion(tc.version, tc.spec); got != tc.want {
+			t.Errorf("matchVersion(%q, %q) = %v", tc.version, tc.spec, got)
+		}
+	}
+}
+
+func TestVersionOrdering(t *testing.T) {
+	cases := []struct {
+		a, b string
+		less bool
+	}{
+		{"1.4.13", "1.4.20", true}, // numeric, not lexicographic
+		{"1.4.20", "1.4.13", false},
+		{"1.9", "1.10", true},
+		{"2.0", "10.0", true},
+		{"1.4", "1.4.1", true},
+	}
+	for _, tc := range cases {
+		if got := versionLess(tc.a, tc.b); got != tc.less {
+			t.Errorf("versionLess(%q, %q) = %v", tc.a, tc.b, got)
+		}
+	}
+}
+
+func TestFindPicksNewestMatch(t *testing.T) {
+	c := Bioconda()
+	p, err := c.Find("racon", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Version != "1.4.20" {
+		t.Fatalf("newest racon = %s, want 1.4.20", p.Version)
+	}
+	p, err = c.Find("racon", "1.4.13")
+	if err != nil || p.Version != "1.4.13" {
+		t.Fatalf("exact match: %+v, %v", p, err)
+	}
+	if _, err := c.Find("racon", "2.*"); err == nil {
+		t.Error("nonexistent version matched")
+	}
+	if _, err := c.Find("nosuch", ""); err == nil {
+		t.Error("unknown package found")
+	}
+}
+
+func TestResolveClosureOrder(t *testing.T) {
+	r := NewResolver(Bioconda())
+	res, err := r.Resolve([]Dep{{Name: "ont-bonito", Spec: "0.3.2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dependencies install before their dependents.
+	index := map[string]int{}
+	for i, p := range res.Packages {
+		index[p.Name] = i
+	}
+	for _, pair := range [][2]string{
+		{"zlib", "python"}, {"python", "pytorch"},
+		{"cudatoolkit", "pytorch"}, {"pytorch", "ont-bonito"},
+	} {
+		if index[pair[0]] > index[pair[1]] {
+			t.Errorf("%s installed after %s: order %v", pair[0], pair[1], res.Packages)
+		}
+	}
+	if len(res.Installed) != len(res.Packages) {
+		t.Errorf("first resolve installed %d of %d", len(res.Installed), len(res.Packages))
+	}
+	if res.InstallTime <= 0 {
+		t.Error("no install time charged")
+	}
+}
+
+func TestResolveCachesEnvironments(t *testing.T) {
+	r := NewResolver(Bioconda())
+	first, err := r.Resolve([]Dep{{Name: "racon", Spec: "1.4.20"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Installed) == 0 {
+		t.Fatal("first resolve installed nothing")
+	}
+	second, err := r.Resolve([]Dep{{Name: "racon", Spec: "1.4.20"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.Installed) != 0 || second.InstallTime != 0 {
+		t.Fatalf("cached resolve still installed %d packages (%v)",
+			len(second.Installed), second.InstallTime)
+	}
+	// A different tool sharing dependencies only installs the delta:
+	// pypaswas needs python (new) but reuses racon's zlib.
+	third, err := r.Resolve([]Dep{{Name: "pypaswas", Spec: "3.0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, p := range third.Installed {
+		names[p.Name] = true
+	}
+	if names["zlib"] {
+		t.Error("shared dependency zlib reinstalled")
+	}
+	if !names["python"] || !names["pypaswas"] {
+		t.Errorf("delta install missing packages: %v", names)
+	}
+}
+
+func TestResolveDetectsCycles(t *testing.T) {
+	c := NewChannel("test")
+	if err := c.Add(Package{Name: "a", Version: "1", Requires: []Dep{{Name: "b"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(Package{Name: "b", Version: "1", Requires: []Dep{{Name: "a"}}}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewResolver(c)
+	_, err := r.Resolve([]Dep{{Name: "a"}})
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+}
+
+func TestResolveMissingDependency(t *testing.T) {
+	c := NewChannel("test")
+	if err := c.Add(Package{Name: "a", Version: "1", Requires: []Dep{{Name: "ghost"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewResolver(c).Resolve([]Dep{{Name: "a"}}); err == nil {
+		t.Fatal("missing dependency resolved")
+	}
+}
+
+func TestChannelValidation(t *testing.T) {
+	c := NewChannel("test")
+	if err := c.Add(Package{Name: "", Version: "1"}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := c.Add(Package{Name: "x", Version: "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(Package{Name: "x", Version: "1"}); err == nil {
+		t.Error("duplicate version accepted")
+	}
+}

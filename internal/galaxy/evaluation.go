@@ -1,0 +1,35 @@
+package galaxy
+
+import (
+	"fmt"
+
+	"gyan/internal/toolxml"
+)
+
+// BuildParamDict is the equivalent of Galaxy's build_param_dict in
+// evaluation.py: the bridge between the backend and the tool developer. It
+// merges the wrapper's input defaults with the user's job parameters and
+// injects GYAN's __galaxy_gpu_enabled__ key (Section IV-A: "we exposed the
+// GALAXY_GPU_ENABLED environment variable to the tool wrapper file with the
+// insertion of a dictionary entry").
+func BuildParamDict(tool *toolxml.Tool, userParams map[string]string, gpuEnabled bool) (map[string]string, error) {
+	if tool == nil {
+		return nil, fmt.Errorf("galaxy: nil tool")
+	}
+	dict := make(map[string]string, len(tool.Inputs.Params)+len(userParams)+1)
+	for _, p := range tool.Inputs.Params {
+		dict[p.Name] = p.Value
+	}
+	// User params override defaults. Harness-level params that are not
+	// wrapper inputs (e.g. scale) pass through, as in Galaxy; a template
+	// referencing a genuinely missing key fails loudly at render time.
+	for k, v := range userParams {
+		dict[k] = v
+	}
+	if gpuEnabled {
+		dict["__galaxy_gpu_enabled__"] = "true"
+	} else {
+		dict["__galaxy_gpu_enabled__"] = "false"
+	}
+	return dict, nil
+}

@@ -1,0 +1,509 @@
+package galaxy
+
+import (
+	"fmt"
+	"time"
+
+	"gyan/internal/container"
+	"gyan/internal/core"
+	"gyan/internal/depres"
+	"gyan/internal/gpu"
+	"gyan/internal/jobconf"
+	"gyan/internal/sim"
+	"gyan/internal/smi"
+	"gyan/internal/toolxml"
+	"strings"
+)
+
+// Galaxy is the framework instance: tool registry, job queue, runners and
+// the GYAN mapping layer, driven by a discrete-event engine over the
+// simulated cluster.
+type Galaxy struct {
+	Conf       *jobconf.Config
+	Cluster    *gpu.Cluster
+	Engine     *sim.Engine
+	Mapper     *core.Mapper
+	Containers *container.Engine
+	// Deps resolves wrapper package requirements for bare-metal jobs
+	// (containerized tools carry their own dependencies). The first job
+	// of a tool pays the install time; later jobs hit the env cache.
+	Deps *depres.Resolver
+	// Profiler, if set, is invoked per job to attach an NVProf-style
+	// profiler to its device streams.
+	Profiler func(*Job) gpu.Profiler
+
+	tools  map[string]*ToolBinding
+	jobs   []*Job
+	nextID int
+
+	// Destination scheduling: per-destination running counts and wait
+	// queues, honoring each destination's "slots" limit (step 3 of the
+	// paper's Fig. 2 flow — the job scheduler in front of execution).
+	running map[string]int
+	waiting map[string][]*pendingStart
+
+	// UserQuota bounds each user's concurrent jobs (0 = unlimited) — the
+	// admission control Galaxy admins configure per user. Excess jobs
+	// queue per user and redispatch as the user's jobs finish.
+	UserQuota   int
+	userRunning map[string]int
+	userWaiting map[string][]*pendingStart
+}
+
+// pendingStart is a job parked behind a saturated destination.
+type pendingStart struct {
+	job     *Job
+	binding *ToolBinding
+	opts    SubmitOptions
+}
+
+// Option configures a Galaxy instance.
+type Option func(*Galaxy)
+
+// WithPolicy selects the multi-GPU allocation policy.
+func WithPolicy(p core.Policy) Option {
+	return func(g *Galaxy) { g.Mapper.Policy = p }
+}
+
+// WithJobConf replaces the default job configuration.
+func WithJobConf(c *jobconf.Config) Option {
+	return func(g *Galaxy) { g.Conf = c }
+}
+
+// WithUserQuota bounds each user's concurrent jobs.
+func WithUserQuota(n int) Option {
+	return func(g *Galaxy) { g.UserQuota = n }
+}
+
+// New builds a Galaxy instance over the cluster. A nil cluster builds the
+// paper's 2-GPU testbed.
+func New(cluster *gpu.Cluster, opts ...Option) *Galaxy {
+	if cluster == nil {
+		cluster = gpu.NewPaperTestbed(nil)
+	}
+	g := &Galaxy{
+		Conf:        jobconf.Default(),
+		Cluster:     cluster,
+		Engine:      sim.NewEngine(cluster.Clock()),
+		Mapper:      &core.Mapper{},
+		Containers:  container.NewEngine(),
+		Deps:        depres.NewResolver(depres.Bioconda()),
+		tools:       make(map[string]*ToolBinding),
+		running:     make(map[string]int),
+		waiting:     make(map[string][]*pendingStart),
+		userRunning: make(map[string]int),
+		userWaiting: make(map[string][]*pendingStart),
+	}
+	for _, opt := range opts {
+		opt(g)
+	}
+	return g
+}
+
+// RegisterTool installs a tool binding. Registering a duplicate ID is an
+// error.
+func (g *Galaxy) RegisterTool(b *ToolBinding) error {
+	if b == nil || b.XML == nil || b.Exec == nil {
+		return fmt.Errorf("galaxy: incomplete tool binding")
+	}
+	if _, dup := g.tools[b.XML.ID]; dup {
+		return fmt.Errorf("galaxy: tool %q already registered", b.XML.ID)
+	}
+	g.tools[b.XML.ID] = b
+	return nil
+}
+
+// RegisterDefaultTools installs the paper's evaluation tools — racon (with
+// the Code 1 macros expanded) and bonito — plus the pypaswas aligner of the
+// paper's motivation section and the CPU-only seqstats.
+func (g *Galaxy) RegisterDefaultTools() error {
+	raconXML, err := toolxml.RaconGPUTool()
+	if err != nil {
+		return err
+	}
+	if err := g.RegisterTool(&ToolBinding{
+		XML: raconXML, Exec: RaconExecutor,
+		ProcNameGPU: "/usr/bin/racon_gpu", ProcNameCPU: "/usr/bin/racon",
+	}); err != nil {
+		return err
+	}
+	bonitoXML, err := toolxml.BonitoTool()
+	if err != nil {
+		return err
+	}
+	if err := g.RegisterTool(&ToolBinding{
+		XML: bonitoXML, Exec: BonitoExecutor,
+		ProcNameGPU: "/usr/bin/bonito", ProcNameCPU: "/usr/bin/bonito",
+	}); err != nil {
+		return err
+	}
+	paswasXML, err := toolxml.PaswasTool()
+	if err != nil {
+		return err
+	}
+	if err := g.RegisterTool(&ToolBinding{
+		XML: paswasXML, Exec: PaswasExecutor,
+		ProcNameGPU: "/usr/bin/pypaswas", ProcNameCPU: "/usr/bin/pypaswas",
+	}); err != nil {
+		return err
+	}
+	statsXML, err := toolxml.Parse(toolxml.CPUOnlyToolXML)
+	if err != nil {
+		return err
+	}
+	return g.RegisterTool(&ToolBinding{
+		XML: statsXML, Exec: SeqStatsExecutor,
+		ProcNameGPU: "/usr/bin/seqstats", ProcNameCPU: "/usr/bin/seqstats",
+	})
+}
+
+// Tool returns a registered binding.
+func (g *Galaxy) Tool(id string) (*ToolBinding, error) {
+	b, ok := g.tools[id]
+	if !ok {
+		return nil, fmt.Errorf("galaxy: tool %q not installed", id)
+	}
+	return b, nil
+}
+
+// Jobs returns all jobs in submission order.
+func (g *Galaxy) Jobs() []*Job { return g.jobs }
+
+// SubmitOptions refine a submission.
+type SubmitOptions struct {
+	// Delay schedules the job's start this long after the current
+	// virtual time (used to stage the multi-GPU case experiments).
+	Delay time.Duration
+	// Runtime forces containerized execution: "docker" or "singularity".
+	Runtime string
+	// GPURequest overrides the wrapper's requested GPU minor IDs (the
+	// end-user editing the version tag, Section IV-C).
+	GPURequest string
+	// User attributes the job for quota accounting; empty means the
+	// anonymous user.
+	User string
+
+	// resubmitDest, when non-empty, pins the job to the named destination
+	// instead of the mapper's choice. Set internally when a destination's
+	// resubmit_destination param reroutes a failed job (Galaxy's
+	// resubmission mechanism).
+	resubmitDest string
+}
+
+// maxResubmits bounds resubmission chains.
+const maxResubmits = 3
+
+// Submit queues a tool execution and schedules its start on the engine.
+// The returned job is filled in as lifecycle events run; call
+// Engine.Run (or g.Run) to drive it to completion.
+func (g *Galaxy) Submit(toolID string, params map[string]string, dataset any, opts SubmitOptions) (*Job, error) {
+	binding, err := g.Tool(toolID)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Runtime != "" {
+		if _, ok := binding.XML.ContainerFor(opts.Runtime); !ok {
+			return nil, fmt.Errorf("galaxy: tool %q has no %s container", toolID, opts.Runtime)
+		}
+	}
+	g.nextID++
+	job := &Job{
+		ID:        g.nextID,
+		ToolID:    toolID,
+		Params:    params,
+		Dataset:   dataset,
+		Runtime:   opts.Runtime,
+		User:      userOrAnonymous(opts.User),
+		State:     StateQueued,
+		Submitted: g.Engine.Clock().Now(),
+	}
+	g.jobs = append(g.jobs, job)
+	g.Engine.After(opts.Delay, func(now time.Duration) {
+		g.startJob(job, binding, opts, now)
+	})
+	return job, nil
+}
+
+// Run drives the engine until all scheduled work completes and returns the
+// final virtual time.
+func (g *Galaxy) Run() time.Duration { return g.Engine.Run() }
+
+// startJob performs steps 2-3 of the paper's Fig. 2 flow: destination
+// mapping, param-dict evaluation, command rendering, (optional) container
+// launch, and tool execution.
+func (g *Galaxy) startJob(job *Job, binding *ToolBinding, opts SubmitOptions, now time.Duration) {
+	if job.killed {
+		return // cancelled while queued
+	}
+	var release func() // set once quota/destination slots are acquired
+	fail := func(err error) {
+		job.Info = err.Error()
+		job.finish(StateError, g.Engine.Clock().Now())
+		if release != nil {
+			release()
+		}
+	}
+
+	// User quota admission, before any device survey.
+	if g.UserQuota > 0 && g.userRunning[job.User] >= g.UserQuota {
+		job.State = StateQueued
+		job.Info = fmt.Sprintf("queued: user %q at quota (%d concurrent jobs)", job.User, g.UserQuota)
+		g.userWaiting[job.User] = append(g.userWaiting[job.User],
+			&pendingStart{job: job, binding: binding, opts: opts})
+		return
+	}
+	g.userRunning[job.User]++
+	releaseUser := func() {
+		g.userRunning[job.User]--
+		g.dispatchNextUser(job.User)
+	}
+	release = releaseUser
+
+	// Survey the GPUs through the nvidia-smi XML interface at this
+	// instant, then run GYAN's dynamic destination rule.
+	doc, err := smi.Query(g.Cluster, now)
+	if err != nil {
+		fail(err)
+		return
+	}
+	survey, err := smi.UsageFromXML(doc)
+	if err != nil {
+		fail(err)
+		return
+	}
+	tool := binding.XML
+	if opts.GPURequest != "" {
+		// The end-user pinned device IDs via the requirement's version
+		// tag; apply the override on a copy of the wrapper.
+		patched := *tool
+		patched.Requirements.Items = append([]toolxml.Requirement(nil), tool.Requirements.Items...)
+		for i := range patched.Requirements.Items {
+			if patched.Requirements.Items[i].IsGPU() {
+				patched.Requirements.Items[i].Version = opts.GPURequest
+			}
+		}
+		tool = &patched
+	}
+	decision, err := g.Mapper.Map(tool, g.Conf, survey)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if opts.resubmitDest != "" {
+		dest, derr := g.Conf.Destination(opts.resubmitDest)
+		if derr != nil {
+			fail(derr)
+			return
+		}
+		decision.Destination = dest
+		decision.Reason = fmt.Sprintf("resubmitted to %q after failure", dest.ID)
+		if !dest.BoolParam("gpu_enabled") {
+			decision.GPUEnabled = false
+			decision.Devices = nil
+			decision.VisibleDevices = ""
+		}
+	}
+
+	// Destination scheduling: park the job if the destination is
+	// saturated; it is redispatched (with a fresh GPU survey) when a
+	// running job there completes. The user-quota slot is returned while
+	// queued and reacquired at redispatch.
+	if slots := decision.Destination.Slots(); slots > 0 && g.running[decision.Destination.ID] >= slots {
+		job.State = StateQueued
+		job.Info = fmt.Sprintf("queued: destination %q has all %d slots busy",
+			decision.Destination.ID, slots)
+		g.waiting[decision.Destination.ID] = append(g.waiting[decision.Destination.ID],
+			&pendingStart{job: job, binding: binding, opts: opts})
+		release = nil
+		releaseUser()
+		return
+	}
+	g.running[decision.Destination.ID]++
+	destID := decision.Destination.ID
+	release = func() {
+		g.running[destID]--
+		releaseUser()
+		g.dispatchNext(destID)
+	}
+
+	job.State = StateRunning
+	job.Started = now
+	job.Destination = decision.Destination.ID
+	job.GPUEnabled = decision.GPUEnabled
+	job.Devices = decision.Devices
+	job.VisibleDevices = decision.VisibleDevices
+	job.Info = decision.Reason
+	job.PID = g.Cluster.NextPID()
+
+	dict, err := BuildParamDict(tool, job.Params, decision.GPUEnabled)
+	if err != nil {
+		fail(err)
+		return
+	}
+	job.CommandLine, err = toolxml.RenderCommand(tool.Command.Text, dict)
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	start := now
+	containerized := job.Runtime != ""
+	if !containerized {
+		// Resolve the wrapper's package requirements through the conda
+		// channel; the first run of a tool pays the install.
+		var reqs []depres.Dep
+		for _, r := range tool.Requirements.Items {
+			if strings.EqualFold(r.Type, "package") {
+				reqs = append(reqs, depres.Dep{Name: strings.TrimSpace(r.Name), Spec: r.Version})
+			}
+		}
+		if len(reqs) > 0 {
+			resolution, err := g.Deps.Resolve(reqs)
+			if err != nil {
+				fail(fmt.Errorf("dependency resolution: %w", err))
+				return
+			}
+			job.DependencyInstall = resolution.InstallTime
+			start += resolution.InstallTime
+		}
+	}
+	if containerized {
+		img, _ := tool.ContainerFor(job.Runtime)
+		spec := container.LaunchSpec{
+			Runtime: job.Runtime,
+			Image:   img.Image,
+			Command: job.CommandLine,
+			Env: map[string]string{
+				"GALAXY_GPU_ENABLED": fmt.Sprintf("%v", decision.GPUEnabled),
+			},
+			Volumes: []container.VolumeMount{{Host: "/galaxy/database", Container: "/data", Mode: "rw"}},
+			GPU:     decision.GPUEnabled,
+		}
+		if decision.VisibleDevices != "" {
+			spec.Env["CUDA_VISIBLE_DEVICES"] = decision.VisibleDevices
+		}
+		run, err := g.Containers.Launch(spec)
+		if err != nil {
+			fail(err)
+			return
+		}
+		job.ContainerCommand = run.CommandLine
+		// Image pull happens before the tool starts; the 0.6 s cold
+		// start itself is part of the tool cost model.
+		start += run.StartupCost - 600*time.Millisecond
+	}
+
+	var profiler gpu.Profiler
+	if g.Profiler != nil {
+		profiler = g.Profiler(job)
+	}
+	req := ExecRequest{
+		Cluster:       g.Cluster,
+		Devices:       decision.Devices,
+		PID:           job.PID,
+		GPUEnabled:    decision.GPUEnabled,
+		Containerized: containerized,
+		Profiler:      profiler,
+		Start:         start,
+		Params:        dict,
+		Dataset:       job.Dataset,
+	}
+	res, err := binding.Exec(req)
+	if err != nil {
+		// Galaxy resubmission: a destination may name a fallback for
+		// failed jobs (e.g. device OOM on the GPU destination reroutes
+		// to the CPU one). The current slots are released and the job
+		// re-enters dispatch pinned to the fallback.
+		if dest, ok := decision.Destination.Param("resubmit_destination"); ok &&
+			dest != "" && job.Resubmitted < maxResubmits {
+			job.Resubmitted++
+			job.State = StateQueued
+			job.Info = fmt.Sprintf("resubmitting to %q after failure: %v", dest, err)
+			release()
+			release = nil
+			retry := opts
+			retry.resubmitDest = dest
+			g.Engine.After(0, func(again time.Duration) {
+				g.startJob(job, binding, retry, again)
+			})
+			return
+		}
+		fail(err)
+		return
+	}
+	job.Result = res
+	job.sessions = res.Sessions
+	end := start + res.Total
+	job.release = release
+	g.Engine.Schedule(end, func(fin time.Duration) {
+		if job.killed {
+			return // the kill already tore the job down
+		}
+		for _, s := range job.sessions {
+			s.Close()
+		}
+		job.sessions = nil
+		job.release = nil
+		job.finish(StateOK, fin)
+		release()
+	})
+}
+
+// Kill cancels a job at the current virtual time, the user-driven
+// termination the paper's monitor handles ("stopped when a job is either
+// killed or stops"). A running job's device sessions are closed immediately
+// and its scheduler slots are released; a queued job is marked killed and
+// skipped when its start event or queue dispatch reaches it. Killing a
+// finished job is a no-op.
+func (g *Galaxy) Kill(job *Job) {
+	if job == nil || job.Done() || job.killed {
+		return
+	}
+	job.killed = true
+	now := g.Engine.Clock().Now()
+	for _, s := range job.sessions {
+		s.Abort(now)
+	}
+	job.sessions = nil
+	job.Info = "killed by user"
+	job.finish(StateError, g.Engine.Clock().Now())
+	if job.release != nil {
+		rel := job.release
+		job.release = nil
+		rel()
+	}
+}
+
+// dispatchNext redispatches the oldest job waiting on the destination, if
+// any, with a fresh GPU survey at the current virtual time.
+func (g *Galaxy) dispatchNext(destID string) {
+	queue := g.waiting[destID]
+	if len(queue) == 0 {
+		return
+	}
+	next := queue[0]
+	g.waiting[destID] = queue[1:]
+	g.Engine.After(0, func(now time.Duration) {
+		g.startJob(next.job, next.binding, next.opts, now)
+	})
+}
+
+// dispatchNextUser redispatches the oldest job waiting on the user's quota.
+func (g *Galaxy) dispatchNextUser(user string) {
+	queue := g.userWaiting[user]
+	if len(queue) == 0 {
+		return
+	}
+	next := queue[0]
+	g.userWaiting[user] = queue[1:]
+	g.Engine.After(0, func(now time.Duration) {
+		g.startJob(next.job, next.binding, next.opts, now)
+	})
+}
+
+func userOrAnonymous(user string) string {
+	if user == "" {
+		return "anonymous"
+	}
+	return user
+}

@@ -1,0 +1,107 @@
+// Package galaxy reimplements the slice of the Galaxy framework that GYAN
+// patches: the tool registry, the job lifecycle (Fig. 2's four-step flow),
+// the param-dict evaluation bridge, and the local/containerized runners.
+//
+// A Galaxy instance is driven by a discrete-event engine, so jobs submitted
+// at different virtual times interleave deterministically — this is what
+// the multi-GPU case experiments (Figs. 8-11) run on.
+package galaxy
+
+import (
+	"time"
+
+	"gyan/internal/gpu"
+)
+
+// JobState is the lifecycle state of a job, mirroring Galaxy's job states.
+type JobState string
+
+// Job states.
+const (
+	StateNew     JobState = "new"
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateOK      JobState = "ok"
+	StateError   JobState = "error"
+)
+
+// Job is one submitted tool execution.
+type Job struct {
+	// ID is the job's ordinal identifier.
+	ID int
+	// ToolID names the registered tool.
+	ToolID string
+	// Params are the user-supplied tool parameters (merged over wrapper
+	// defaults at evaluation time).
+	Params map[string]string
+	// Dataset is the input payload (*workload.ReadSet for racon,
+	// *workload.SquiggleSet for bonito).
+	Dataset any
+	// Runtime is "" for bare-metal, or "docker"/"singularity".
+	Runtime string
+	// User attributes the job for quota accounting.
+	User string
+	// Resubmitted counts how many times the job was rerouted to a
+	// fallback destination after a failure.
+	Resubmitted int
+	// DependencyInstall is the time spent installing the tool's conda
+	// environment (zero when cached or containerized).
+	DependencyInstall time.Duration
+
+	// State tracks the lifecycle.
+	State JobState
+	// Destination is the job_conf destination the job landed on.
+	Destination string
+	// GPUEnabled is the GALAXY_GPU_ENABLED value chosen by GYAN.
+	GPUEnabled bool
+	// Devices are the allocated GPU minor IDs.
+	Devices []int
+	// VisibleDevices is the exported CUDA_VISIBLE_DEVICES value.
+	VisibleDevices string
+	// PID is the simulated host process ID.
+	PID int
+	// CommandLine is the rendered tool command.
+	CommandLine string
+	// ContainerCommand is the assembled container launch command
+	// (containerized jobs only).
+	ContainerCommand []string
+	// Info carries the mapping decision reason or the error text.
+	Info string
+
+	// Submitted, Started and Finished are virtual timestamps.
+	Submitted, Started, Finished time.Duration
+	// Result is the executor's outcome once the job completes.
+	Result *ExecResult
+
+	sessions []*gpu.Stream
+	// onDone, if set, runs when the job reaches a terminal state
+	// (workflow chaining).
+	onDone func(*Job)
+	// killed marks a job cancelled by the user; the pending completion
+	// event becomes a no-op.
+	killed bool
+	// release returns the job's scheduler slots; set while running.
+	release func()
+}
+
+// finish moves the job to a terminal state and fires the completion hook.
+func (j *Job) finish(state JobState, at time.Duration) {
+	j.State = state
+	j.Finished = at
+	if j.onDone != nil {
+		j.onDone(j)
+	}
+}
+
+// Runtime durations.
+
+// WallTime returns the job's virtual run time (start to finish).
+func (j *Job) WallTime() time.Duration {
+	if j.Finished < j.Started {
+		return 0
+	}
+	return j.Finished - j.Started
+}
+
+// Done reports whether the job reached a terminal state.
+func (j *Job) Done() bool { return j.State == StateOK || j.State == StateError }

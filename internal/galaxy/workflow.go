@@ -1,0 +1,128 @@
+package galaxy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Workflow support. A Galaxy job can be "a single tool instance or a
+// workflow consisting of a sequence of multiple tools" (paper, Section
+// II-A). A Workflow here is a linear chain: each step starts when the
+// previous one completes, with its input dataset derived from the previous
+// step's result — e.g. iterated Racon polishing rounds, or basecalling
+// followed by consensus.
+
+// WorkflowStep describes one stage of a workflow.
+type WorkflowStep struct {
+	// ToolID names the registered tool.
+	ToolID string
+	// Params are the step's tool parameters.
+	Params map[string]string
+	// Options refine the step's submission (runtime, GPU request). The
+	// Delay field applies only to the first step; later steps start at
+	// their predecessor's completion.
+	Options SubmitOptions
+	// Dataset is the step input. For steps after the first it may be
+	// nil if Transform is set.
+	Dataset any
+	// Transform derives the step's dataset from the previous step's
+	// completed job (e.g. feed round N's consensus into round N+1).
+	// When nil, Dataset is used as-is.
+	Transform func(prev *Job) (any, error)
+}
+
+// Workflow tracks a submitted chain.
+type Workflow struct {
+	// Name labels the workflow.
+	Name string
+	// Jobs holds the per-step jobs; entries appear as steps are
+	// submitted, so len(Jobs) < len(steps) while upstream steps run.
+	Jobs []*Job
+	// State is StateRunning until the last step completes (StateOK) or
+	// any step fails (StateError).
+	State JobState
+	// Info carries the failure description when State is StateError.
+	Info string
+
+	steps []WorkflowStep
+	g     *Galaxy
+}
+
+// Done reports whether the workflow reached a terminal state.
+func (w *Workflow) Done() bool { return w.State == StateOK || w.State == StateError }
+
+// SubmitWorkflow queues a linear tool chain. The first step is scheduled
+// immediately (honoring its Delay); each subsequent step is submitted when
+// its predecessor completes. Drive the engine (g.Run) to completion.
+func (g *Galaxy) SubmitWorkflow(name string, steps []WorkflowStep) (*Workflow, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("galaxy: workflow %q has no steps", name)
+	}
+	for i, s := range steps {
+		if _, err := g.Tool(s.ToolID); err != nil {
+			return nil, fmt.Errorf("galaxy: workflow %q step %d: %w", name, i, err)
+		}
+		if i > 0 && s.Dataset == nil && s.Transform == nil {
+			return nil, fmt.Errorf("galaxy: workflow %q step %d has neither dataset nor transform", name, i)
+		}
+	}
+	if steps[0].Dataset == nil {
+		return nil, fmt.Errorf("galaxy: workflow %q first step has no dataset", name)
+	}
+	w := &Workflow{Name: name, State: StateRunning, steps: steps, g: g}
+	if err := w.submitStep(0, steps[0].Dataset); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *Workflow) submitStep(i int, dataset any) error {
+	step := w.steps[i]
+	opts := step.Options
+	if i > 0 {
+		opts.Delay = 0
+	}
+	job, err := w.g.Submit(step.ToolID, step.Params, dataset, opts)
+	if err != nil {
+		return err
+	}
+	w.Jobs = append(w.Jobs, job)
+	job.onDone = func(j *Job) { w.stepDone(i, j) }
+	return nil
+}
+
+func (w *Workflow) stepDone(i int, job *Job) {
+	if job.State == StateError {
+		w.State = StateError
+		w.Info = fmt.Sprintf("step %d (%s) failed: %s", i, job.ToolID, job.Info)
+		return
+	}
+	if i == len(w.steps)-1 {
+		w.State = StateOK
+		return
+	}
+	next := w.steps[i+1]
+	dataset := next.Dataset
+	if next.Transform != nil {
+		var err error
+		dataset, err = next.Transform(job)
+		if err != nil {
+			w.State = StateError
+			w.Info = fmt.Sprintf("step %d transform failed: %v", i+1, err)
+			return
+		}
+	}
+	if err := w.submitStep(i+1, dataset); err != nil {
+		w.State = StateError
+		w.Info = err.Error()
+	}
+}
+
+// WallTime returns the workflow's virtual span from first submission to the
+// last step's completion (zero until done).
+func (w *Workflow) WallTime() time.Duration {
+	if !w.Done() || len(w.Jobs) == 0 {
+		return 0
+	}
+	return w.Jobs[len(w.Jobs)-1].Finished - w.Jobs[0].Submitted
+}

@@ -1,0 +1,167 @@
+package galaxy
+
+import (
+	"fmt"
+	"testing"
+
+	"gyan/internal/gpu"
+	"gyan/internal/tools/racon"
+	"gyan/internal/workload"
+)
+
+// raconRound builds a workflow step polishing with the given params; rounds
+// after the first feed the previous consensus back in as the backbone —
+// how Racon is actually iterated in assembly pipelines.
+func raconRound(params map[string]string) WorkflowStep {
+	return WorkflowStep{
+		ToolID: "racon",
+		Params: params,
+		Transform: func(prev *Job) (any, error) {
+			prevRes, ok := prev.Result.Detail.(*racon.Result)
+			if !ok {
+				return nil, fmt.Errorf("unexpected detail %T", prev.Result.Detail)
+			}
+			prevSet, ok := prev.Dataset.(*workload.ReadSet)
+			if !ok {
+				return nil, fmt.Errorf("unexpected dataset %T", prev.Dataset)
+			}
+			next := *prevSet
+			next.Backbone = prevRes.Consensus
+			return &next, nil
+		},
+	}
+}
+
+func TestWorkflowIteratedPolishing(t *testing.T) {
+	g := testGalaxy(t)
+	rs := smallReadSet(t)
+	params := fastParams()
+	w, err := g.SubmitWorkflow("two-round-polish", []WorkflowStep{
+		{ToolID: "racon", Params: params, Dataset: rs},
+		raconRound(params),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+	if !w.Done() || w.State != StateOK {
+		t.Fatalf("workflow state %s: %s", w.State, w.Info)
+	}
+	if len(w.Jobs) != 2 {
+		t.Fatalf("workflow ran %d jobs", len(w.Jobs))
+	}
+	r1 := w.Jobs[0].Result.Detail.(*racon.Result)
+	r2 := w.Jobs[1].Result.Detail.(*racon.Result)
+	// Round 2 polishes round 1's consensus; its draft identity equals
+	// round 1's polished identity, and it must not regress.
+	if diff := r2.DraftIdentity - r1.PolishedIdentity; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("round 2 draft identity %.6f != round 1 polished %.6f",
+			r2.DraftIdentity, r1.PolishedIdentity)
+	}
+	if r2.PolishedIdentity < r1.PolishedIdentity-0.002 {
+		t.Errorf("second round regressed: %.4f -> %.4f",
+			r1.PolishedIdentity, r2.PolishedIdentity)
+	}
+	// Steps run sequentially on the virtual timeline.
+	if w.Jobs[1].Started < w.Jobs[0].Finished {
+		t.Errorf("step 2 started at %v before step 1 finished at %v",
+			w.Jobs[1].Started, w.Jobs[0].Finished)
+	}
+	if w.WallTime() <= 0 {
+		t.Error("workflow wall time not recorded")
+	}
+}
+
+func TestWorkflowStepFailureAborts(t *testing.T) {
+	g := testGalaxy(t)
+	rs := smallReadSet(t)
+	w, err := g.SubmitWorkflow("fails", []WorkflowStep{
+		{ToolID: "racon", Params: map[string]string{"threads": "bogus"}, Dataset: rs},
+		raconRound(fastParams()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+	if w.State != StateError {
+		t.Fatalf("workflow with failing step finished %s", w.State)
+	}
+	if len(w.Jobs) != 1 {
+		t.Fatalf("failed workflow still submitted %d jobs", len(w.Jobs))
+	}
+	if w.Info == "" {
+		t.Error("failed workflow has no info")
+	}
+}
+
+func TestWorkflowTransformFailureAborts(t *testing.T) {
+	g := testGalaxy(t)
+	rs := smallReadSet(t)
+	w, err := g.SubmitWorkflow("bad-transform", []WorkflowStep{
+		{ToolID: "racon", Params: fastParams(), Dataset: rs},
+		{ToolID: "racon", Params: fastParams(), Transform: func(*Job) (any, error) {
+			return nil, fmt.Errorf("boom")
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+	if w.State != StateError {
+		t.Fatalf("workflow state %s", w.State)
+	}
+}
+
+func TestWorkflowValidation(t *testing.T) {
+	g := testGalaxy(t)
+	rs := smallReadSet(t)
+	cases := []struct {
+		name  string
+		steps []WorkflowStep
+	}{
+		{"empty", nil},
+		{"unknown tool", []WorkflowStep{{ToolID: "nope", Dataset: rs}}},
+		{"no first dataset", []WorkflowStep{{ToolID: "racon", Params: fastParams()}}},
+		{"dangling step", []WorkflowStep{
+			{ToolID: "racon", Params: fastParams(), Dataset: rs},
+			{ToolID: "racon", Params: fastParams()}, // no dataset, no transform
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := g.SubmitWorkflow(tc.name, tc.steps); err == nil {
+			t.Errorf("%s: invalid workflow accepted", tc.name)
+		}
+	}
+}
+
+func TestGPUToolOnGPUlessHostRunsOnCPU(t *testing.T) {
+	// A cluster with zero devices: nvidia-smi reports nothing and the
+	// dynamic rule must fall back to the CPU destination without user
+	// involvement (the paper's Challenge II requirement).
+	cluster := gpu.NewCluster(gpu.TeslaGK210(), 0, nil)
+	g := New(cluster)
+	if err := g.RegisterDefaultTools(); err != nil {
+		t.Fatal(err)
+	}
+	job, err := g.Submit("racon", fastParams(), smallReadSet(t), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+	if job.State != StateOK {
+		t.Fatalf("job state %s: %s", job.State, job.Info)
+	}
+	if job.GPUEnabled {
+		t.Error("GALAXY_GPU_ENABLED set on GPU-less host")
+	}
+	if job.Destination != "local_cpu" {
+		t.Errorf("destination = %s, want local_cpu", job.Destination)
+	}
+	res := job.Result.Detail.(*racon.Result)
+	if res.GPUUsed {
+		t.Error("tool reports GPU execution on GPU-less host")
+	}
+	if res.PolishedIdentity <= res.DraftIdentity {
+		t.Error("CPU fallback did not polish")
+	}
+}

@@ -1,0 +1,101 @@
+package gpu
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kernel describes one device-kernel launch for the timing model. Tool
+// backends fill in the work a real CUDA kernel would perform; the simulator
+// converts it into a duration on a given device using a roofline model
+// (compute-bound vs memory-bound, whichever dominates).
+type Kernel struct {
+	// Name identifies the kernel in profiles, e.g. "generatePOAKernel".
+	Name string
+	// Ops is the number of arithmetic operations the kernel performs.
+	Ops float64
+	// BytesRead and BytesWritten are the device-memory traffic.
+	BytesRead    int64
+	BytesWritten int64
+	// Blocks and ThreadsPerBlock shape the launch grid; they determine SM
+	// occupancy and therefore how much of the device's throughput the
+	// kernel can use.
+	Blocks          int
+	ThreadsPerBlock int
+	// Efficiency, if non-zero, overrides the device's default
+	// ComputeEfficiency; dense GEMM kernels sustain a much larger fraction
+	// of peak than irregular POA traversals.
+	Efficiency float64
+}
+
+// Validate reports whether the kernel description is executable on the
+// device.
+func (k Kernel) Validate(spec DeviceSpec) error {
+	switch {
+	case k.Name == "":
+		return fmt.Errorf("gpu: kernel with empty name")
+	case k.Ops < 0:
+		return fmt.Errorf("gpu: kernel %q with negative ops", k.Name)
+	case k.Blocks <= 0:
+		return fmt.Errorf("gpu: kernel %q with %d blocks", k.Name, k.Blocks)
+	case k.ThreadsPerBlock <= 0:
+		return fmt.Errorf("gpu: kernel %q with %d threads/block", k.Name, k.ThreadsPerBlock)
+	case k.ThreadsPerBlock > spec.MaxThreadsPerBlock:
+		return fmt.Errorf("gpu: kernel %q requests %d threads/block, device max %d",
+			k.Name, k.ThreadsPerBlock, spec.MaxThreadsPerBlock)
+	case k.BytesRead < 0 || k.BytesWritten < 0:
+		return fmt.Errorf("gpu: kernel %q with negative memory traffic", k.Name)
+	}
+	return nil
+}
+
+// Occupancy returns the fraction of the device's throughput the launch grid
+// can engage, in (0, 1]. Two effects are modeled, both quoted in the paper's
+// background section: a grid with fewer blocks than SMs leaves SMs idle
+// ("higher number of blocks ... allows better scaling"), and thread blocks
+// that are not a multiple of the warp size waste lanes in their last warp.
+func (k Kernel) Occupancy(spec DeviceSpec) float64 {
+	smFill := float64(k.Blocks) / float64(spec.SMs)
+	if smFill > 1 {
+		smFill = 1
+	}
+	warps := (k.ThreadsPerBlock + spec.WarpSize - 1) / spec.WarpSize
+	lanes := warps * spec.WarpSize
+	warpEff := float64(k.ThreadsPerBlock) / float64(lanes)
+	return smFill * warpEff
+}
+
+// MemFraction returns the fraction of the kernel's limiting cost that is
+// memory traffic, in [0, 1]. The profiler uses it to attribute stall
+// reasons: a kernel at MemFraction 0.7 spends ~70% of its issue slots
+// waiting on memory dependencies, the figure the paper's NVProf stall
+// analysis reports for Racon.
+func (k Kernel) MemFraction(spec DeviceSpec) float64 {
+	eff := k.Efficiency
+	if eff == 0 {
+		eff = spec.ComputeEfficiency
+	}
+	compute := k.Ops / (spec.PeakOpsPerSecond() * eff * k.Occupancy(spec))
+	memory := float64(k.BytesRead+k.BytesWritten) / spec.MemoryBandwidth
+	if compute+memory == 0 {
+		return 0
+	}
+	return memory / (compute + memory)
+}
+
+// Duration returns how long the kernel body executes on a device with the
+// given spec (excluding launch overhead and queueing).
+func (k Kernel) Duration(spec DeviceSpec) time.Duration {
+	eff := k.Efficiency
+	if eff == 0 {
+		eff = spec.ComputeEfficiency
+	}
+	occ := k.Occupancy(spec)
+	compute := k.Ops / (spec.PeakOpsPerSecond() * eff * occ)
+	memory := float64(k.BytesRead+k.BytesWritten) / spec.MemoryBandwidth
+	body := compute
+	if memory > body {
+		body = memory
+	}
+	return time.Duration(body * float64(time.Second))
+}

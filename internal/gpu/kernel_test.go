@@ -1,0 +1,127 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func validKernel() Kernel {
+	return Kernel{Name: "k", Ops: 1e9, Blocks: 52, ThreadsPerBlock: 256}
+}
+
+func TestKernelValidate(t *testing.T) {
+	spec := TeslaGK210()
+	cases := []struct {
+		name   string
+		mutate func(*Kernel)
+		ok     bool
+	}{
+		{"valid", func(*Kernel) {}, true},
+		{"empty name", func(k *Kernel) { k.Name = "" }, false},
+		{"negative ops", func(k *Kernel) { k.Ops = -1 }, false},
+		{"zero blocks", func(k *Kernel) { k.Blocks = 0 }, false},
+		{"zero threads", func(k *Kernel) { k.ThreadsPerBlock = 0 }, false},
+		{"too many threads", func(k *Kernel) { k.ThreadsPerBlock = spec.MaxThreadsPerBlock + 1 }, false},
+		{"negative read", func(k *Kernel) { k.BytesRead = -1 }, false},
+		{"negative write", func(k *Kernel) { k.BytesWritten = -1 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := validKernel()
+			tc.mutate(&k)
+			err := k.Validate(spec)
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("invalid kernel passed validation")
+			}
+		})
+	}
+}
+
+func TestOccupancyBounds(t *testing.T) {
+	spec := TeslaGK210()
+	f := func(blocks, tpb uint16) bool {
+		k := Kernel{
+			Name:            "k",
+			Blocks:          int(blocks%4096) + 1,
+			ThreadsPerBlock: int(tpb%uint16(spec.MaxThreadsPerBlock)) + 1,
+		}
+		occ := k.Occupancy(spec)
+		return occ > 0 && occ <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOccupancyMoreBlocksScalesBetter(t *testing.T) {
+	// The paper: "higher number of blocks used in a device kernel allows
+	// better scaling across any GPU architecture."
+	spec := TeslaGK210()
+	few := Kernel{Name: "k", Blocks: 2, ThreadsPerBlock: 256}
+	many := Kernel{Name: "k", Blocks: 2 * spec.SMs, ThreadsPerBlock: 256}
+	if few.Occupancy(spec) >= many.Occupancy(spec) {
+		t.Fatalf("occupancy(2 blocks)=%v >= occupancy(%d blocks)=%v",
+			few.Occupancy(spec), 2*spec.SMs, many.Occupancy(spec))
+	}
+}
+
+func TestOccupancyWarpRemainderWastesLanes(t *testing.T) {
+	spec := TeslaGK210()
+	aligned := Kernel{Name: "k", Blocks: 52, ThreadsPerBlock: 64}
+	ragged := Kernel{Name: "k", Blocks: 52, ThreadsPerBlock: 33} // 2 warps, 31 idle lanes
+	if ragged.Occupancy(spec) >= aligned.Occupancy(spec) {
+		t.Fatalf("warp-ragged block did not lose occupancy: %v >= %v",
+			ragged.Occupancy(spec), aligned.Occupancy(spec))
+	}
+}
+
+func TestDurationComputeBound(t *testing.T) {
+	spec := TeslaGK210()
+	// Full occupancy, negligible memory traffic: duration should be
+	// ops / (peak * efficiency).
+	k := Kernel{Name: "k", Ops: spec.PeakOpsPerSecond() * spec.ComputeEfficiency,
+		Blocks: spec.SMs, ThreadsPerBlock: 256}
+	d := k.Duration(spec)
+	if d < 990*time.Millisecond || d > 1010*time.Millisecond {
+		t.Fatalf("compute-bound 1s kernel modeled as %v", d)
+	}
+}
+
+func TestDurationMemoryBound(t *testing.T) {
+	spec := TeslaGK210()
+	// Tiny compute, 240 GB of traffic = 1s at full bandwidth.
+	k := Kernel{Name: "k", Ops: 1, BytesRead: int64(spec.MemoryBandwidth),
+		Blocks: spec.SMs, ThreadsPerBlock: 256}
+	d := k.Duration(spec)
+	if d < 990*time.Millisecond || d > 1010*time.Millisecond {
+		t.Fatalf("memory-bound 1s kernel modeled as %v", d)
+	}
+}
+
+func TestDurationMonotoneInOps(t *testing.T) {
+	spec := TeslaGK210()
+	f := func(ops uint32) bool {
+		small := Kernel{Name: "k", Ops: float64(ops), Blocks: 13, ThreadsPerBlock: 256}
+		big := small
+		big.Ops = small.Ops * 2
+		return big.Duration(spec) >= small.Duration(spec)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEfficiencyOverride(t *testing.T) {
+	spec := TeslaGK210()
+	base := Kernel{Name: "gemm", Ops: 1e12, Blocks: 52, ThreadsPerBlock: 256}
+	tuned := base
+	tuned.Efficiency = 0.9 // dense GEMM sustains far more than irregular code
+	if tuned.Duration(spec) >= base.Duration(spec) {
+		t.Fatalf("higher efficiency did not shorten kernel: %v >= %v",
+			tuned.Duration(spec), base.Duration(spec))
+	}
+}

@@ -1,0 +1,220 @@
+// Package gpu implements a device-level GPU cluster simulator.
+//
+// The simulator stands in for the paper's 2x NVIDIA Tesla K80 testbed (four
+// GK210 devices in total; the evaluation machine exposes two). It models the
+// observables GYAN's mapping layer and evaluation actually consume:
+//
+//   - per-device process placement (which PIDs run where),
+//   - per-device and per-process framebuffer memory usage,
+//   - SM utilization over time,
+//   - kernel and memory-transfer latencies under a roofline-style timing
+//     model (compute-bound vs bandwidth-bound), and
+//   - PCIe transfer costs between host and device.
+//
+// All latencies are charged to a sim.Clock, so experiment timings are
+// deterministic virtual time. Kernels still "execute" in the sense that the
+// tool backends compute their real results on the host; the simulator decides
+// how long that work would have taken on the modeled device.
+package gpu
+
+import "time"
+
+// DeviceSpec describes the static hardware characteristics of one GPU
+// device. The fields mirror the parameters the paper quotes for the Tesla
+// K80 in Section II-C and Fig. 1.
+type DeviceSpec struct {
+	// Name is the marketing name reported by nvidia-smi (e.g. "Tesla K80").
+	Name string
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// CoresPerSM is the number of CUDA cores (streaming processors) per SM.
+	CoresPerSM int
+	// WarpSize is the number of threads executed in lockstep (32 on all
+	// NVIDIA architectures the paper considers).
+	WarpSize int
+	// WarpSchedulersPerSM is the number of warp schedulers in each SM; the
+	// GK210 has 4, allowing 4 warps to issue simultaneously.
+	WarpSchedulersPerSM int
+	// MaxThreadsPerBlock is the largest thread block the device accepts.
+	MaxThreadsPerBlock int
+	// MaxWarpsPerSM bounds resident warps per SM (64 on GK210).
+	MaxWarpsPerSM int
+	// BaseClockHz and BoostClockHz bound the core clock. The timing model
+	// uses BoostClockHz for compute throughput, matching how sustained
+	// CUDA workloads on the K80 autoboost.
+	BaseClockHz  float64
+	BoostClockHz float64
+	// MemoryBytes is the framebuffer capacity visible to applications.
+	// nvidia-smi reports this in MiB (11441 MiB per GK210 on the K80).
+	MemoryBytes int64
+	// MemoryBandwidth is the peak device-memory bandwidth in bytes/second.
+	MemoryBandwidth float64
+	// PCIeGen and PCIeLanes describe the host link; PCIeBandwidth is the
+	// effective host<->device copy bandwidth in bytes/second.
+	PCIeGen       int
+	PCIeLanes     int
+	PCIeBandwidth float64
+	// KernelLaunchOverhead is the fixed host-side cost of launching one
+	// kernel (driver + hardware queueing).
+	KernelLaunchOverhead time.Duration
+	// AllocOverhead is the fixed cost of a cudaMalloc-style allocation.
+	AllocOverhead time.Duration
+	// AllocBandwidth is the effective rate at which large allocations are
+	// created and zeroed (bytes/second). cudaMalloc of multi-GiB pools on
+	// the K80 is far slower than raw memory bandwidth; this is why the
+	// paper measures ~2 s of GPU memory-allocation time in Racon's
+	// polishing stage.
+	AllocBandwidth float64
+	// ComputeEfficiency derates peak FLOP throughput to a sustained value
+	// for irregular (non-GEMM) kernels. 1.0 means peak.
+	ComputeEfficiency float64
+	// PowerLimitWatts and IdlePowerWatts feed the nvidia-smi rendering.
+	PowerLimitWatts int
+	IdlePowerWatts  int
+}
+
+// CoreCount returns the total number of CUDA cores on the device.
+func (s DeviceSpec) CoreCount() int { return s.SMs * s.CoresPerSM }
+
+// PeakOpsPerSecond returns the peak single-precision operation throughput of
+// the device (one op per core per clock; FMA counting is left to callers).
+func (s DeviceSpec) PeakOpsPerSecond() float64 {
+	return float64(s.CoreCount()) * s.BoostClockHz
+}
+
+// MemoryMiB returns the framebuffer capacity in MiB, the unit nvidia-smi
+// prints.
+func (s DeviceSpec) MemoryMiB() int64 { return s.MemoryBytes / (1 << 20) }
+
+// TeslaGK210 returns the spec of one GK210 die. A Tesla K80 board carries
+// two of these; the paper's machine has two boards and typically schedules
+// across the two primary devices (minor IDs 0 and 1), which is the cluster
+// shape NewPaperTestbed builds.
+//
+// Numbers follow the K80 board specification the paper cites: 2496 cores per
+// GK210 (13 SMs x 192 cores), 560-875 MHz clock, 11441 MiB usable
+// framebuffer, 240 GB/s memory bandwidth per die (480 GB/s per board).
+func TeslaGK210() DeviceSpec {
+	return DeviceSpec{
+		Name:                 "Tesla K80",
+		SMs:                  13,
+		CoresPerSM:           192,
+		WarpSize:             32,
+		WarpSchedulersPerSM:  4,
+		MaxThreadsPerBlock:   1024,
+		MaxWarpsPerSM:        64,
+		BaseClockHz:          560e6,
+		BoostClockHz:         875e6,
+		MemoryBytes:          11441 << 20,
+		MemoryBandwidth:      240e9,
+		PCIeGen:              3,
+		PCIeLanes:            16,
+		PCIeBandwidth:        12e9, // sustained, below the 15.75 GB/s wire rate
+		KernelLaunchOverhead: 8 * time.Microsecond,
+		AllocOverhead:        150 * time.Microsecond,
+		AllocBandwidth:       2.2e9,
+		ComputeEfficiency:    0.35,
+		PowerLimitWatts:      149,
+		IdlePowerWatts:       60,
+	}
+}
+
+// TeslaV100 returns the spec of a V100-SXM2-16GB — the accelerator the
+// paper's motivation section cites for Argonne's COVID-19 study ("By using
+// the latest V100 GPUs, they were able to achieve 5x speedup"). Used by the
+// hardware-projection ablation.
+func TeslaV100() DeviceSpec {
+	return DeviceSpec{
+		Name:                 "Tesla V100-SXM2",
+		SMs:                  80,
+		CoresPerSM:           64,
+		WarpSize:             32,
+		WarpSchedulersPerSM:  4,
+		MaxThreadsPerBlock:   1024,
+		MaxWarpsPerSM:        64,
+		BaseClockHz:          1290e6,
+		BoostClockHz:         1530e6,
+		MemoryBytes:          16160 << 20,
+		MemoryBandwidth:      900e9,
+		PCIeGen:              3,
+		PCIeLanes:            16,
+		PCIeBandwidth:        13e9,
+		KernelLaunchOverhead: 5 * time.Microsecond,
+		AllocOverhead:        100 * time.Microsecond,
+		AllocBandwidth:       8e9,
+		ComputeEfficiency:    0.45,
+		PowerLimitWatts:      300,
+		IdlePowerWatts:       45,
+	}
+}
+
+// A100SXM returns the spec of an A100-SXM4-40GB, the accelerator of the
+// paper's DGX-A100 motivation examples.
+func A100SXM() DeviceSpec {
+	return DeviceSpec{
+		Name:                 "A100-SXM4",
+		SMs:                  108,
+		CoresPerSM:           64,
+		WarpSize:             32,
+		WarpSchedulersPerSM:  4,
+		MaxThreadsPerBlock:   1024,
+		MaxWarpsPerSM:        64,
+		BaseClockHz:          1095e6,
+		BoostClockHz:         1410e6,
+		MemoryBytes:          40536 << 20,
+		MemoryBandwidth:      1555e9,
+		PCIeGen:              4,
+		PCIeLanes:            16,
+		PCIeBandwidth:        25e9,
+		KernelLaunchOverhead: 4 * time.Microsecond,
+		AllocOverhead:        80 * time.Microsecond,
+		AllocBandwidth:       12e9,
+		ComputeEfficiency:    0.50,
+		PowerLimitWatts:      400,
+		IdlePowerWatts:       55,
+	}
+}
+
+// XeonE5_2670 models the host CPU of the paper's testbed ("Intel Xeon
+// E5-2670 processor with 48 CPUs"): per-core sustained throughput used by
+// the tool backends' CPU cost model.
+type HostSpec struct {
+	// Name is the processor's marketing name.
+	Name string
+	// Cores is the number of schedulable CPUs (hardware threads).
+	Cores int
+	// OpsPerCorePerSecond is the sustained scalar operation throughput of
+	// one core on the tools' integer/float mix.
+	OpsPerCorePerSecond float64
+	// MemBandwidth is the aggregate host memory bandwidth in bytes/second.
+	MemBandwidth float64
+	// IdleWatts is the host's idle draw; PerCoreWatts the incremental
+	// power of one busy core. Together they feed the energy comparison
+	// experiments.
+	IdleWatts    float64
+	PerCoreWatts float64
+}
+
+// Energy returns the host's energy in joules for a stage running the given
+// number of busy cores for the given duration.
+func (h HostSpec) Energy(busyCores int, d time.Duration) float64 {
+	if busyCores > h.Cores {
+		busyCores = h.Cores
+	}
+	if busyCores < 0 {
+		busyCores = 0
+	}
+	return (h.IdleWatts + h.PerCoreWatts*float64(busyCores)) * d.Seconds()
+}
+
+// XeonHost returns the host spec used in all experiments.
+func XeonHost() HostSpec {
+	return HostSpec{
+		Name:                "Intel Xeon E5-2670",
+		Cores:               48,
+		OpsPerCorePerSecond: 2.0e9,
+		MemBandwidth:        100e9,
+		IdleWatts:           90,
+		PerCoreWatts:        5,
+	}
+}

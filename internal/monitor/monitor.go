@@ -1,0 +1,201 @@
+// Package monitor reimplements GYAN's GPU hardware usage script (Sections
+// IV-C3 and V-C): a sampler that records GPU utilization, memory utilization
+// and PCIe link information every (virtual) second while jobs execute, plus
+// the post-processing step that aggregates minima, maxima and averages and
+// emits CSV — "executed when a job is submitted and stopped when a job is
+// either killed or stops".
+package monitor
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"gyan/internal/gpu"
+	"gyan/internal/sim"
+)
+
+// Sample is one per-device observation (one row of the paper's Code 4
+// query: utilization.gpu, utilization.memory, memory.total/free/used,
+// pcie.link.gen).
+type Sample struct {
+	At           time.Duration
+	Device       int
+	UtilPct      float64
+	MemUtilPct   float64
+	MemUsedMiB   int64
+	MemTotalMiB  int64
+	PCIeGen      int
+	ProcessCount int
+}
+
+// Monitor samples a cluster. It is safe for concurrent use.
+type Monitor struct {
+	cluster *gpu.Cluster
+
+	mu      sync.Mutex
+	samples []Sample
+	stopped bool
+}
+
+// New returns a monitor over the cluster.
+func New(cluster *gpu.Cluster) *Monitor {
+	return &Monitor{cluster: cluster}
+}
+
+// SampleNow records one observation of every device at virtual time `at`,
+// with utilization averaged over the trailing second (the sampler's period).
+func (m *Monitor) SampleNow(at time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return
+	}
+	from := at - time.Second
+	if from < 0 {
+		from = 0
+	}
+	for _, d := range m.cluster.Devices() {
+		spec := d.Spec()
+		used := d.UsedMemoryBytes() / (1 << 20)
+		total := spec.MemoryMiB()
+		m.samples = append(m.samples, Sample{
+			At:           at,
+			Device:       d.Minor(),
+			UtilPct:      d.UtilizationOver(from, at),
+			MemUtilPct:   100 * float64(used) / float64(total),
+			MemUsedMiB:   used,
+			MemTotalMiB:  total,
+			PCIeGen:      spec.PCIeGen,
+			ProcessCount: d.ProcessCount(),
+		})
+	}
+}
+
+// Attach schedules sampling events on the engine every `period` until
+// `until` (inclusive of the first tick at the current time + period).
+// Call Stop to end sampling early, as when a job is killed.
+func (m *Monitor) Attach(engine *sim.Engine, period, until time.Duration) error {
+	if period <= 0 {
+		return fmt.Errorf("monitor: period %v", period)
+	}
+	var tick func(now time.Duration)
+	tick = func(now time.Duration) {
+		m.SampleNow(now)
+		if now+period <= until {
+			engine.After(period, tick)
+		}
+	}
+	engine.After(period, tick)
+	return nil
+}
+
+// Stop ends sampling; further SampleNow calls are ignored.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stopped = true
+}
+
+// Samples returns the chronological record.
+func (m *Monitor) Samples() []Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Sample, len(m.samples))
+	copy(out, m.samples)
+	return out
+}
+
+// DeviceStats is the per-device aggregate of the post-processing step.
+type DeviceStats struct {
+	Device                    int
+	Samples                   int
+	UtilMin, UtilMax, UtilAvg float64
+	MemMinMiB, MemMaxMiB      int64
+	MemAvgMiB                 float64
+	PeakProcesses             int
+	FirstSample, LastSample   time.Duration
+}
+
+// Stats aggregates the chronological data per device, ordered by minor ID.
+func (m *Monitor) Stats() []DeviceStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byDev := map[int]*DeviceStats{}
+	for _, s := range m.samples {
+		st := byDev[s.Device]
+		if st == nil {
+			st = &DeviceStats{
+				Device: s.Device, UtilMin: s.UtilPct, UtilMax: s.UtilPct,
+				MemMinMiB: s.MemUsedMiB, MemMaxMiB: s.MemUsedMiB,
+				FirstSample: s.At, LastSample: s.At,
+			}
+			byDev[s.Device] = st
+		}
+		st.Samples++
+		st.UtilAvg += s.UtilPct
+		st.MemAvgMiB += float64(s.MemUsedMiB)
+		if s.UtilPct < st.UtilMin {
+			st.UtilMin = s.UtilPct
+		}
+		if s.UtilPct > st.UtilMax {
+			st.UtilMax = s.UtilPct
+		}
+		if s.MemUsedMiB < st.MemMinMiB {
+			st.MemMinMiB = s.MemUsedMiB
+		}
+		if s.MemUsedMiB > st.MemMaxMiB {
+			st.MemMaxMiB = s.MemUsedMiB
+		}
+		if s.ProcessCount > st.PeakProcesses {
+			st.PeakProcesses = s.ProcessCount
+		}
+		if s.At < st.FirstSample {
+			st.FirstSample = s.At
+		}
+		if s.At > st.LastSample {
+			st.LastSample = s.At
+		}
+	}
+	out := make([]DeviceStats, 0, len(byDev))
+	for _, st := range byDev {
+		st.UtilAvg /= float64(st.Samples)
+		st.MemAvgMiB /= float64(st.Samples)
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out
+}
+
+// WriteCSV emits the chronological samples in the format the paper's
+// post-processing function generates.
+func (m *Monitor) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"timestamp_s", "gpu", "utilization.gpu_pct", "utilization.memory_pct",
+		"memory.used_mib", "memory.total_mib", "pcie.link.gen", "processes",
+	}); err != nil {
+		return err
+	}
+	for _, s := range m.Samples() {
+		rec := []string{
+			strconv.FormatFloat(s.At.Seconds(), 'f', 3, 64),
+			strconv.Itoa(s.Device),
+			strconv.FormatFloat(s.UtilPct, 'f', 1, 64),
+			strconv.FormatFloat(s.MemUtilPct, 'f', 1, 64),
+			strconv.FormatInt(s.MemUsedMiB, 10),
+			strconv.FormatInt(s.MemTotalMiB, 10),
+			strconv.Itoa(s.PCIeGen),
+			strconv.Itoa(s.ProcessCount),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

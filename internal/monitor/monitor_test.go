@@ -1,0 +1,156 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gyan/internal/gpu"
+	"gyan/internal/sim"
+)
+
+// busyCluster runs a ~5s kernel on GPU 0 starting at t=0.
+func busyCluster(t *testing.T) *gpu.Cluster {
+	t.Helper()
+	c := gpu.NewPaperTestbed(nil)
+	d, _ := c.Device(0)
+	s := d.NewStream(c.NextPID(), "/usr/bin/racon_gpu", 0, nil)
+	if err := s.Malloc(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	spec := d.Spec()
+	k := gpu.Kernel{
+		Name:            "generatePOAKernel",
+		Ops:             spec.PeakOpsPerSecond() * spec.ComputeEfficiency * 5,
+		Blocks:          4 * spec.SMs,
+		ThreadsPerBlock: 256,
+	}
+	if err := s.Launch(k); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSampleNowRecordsAllDevices(t *testing.T) {
+	c := busyCluster(t)
+	m := New(c)
+	m.SampleNow(2 * time.Second)
+	samples := m.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("one tick recorded %d samples, want 2 (one per device)", len(samples))
+	}
+	s0, s1 := samples[0], samples[1]
+	if s0.Device != 0 || s1.Device != 1 {
+		t.Fatalf("device order: %d, %d", s0.Device, s1.Device)
+	}
+	if s0.UtilPct < 90 {
+		t.Errorf("busy GPU0 utilization = %.1f", s0.UtilPct)
+	}
+	if s1.UtilPct != 0 {
+		t.Errorf("idle GPU1 utilization = %.1f", s1.UtilPct)
+	}
+	if s0.MemUsedMiB != 63+1024 {
+		t.Errorf("GPU0 memory = %d MiB", s0.MemUsedMiB)
+	}
+	if s0.PCIeGen != 3 || s0.MemTotalMiB != 11441 {
+		t.Errorf("static fields: gen=%d total=%d", s0.PCIeGen, s0.MemTotalMiB)
+	}
+}
+
+func TestAttachSamplesPeriodically(t *testing.T) {
+	c := busyCluster(t)
+	engine := sim.NewEngine(c.Clock())
+	m := New(c)
+	if err := m.Attach(engine, time.Second, 6*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	engine.Run()
+	samples := m.Samples()
+	// Ticks at 1..6s x 2 devices.
+	if len(samples) != 12 {
+		t.Fatalf("recorded %d samples, want 12", len(samples))
+	}
+}
+
+func TestAttachRejectsBadPeriod(t *testing.T) {
+	m := New(gpu.NewPaperTestbed(nil))
+	if err := m.Attach(sim.NewEngine(nil), 0, time.Second); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestStopFreezesRecording(t *testing.T) {
+	c := busyCluster(t)
+	m := New(c)
+	m.SampleNow(time.Second)
+	m.Stop()
+	m.SampleNow(2 * time.Second)
+	if got := len(m.Samples()); got != 2 {
+		t.Fatalf("samples after stop = %d, want 2", got)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	c := busyCluster(t)
+	engine := sim.NewEngine(c.Clock())
+	m := New(c)
+	if err := m.Attach(engine, time.Second, 8*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	engine.Run()
+	stats := m.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d devices", len(stats))
+	}
+	gpu0 := stats[0]
+	if gpu0.Device != 0 || gpu0.Samples != 8 {
+		t.Fatalf("gpu0 stats header: %+v", gpu0)
+	}
+	// Kernel runs ~5s of the 8s window: max ~100, min 0, avg in between.
+	if gpu0.UtilMax < 90 {
+		t.Errorf("UtilMax = %.1f", gpu0.UtilMax)
+	}
+	if gpu0.UtilMin != 0 {
+		t.Errorf("UtilMin = %.1f", gpu0.UtilMin)
+	}
+	if gpu0.UtilAvg <= gpu0.UtilMin || gpu0.UtilAvg >= gpu0.UtilMax {
+		t.Errorf("UtilAvg = %.1f outside (min, max)", gpu0.UtilAvg)
+	}
+	if gpu0.MemMaxMiB != 63+1024 {
+		t.Errorf("MemMaxMiB = %d", gpu0.MemMaxMiB)
+	}
+	if gpu0.PeakProcesses != 1 {
+		t.Errorf("PeakProcesses = %d", gpu0.PeakProcesses)
+	}
+	if stats[1].UtilMax != 0 {
+		t.Errorf("idle GPU1 UtilMax = %.1f", stats[1].UtilMax)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	c := busyCluster(t)
+	m := New(c)
+	m.SampleNow(time.Second)
+	var b strings.Builder
+	if err := m.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 devices
+		t.Fatalf("CSV has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "timestamp_s,gpu,utilization.gpu_pct") {
+		t.Errorf("CSV header = %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1.000,0,") {
+		t.Errorf("first row = %s", lines[1])
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	m := New(gpu.NewPaperTestbed(nil))
+	if got := m.Stats(); len(got) != 0 {
+		t.Fatalf("stats on empty monitor: %v", got)
+	}
+}

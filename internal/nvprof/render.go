@@ -1,0 +1,49 @@
+package nvprof
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Render formats the profile as an nvprof-style text report: a GPU
+// activities section (kernels), an API calls section, and the stall
+// analysis. This is what cmd/gyanbench prints for the Fig. 4 and Fig. 6
+// experiments.
+func (p *Profile) Render(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "==PROF== Profiling result: %s\n", title)
+
+	b.WriteString("GPU activities:\n")
+	writeHotspotTable(&b, p.KernelHotspots())
+
+	b.WriteString("API calls:\n")
+	writeHotspotTable(&b, p.APIHotspots())
+
+	s := p.Stalls()
+	b.WriteString("Stall analysis:\n")
+	fmt.Fprintf(&b, "  %6.1f%%  memory dependency\n", s.MemoryDependencyPct)
+	fmt.Fprintf(&b, "  %6.1f%%  execution dependency\n", s.ExecutionDependencyPct)
+	fmt.Fprintf(&b, "  %6.1f%%  synchronization\n", s.SynchronizationPct)
+	fmt.Fprintf(&b, "  %6.1f%%  other\n", s.OtherPct)
+	return b.String()
+}
+
+func writeHotspotTable(b *strings.Builder, rows []Hotspot) {
+	fmt.Fprintf(b, "  %7s  %12s  %8s  %s\n", "Time(%)", "Time", "Calls", "Name")
+	for _, h := range rows {
+		fmt.Fprintf(b, "  %6.2f%%  %12s  %8d  %s\n", h.Percent, fmtDur(h.Total), h.Calls, h.Name)
+	}
+}
+
+// fmtDur formats durations the way nvprof does: trimming to a sensible unit.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.3fus", float64(d)/float64(time.Microsecond))
+	}
+}

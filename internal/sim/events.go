@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback in a discrete-event simulation. Fn runs at
+// virtual time At. Events scheduled for the same instant fire in the order
+// they were scheduled (FIFO tie-break), which keeps multi-GPU experiment
+// traces stable across runs.
+type Event struct {
+	At  time.Duration
+	Fn  func(now time.Duration)
+	seq uint64
+}
+
+// Engine is a single-threaded discrete-event scheduler around a Clock.
+// It drives the multi-GPU experiments (cases 1-4), where job arrivals,
+// completions and allocator decisions must interleave deterministically.
+//
+// Engine is not safe for concurrent use; callbacks run on the caller's
+// goroutine during Run.
+type Engine struct {
+	clock *Clock
+	queue eventQueue
+	seq   uint64
+}
+
+// NewEngine returns an engine driving the given clock. If clock is nil a
+// fresh clock at time zero is created.
+func NewEngine(clock *Clock) *Engine {
+	if clock == nil {
+		clock = NewClock()
+	}
+	return &Engine{clock: clock}
+}
+
+// Clock returns the engine's clock.
+func (e *Engine) Clock() *Clock { return e.clock }
+
+// Schedule enqueues fn to run at absolute virtual time at. Scheduling in the
+// past (before the clock's current time) panics: it would reorder history.
+func (e *Engine) Schedule(at time.Duration, fn func(now time.Duration)) {
+	if at < e.clock.Now() {
+		panic("sim: Schedule in the past")
+	}
+	e.seq++
+	heap.Push(&e.queue, &Event{At: at, Fn: fn, seq: e.seq})
+}
+
+// After enqueues fn to run d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func(now time.Duration)) {
+	e.Schedule(e.clock.Now()+d, fn)
+}
+
+// Pending reports the number of events not yet run.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Step runs the single earliest pending event, advancing the clock to its
+// timestamp, and reports whether an event ran.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.clock.AdvanceTo(ev.At)
+	ev.Fn(ev.At)
+	return true
+}
+
+// Run drains the event queue, including events scheduled by callbacks while
+// draining, and returns the final virtual time.
+func (e *Engine) Run() time.Duration {
+	for e.Step() {
+	}
+	return e.clock.Now()
+}
+
+// RunUntil drains events with timestamps <= deadline and returns the clock's
+// time afterwards (which is min(deadline, last event) if any event ran).
+func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
+	for e.queue.Len() > 0 && e.queue[0].At <= deadline {
+		e.Step()
+	}
+	return e.clock.Now()
+}
+
+// eventQueue is a min-heap on (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*Event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

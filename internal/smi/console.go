@@ -1,0 +1,97 @@
+package smi
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Console renders a report as the familiar nvidia-smi terminal table — the
+// output shown in the paper's Fig. 10 (device summary + process table) and
+// Fig. 11 (process table with co-scheduled racon instances). Every line is
+// exactly 79 columns, like the real tool.
+func Console(r Report) string {
+	const width = 79
+	var b strings.Builder
+	line := func(s string) {
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+	full := "+" + strings.Repeat("-", width-2) + "+"
+	cols := []int{31, 22, 22}
+	rule3 := "|" + strings.Repeat("-", cols[0]) + "+" + strings.Repeat("-", cols[1]) + "+" + strings.Repeat("-", cols[2]) + "+"
+	sep3 := "+" + strings.Repeat("-", cols[0]) + "+" + strings.Repeat("-", cols[1]) + "+" + strings.Repeat("-", cols[2]) + "+"
+	hdr3 := "|" + strings.Repeat("=", cols[0]) + "+" + strings.Repeat("=", cols[1]) + "+" + strings.Repeat("=", cols[2]) + "|"
+	row3 := func(c1, c2, c3 string) string {
+		return "|" + pad(c1, cols[0]) + "|" + pad(c2, cols[1]) + "|" + pad(c3, cols[2]) + "|"
+	}
+
+	line(full)
+	line(row(fmt.Sprintf(" NVIDIA-SMI %-11s Driver Version: %-11s CUDA Version: %-7s",
+		r.DriverVersion, r.DriverVersion, r.CUDAVersion), width))
+	line(rule3)
+	line(row3(" GPU  Name        Persistence-M", " Bus-Id        Disp.A ", " Volatile Uncorr. ECC "))
+	line(row3(" Fan  Temp  Perf  Pwr:Usage/Cap", "         Memory-Usage ", " GPU-Util  Compute M. "))
+	line(hdr3)
+	for _, g := range r.GPUs {
+		fan := "N/A"
+		if g.FanPercent >= 0 {
+			fan = fmt.Sprintf("%d%%", g.FanPercent)
+		}
+		line(row3(
+			fmt.Sprintf(" %3d  %-17s    Off  ", g.MinorNumber, g.ProductName),
+			fmt.Sprintf(" %s Off ", g.BusID),
+			padLeft("0 ", cols[2])))
+		line(row3(
+			fmt.Sprintf(" %-4s %2dC    %-3s %4dW / %3dW ", fan, g.TemperatureC, g.PerfState, g.PowerDrawW, g.PowerLimitW),
+			padLeft(fmt.Sprintf("%dMiB / %dMiB ", g.MemoryUsedMiB, g.MemoryTotalMiB), cols[1]),
+			padLeft(fmt.Sprintf("%d%%      Default ", g.UtilizationPct), cols[2])))
+		line(sep3)
+	}
+	line("")
+	line(full)
+	line(row(" Processes:", width))
+	line(row("  GPU   GI   CI        PID   Type   Process name                  GPU Memory", width))
+	line(row("        ID   ID                                                   Usage", width))
+	line("|" + strings.Repeat("=", width-2) + "|")
+	any := false
+	for _, g := range r.GPUs {
+		for _, p := range g.Processes {
+			any = true
+			line(row(fmt.Sprintf("  %3d   N/A  N/A  %9d   %4s   %-28s %7dMiB",
+				g.MinorNumber, p.PID, p.Type, truncate(p.Name, 28), p.UsedMemoryMiB), width))
+		}
+	}
+	if !any {
+		line(row("  No running processes found", width))
+	}
+	line(full)
+	return b.String()
+}
+
+// row renders a full-width single-cell row.
+func row(content string, width int) string {
+	return "|" + pad(content, width-2) + "|"
+}
+
+// pad right-pads (or truncates) s to exactly n columns.
+func pad(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+// padLeft left-pads (or truncates) s to exactly n columns.
+func padLeft(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return strings.Repeat(" ", n-len(s)) + s
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return "..." + s[len(s)-(n-3):]
+}

@@ -1,0 +1,117 @@
+package smi
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gyan/internal/gpu"
+)
+
+// Process and device monitor views — the `nvidia-smi pmon` and
+// `nvidia-smi dmon` formats operators watch during runs. GYAN's evaluation
+// relies on the main console view; these rolling views round out the tool's
+// surface for the cmd/nvidia-smi-sim and cmd/gyan frontends.
+
+// PmonRow is one `nvidia-smi pmon` sample line.
+type PmonRow struct {
+	At      time.Duration
+	GPU     int
+	PID     int
+	Type    string
+	SMPct   int
+	MemPct  int
+	Command string
+}
+
+// Pmon samples the per-process view at the given instants. SM% is the
+// device utilization over the trailing second attributed to the process's
+// device (per-process SM attribution is not separable in the simulator,
+// matching how pmon reports on older GPUs: "-" becomes the device figure).
+func Pmon(c *gpu.Cluster, at []time.Duration) []PmonRow {
+	var rows []PmonRow
+	for _, t := range at {
+		from := t - time.Second
+		if from < 0 {
+			from = 0
+		}
+		for _, d := range c.Devices() {
+			util := int(d.UtilizationOver(from, t) + 0.5)
+			total := d.Spec().MemoryMiB()
+			for _, p := range d.Processes() {
+				rows = append(rows, PmonRow{
+					At:      t,
+					GPU:     d.Minor(),
+					PID:     p.PID,
+					Type:    p.Type,
+					SMPct:   util,
+					MemPct:  int(p.MemoryMiB() * 100 / total),
+					Command: baseName(p.Name),
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// RenderPmon formats rows in the pmon column layout.
+func RenderPmon(rows []PmonRow) string {
+	var b strings.Builder
+	b.WriteString("# gpu        pid  type    sm   mem   command\n")
+	b.WriteString("# Idx          #   C/G     %     %   name\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%5d %10d %5s %5d %5d   %s\n",
+			r.GPU, r.PID, r.Type, r.SMPct, r.MemPct, r.Command)
+	}
+	return b.String()
+}
+
+// DmonRow is one `nvidia-smi dmon` sample line.
+type DmonRow struct {
+	At     time.Duration
+	GPU    int
+	PowerW int
+	TempC  int
+	SMPct  int
+	MemPct int
+	FBMiB  int64
+}
+
+// Dmon samples the per-device view at the given instants.
+func Dmon(c *gpu.Cluster, at []time.Duration) []DmonRow {
+	var rows []DmonRow
+	for _, t := range at {
+		rep := Snapshot(c, t)
+		for _, g := range rep.GPUs {
+			rows = append(rows, DmonRow{
+				At:     t,
+				GPU:    g.MinorNumber,
+				PowerW: g.PowerDrawW,
+				TempC:  g.TemperatureC,
+				SMPct:  g.UtilizationPct,
+				MemPct: int(g.MemoryUsedMiB * 100 / g.MemoryTotalMiB),
+				FBMiB:  g.MemoryUsedMiB,
+			})
+		}
+	}
+	return rows
+}
+
+// RenderDmon formats rows in the dmon column layout.
+func RenderDmon(rows []DmonRow) string {
+	var b strings.Builder
+	b.WriteString("# time-s gpu   pwr  temp    sm   mem     fb\n")
+	b.WriteString("#          Idx     W     C     %     %    MiB\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8.1f %3d %5d %5d %5d %5d %6d\n",
+			r.At.Seconds(), r.GPU, r.PowerW, r.TempC, r.SMPct, r.MemPct, r.FBMiB)
+	}
+	return b.String()
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

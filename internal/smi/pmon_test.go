@@ -1,0 +1,71 @@
+package smi
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPmonListsResidentProcesses(t *testing.T) {
+	c, at := busyTestbed(t)
+	rows := Pmon(c, []time.Duration{at})
+	if len(rows) != 1 {
+		t.Fatalf("pmon rows = %d, want 1 (one racon process)", len(rows))
+	}
+	r := rows[0]
+	if r.GPU != 1 || r.Command != "racon_gpu" || r.Type != "C" {
+		t.Fatalf("pmon row = %+v", r)
+	}
+	if r.SMPct < 90 {
+		t.Errorf("SM%% = %d during kernel", r.SMPct)
+	}
+	if r.MemPct < 20 {
+		t.Errorf("mem%% = %d for a 2.6 GiB allocation", r.MemPct)
+	}
+	out := RenderPmon(rows)
+	if !strings.Contains(out, "racon_gpu") || !strings.Contains(out, "# gpu") {
+		t.Errorf("render missing fields:\n%s", out)
+	}
+}
+
+func TestPmonEmptyCluster(t *testing.T) {
+	c, _ := busyTestbed(t)
+	d, _ := c.Device(1)
+	for _, p := range d.Processes() {
+		d.Detach(p.PID)
+	}
+	rows := Pmon(c, []time.Duration{time.Second})
+	if len(rows) != 0 {
+		t.Fatalf("pmon on idle cluster: %d rows", len(rows))
+	}
+}
+
+func TestDmonSamplesEveryDevice(t *testing.T) {
+	c, at := busyTestbed(t)
+	instants := []time.Duration{at, at + time.Second}
+	rows := Dmon(c, instants)
+	if len(rows) != 4 { // 2 instants x 2 devices
+		t.Fatalf("dmon rows = %d, want 4", len(rows))
+	}
+	// Busy device draws more power and runs hotter than the idle one.
+	var idle, busy DmonRow
+	for _, r := range rows {
+		if r.At == at {
+			if r.GPU == 0 {
+				idle = r
+			} else {
+				busy = r
+			}
+		}
+	}
+	if busy.PowerW <= idle.PowerW {
+		t.Errorf("busy power %dW <= idle %dW", busy.PowerW, idle.PowerW)
+	}
+	if busy.TempC <= idle.TempC {
+		t.Errorf("busy temp %dC <= idle %dC", busy.TempC, idle.TempC)
+	}
+	out := RenderDmon(rows)
+	if !strings.Contains(out, "# time-s") {
+		t.Errorf("dmon render missing header:\n%s", out)
+	}
+}

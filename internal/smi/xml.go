@@ -1,0 +1,189 @@
+package smi
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The XML schema below mirrors the fields of the real `nvidia-smi -q -x`
+// document that the paper's Pseudocode 1 extracts: per-GPU <minor_number>,
+// the <processes><process_info><pid> list, and
+// <fb_memory_usage><used> for the memory-based allocation policy.
+
+type xmlLog struct {
+	XMLName       xml.Name `xml:"nvidia_smi_log"`
+	Timestamp     string   `xml:"timestamp"`
+	DriverVersion string   `xml:"driver_version"`
+	CUDAVersion   string   `xml:"cuda_version"`
+	AttachedGPUs  int      `xml:"attached_gpus"`
+	GPUs          []xmlGPU `xml:"gpu"`
+}
+
+type xmlGPU struct {
+	ID          string       `xml:"id,attr"`
+	ProductName string       `xml:"product_name"`
+	UUID        string       `xml:"uuid"`
+	MinorNumber int          `xml:"minor_number"`
+	FanSpeed    string       `xml:"fan_speed"`
+	PerfState   string       `xml:"performance_state"`
+	FBMemory    xmlMemUsage  `xml:"fb_memory_usage"`
+	Utilization xmlUtil      `xml:"utilization"`
+	Temperature xmlTemp      `xml:"temperature"`
+	Power       xmlPower     `xml:"power_readings"`
+	Processes   xmlProcesses `xml:"processes"`
+}
+
+type xmlMemUsage struct {
+	Total string `xml:"total"`
+	Used  string `xml:"used"`
+	Free  string `xml:"free"`
+}
+
+type xmlUtil struct {
+	GPUUtil    string `xml:"gpu_util"`
+	MemoryUtil string `xml:"memory_util"`
+}
+
+type xmlTemp struct {
+	GPUTemp string `xml:"gpu_temp"`
+}
+
+type xmlPower struct {
+	PowerDraw  string `xml:"power_draw"`
+	PowerLimit string `xml:"power_limit"`
+}
+
+type xmlProcesses struct {
+	Infos []xmlProcessInfo `xml:"process_info"`
+}
+
+type xmlProcessInfo struct {
+	PID        int    `xml:"pid"`
+	Type       string `xml:"type"`
+	Name       string `xml:"process_name"`
+	UsedMemory string `xml:"used_memory"`
+}
+
+// RenderXML serializes a report into the `nvidia-smi -q -x` document format.
+func RenderXML(r Report) (string, error) {
+	doc := xmlLog{
+		Timestamp:     fmt.Sprintf("T+%.3fs", r.Timestamp.Seconds()),
+		DriverVersion: r.DriverVersion,
+		CUDAVersion:   r.CUDAVersion,
+		AttachedGPUs:  len(r.GPUs),
+	}
+	for _, g := range r.GPUs {
+		fan := "N/A"
+		if g.FanPercent >= 0 {
+			fan = fmt.Sprintf("%d %%", g.FanPercent)
+		}
+		xg := xmlGPU{
+			ID:          g.BusID,
+			ProductName: g.ProductName,
+			UUID:        g.UUID,
+			MinorNumber: g.MinorNumber,
+			FanSpeed:    fan,
+			PerfState:   g.PerfState,
+			FBMemory: xmlMemUsage{
+				Total: fmt.Sprintf("%d MiB", g.MemoryTotalMiB),
+				Used:  fmt.Sprintf("%d MiB", g.MemoryUsedMiB),
+				Free:  fmt.Sprintf("%d MiB", g.MemoryTotalMiB-g.MemoryUsedMiB),
+			},
+			Utilization: xmlUtil{
+				GPUUtil:    fmt.Sprintf("%d %%", g.UtilizationPct),
+				MemoryUtil: fmt.Sprintf("%d %%", int(g.MemoryUsedMiB*100/max64(g.MemoryTotalMiB, 1))),
+			},
+			Temperature: xmlTemp{GPUTemp: fmt.Sprintf("%d C", g.TemperatureC)},
+			Power: xmlPower{
+				PowerDraw:  fmt.Sprintf("%d W", g.PowerDrawW),
+				PowerLimit: fmt.Sprintf("%d W", g.PowerLimitW),
+			},
+		}
+		for _, p := range g.Processes {
+			xg.Processes.Infos = append(xg.Processes.Infos, xmlProcessInfo{
+				PID:        p.PID,
+				Type:       p.Type,
+				Name:       p.Name,
+				UsedMemory: fmt.Sprintf("%d MiB", p.UsedMemoryMiB),
+			})
+		}
+		doc.GPUs = append(doc.GPUs, xg)
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("smi: render: %w", err)
+	}
+	return xml.Header + string(out) + "\n", nil
+}
+
+// ParseXML decodes an `nvidia-smi -q -x` document back into a Report. This is
+// the consumer half of the paper's Pseudocode 1 (there done with
+// BeautifulSoup); GYAN's allocators call it rather than touching the cluster
+// directly.
+func ParseXML(doc string) (Report, error) {
+	var x xmlLog
+	if err := xml.Unmarshal([]byte(doc), &x); err != nil {
+		return Report{}, fmt.Errorf("smi: parse: %w", err)
+	}
+	r := Report{
+		DriverVersion: x.DriverVersion,
+		CUDAVersion:   x.CUDAVersion,
+	}
+	for _, g := range x.GPUs {
+		gi := GPUInfo{
+			MinorNumber:    g.MinorNumber,
+			ProductName:    g.ProductName,
+			UUID:           g.UUID,
+			BusID:          g.ID,
+			FanPercent:     parseFan(g.FanSpeed),
+			PerfState:      g.PerfState,
+			MemoryTotalMiB: parseMiB(g.FBMemory.Total),
+			MemoryUsedMiB:  parseMiB(g.FBMemory.Used),
+			UtilizationPct: parsePct(g.Utilization.GPUUtil),
+			TemperatureC:   parseUnit(g.Temperature.GPUTemp, "C"),
+			PowerDrawW:     parseUnit(g.Power.PowerDraw, "W"),
+			PowerLimitW:    parseUnit(g.Power.PowerLimit, "W"),
+		}
+		for _, p := range g.Processes.Infos {
+			gi.Processes = append(gi.Processes, ProcessInfo{
+				PID:           p.PID,
+				Type:          p.Type,
+				Name:          p.Name,
+				UsedMemoryMiB: int64(parseUnit(p.UsedMemory, "MiB")),
+			})
+		}
+		r.GPUs = append(r.GPUs, gi)
+	}
+	return r, nil
+}
+
+func parseFan(s string) int {
+	if strings.TrimSpace(s) == "N/A" {
+		return -1
+	}
+	return parsePct(s)
+}
+
+func parsePct(s string) int   { return parseUnit(s, "%") }
+func parseMiB(s string) int64 { return int64(parseUnit(s, "MiB")) }
+
+// parseUnit extracts the integer from strings like "11441 MiB", "95 %",
+// "60 W". Unknown or malformed fields parse as 0, matching the forgiving
+// behaviour of the paper's soup-based extraction.
+func parseUnit(s, unit string) int {
+	s = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), unit))
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

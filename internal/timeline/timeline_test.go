@@ -1,0 +1,103 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gyan/internal/galaxy"
+	"gyan/internal/workload"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	var c Chart
+	c.Add("a", "first", 0, 5*time.Second)
+	c.Add("b", "second", 5*time.Second, 10*time.Second)
+	out := c.Render(40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // two lanes + axis
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a ") || !strings.Contains(lines[0], "first") {
+		t.Errorf("lane a row = %q", lines[0])
+	}
+	// Lane a occupies the left half, lane b the right half.
+	aRow := lines[0][strings.Index(lines[0], "|")+1:]
+	bRow := lines[1][strings.Index(lines[1], "|")+1:]
+	if aRow[0] != '#' || bRow[0] != '.' {
+		t.Errorf("left edge: a=%c b=%c", aRow[0], bRow[0])
+	}
+	if !strings.Contains(lines[2], "0.00s") || !strings.Contains(lines[2], "10.00s") {
+		t.Errorf("axis = %q", lines[2])
+	}
+}
+
+func TestRenderEmptyAndDegenerate(t *testing.T) {
+	var c Chart
+	if out := c.Render(40); !strings.Contains(out, "no activity") {
+		t.Errorf("empty chart rendered %q", out)
+	}
+	c.Add("x", "zero", time.Second, time.Second) // ignored
+	if out := c.Render(40); !strings.Contains(out, "no activity") {
+		t.Errorf("zero-length span rendered %q", out)
+	}
+}
+
+func TestRenderClampsWidth(t *testing.T) {
+	var c Chart
+	c.Add("x", "", 0, time.Second)
+	out := c.Render(1) // clamped to a sane minimum
+	if !strings.Contains(out, "#") {
+		t.Errorf("tiny width lost the span:\n%s", out)
+	}
+}
+
+func TestChartFromGalaxyRun(t *testing.T) {
+	g := galaxy.New(nil)
+	if err := g.RegisterDefaultTools(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := workload.GenerateLongReads(workload.LongReadConfig{
+		Name: "tl", Seed: 4, RefLen: 2000, ReadLen: 300, Coverage: 8,
+		SubRate: 0.02, InsRate: 0.03, DelRate: 0.03, BackboneErrorRate: 0.04,
+		NominalBytes: 17 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := g.Submit("racon", map[string]string{"scale": "0.01"}, rs,
+		galaxy.SubmitOptions{GPURequest: "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := g.Submit("racon", map[string]string{"scale": "0.01"}, rs,
+		galaxy.SubmitOptions{GPURequest: "1", Delay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+
+	var c Chart
+	c.AddJobs([]*galaxy.Job{j1, j2})
+	c.AddDevices(g.Cluster)
+	out := c.Render(60)
+	for _, want := range []string{"job 1 racon", "job 2 racon", "GPU 0", "GPU 1", "gpu 0", "gpu 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Both jobs overlap in time: each lane's blocks cover most of the
+	// width (they started 1 ms apart on a multi-second run).
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "#") || !strings.Contains(lines[1], "#") {
+		t.Errorf("job lanes empty:\n%s", out)
+	}
+}
+
+func TestChartSkipsUnfinishedJobs(t *testing.T) {
+	var c Chart
+	c.AddJobs([]*galaxy.Job{{ID: 1, ToolID: "racon", State: galaxy.StateRunning}})
+	if out := c.Render(40); !strings.Contains(out, "no activity") {
+		t.Errorf("unfinished job rendered: %q", out)
+	}
+}

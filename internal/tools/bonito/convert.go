@@ -1,0 +1,169 @@
+package bonito
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"gyan/internal/bioseq"
+	"gyan/internal/workload"
+)
+
+// `bonito convert` — converting a training file into the bonito format. The
+// real tool converts hdf5 training archives; this reproduction defines a
+// compact binary container for labeled squiggle sets and implements both
+// directions, so training data can be written to disk and reloaded.
+//
+// Layout (all integers little-endian):
+//
+//	magic "BSQ1"
+//	uint32 name length, name bytes
+//	int64  nominal bytes
+//	uint32 squiggle count
+//	per squiggle:
+//	    uint32 id length, id bytes
+//	    uint32 truth length, truth bytes (ACGT)
+//	    uint32 sample count
+//	    float64 x samples
+//	    uint8 x labels (same count)
+
+var magic = [4]byte{'B', 'S', 'Q', '1'}
+
+// WriteSet serializes a squiggle set.
+func WriteSet(w io.Writer, set *workload.SquiggleSet) error {
+	if set == nil {
+		return fmt.Errorf("bonito: nil squiggle set")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := writeBytes(bw, []byte(set.Name)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, set.NominalBytes); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(set.Squiggles))); err != nil {
+		return err
+	}
+	for _, sq := range set.Squiggles {
+		if len(sq.Labels) != len(sq.Samples) {
+			return fmt.Errorf("bonito: squiggle %s has %d labels for %d samples",
+				sq.ID, len(sq.Labels), len(sq.Samples))
+		}
+		if err := writeBytes(bw, []byte(sq.ID)); err != nil {
+			return err
+		}
+		if err := writeBytes(bw, sq.Truth.Bases); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(sq.Samples))); err != nil {
+			return err
+		}
+		for _, s := range sq.Samples {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(s)); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.Write(sq.Labels); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSet deserializes a squiggle set written by WriteSet.
+func ReadSet(r io.Reader) (*workload.SquiggleSet, error) {
+	br := bufio.NewReader(r)
+	var got [4]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("bonito: read magic: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("bonito: bad magic %q (not a BSQ1 file)", got)
+	}
+	name, err := readBytes(br)
+	if err != nil {
+		return nil, err
+	}
+	set := &workload.SquiggleSet{Name: string(name)}
+	if err := binary.Read(br, binary.LittleEndian, &set.NominalBytes); err != nil {
+		return nil, err
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	const maxSquiggles = 10 << 20
+	if count > maxSquiggles {
+		return nil, fmt.Errorf("bonito: implausible squiggle count %d", count)
+	}
+	for i := uint32(0); i < count; i++ {
+		id, err := readBytes(br)
+		if err != nil {
+			return nil, err
+		}
+		truthBases, err := readBytes(br)
+		if err != nil {
+			return nil, err
+		}
+		truth := bioseq.Seq{ID: string(id), Bases: truthBases}
+		if err := truth.Validate(); err != nil {
+			return nil, err
+		}
+		var samples uint32
+		if err := binary.Read(br, binary.LittleEndian, &samples); err != nil {
+			return nil, err
+		}
+		const maxSamples = 1 << 30
+		if samples > maxSamples {
+			return nil, fmt.Errorf("bonito: implausible sample count %d", samples)
+		}
+		sq := workload.Squiggle{ID: string(id), Truth: truth,
+			Samples: make([]float64, samples), Labels: make([]uint8, samples)}
+		for j := range sq.Samples {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return nil, err
+			}
+			sq.Samples[j] = math.Float64frombits(bits)
+		}
+		if _, err := io.ReadFull(br, sq.Labels); err != nil {
+			return nil, err
+		}
+		for _, l := range sq.Labels {
+			if l > workload.LabelBlank {
+				return nil, fmt.Errorf("bonito: label %d out of range in %s", l, sq.ID)
+			}
+		}
+		set.Squiggles = append(set.Squiggles, sq)
+	}
+	return set, nil
+}
+
+func writeBytes(w io.Writer, b []byte) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readBytes(r io.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	const maxLen = 1 << 28
+	if n > maxLen {
+		return nil, fmt.Errorf("bonito: implausible field length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

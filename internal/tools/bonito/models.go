@@ -1,0 +1,37 @@
+package bonito
+
+import (
+	"fmt"
+	"sort"
+)
+
+// `bonito download` — the model registry. Real Bonito downloads pre-trained
+// models and training sets by name; the reproduction registers its
+// analytically constructed models here.
+
+// modelBuilders maps model names to constructors.
+var modelBuilders = map[string]func() (*Net, error){
+	// The paper's experiments use the default R9.4.1 DNA model.
+	"dna_r9.4.1": NewPretrained,
+	// An alias kept for wrapper compatibility.
+	"dna_r9.4.1@v3": NewPretrained,
+}
+
+// Models returns the downloadable model names, sorted.
+func Models() []string {
+	out := make([]string, 0, len(modelBuilders))
+	for name := range modelBuilders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Download returns the named pre-trained model.
+func Download(name string) (*Net, error) {
+	build, ok := modelBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("bonito: unknown model %q (have %v)", name, Models())
+	}
+	return build()
+}

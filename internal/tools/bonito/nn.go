@@ -1,0 +1,121 @@
+// Package bonito reimplements the Bonito basecaller the paper evaluates: a
+// convolutional neural network that converts raw nanopore signal into
+// nucleotide sequences, decoded with CTC greedy decoding (Bonito is
+// "inspired by the usage of convolutional neural networks in speech
+// recognition", Section V-A).
+//
+// The network computation is real — conv layers run as im2col + GEMM on the
+// host, and the CPU and simulated-GPU paths decode identical sequences. The
+// run time is charged to the virtual clock by the cost model in model.go,
+// calibrated to the paper's Fig. 5 (>210 h CPU vs >50x GPU speedup).
+package bonito
+
+import "fmt"
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("bonito: matrix %dx%d", rows, cols))
+	}
+	return Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m Matrix) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m Matrix) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// GEMM computes C = A x B and returns C together with the FLOP count
+// (2*M*N*K, the figure the cost model charges to the device). It is the
+// workhorse the paper's Fig. 6 identifies: "GEneral Matrix to Matrix
+// Multiplication (GEMM) functions, which are a critical part of neural
+// networks".
+func GEMM(a, b Matrix) (Matrix, int64, error) {
+	if a.Cols != b.Rows {
+		return Matrix{}, 0, fmt.Errorf("bonito: GEMM shape mismatch %dx%d x %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		crow := c.Data[i*c.Cols : (i+1)*c.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c, 2 * int64(a.Rows) * int64(a.Cols) * int64(b.Cols), nil
+}
+
+// Conv1D is a 1-D convolution layer over a multi-channel sequence, executed
+// as im2col followed by GEMM (how cuDNN and PyTorch lower convolutions to
+// the GEMM kernels NVProf sees).
+type Conv1D struct {
+	// InCh and OutCh are channel counts; Width is the kernel width
+	// (odd; the layer pads with zeros to preserve sequence length).
+	InCh, OutCh, Width int
+	// Weights is laid out [OutCh][InCh*Width]; Bias is per output channel.
+	Weights Matrix
+	Bias    []float32
+}
+
+// NewConv1D allocates a zero-initialized layer.
+func NewConv1D(inCh, outCh, width int) (*Conv1D, error) {
+	if width%2 == 0 || width < 1 {
+		return nil, fmt.Errorf("bonito: conv width %d must be odd", width)
+	}
+	if inCh < 1 || outCh < 1 {
+		return nil, fmt.Errorf("bonito: conv channels %d->%d", inCh, outCh)
+	}
+	return &Conv1D{
+		InCh:    inCh,
+		OutCh:   outCh,
+		Width:   width,
+		Weights: NewMatrix(inCh*width, outCh),
+		Bias:    make([]float32, outCh),
+	}, nil
+}
+
+// Forward applies the layer to a T x InCh input and returns the T x OutCh
+// output plus the FLOPs spent (im2col gather is free; the GEMM dominates).
+func (l *Conv1D) Forward(x Matrix) (Matrix, int64, error) {
+	if x.Cols != l.InCh {
+		return Matrix{}, 0, fmt.Errorf("bonito: conv input has %d channels, layer wants %d", x.Cols, l.InCh)
+	}
+	t := x.Rows
+	half := l.Width / 2
+	col := NewMatrix(t, l.InCh*l.Width)
+	for i := 0; i < t; i++ {
+		for w := 0; w < l.Width; w++ {
+			src := i + w - half
+			if src < 0 || src >= t {
+				continue // zero padding
+			}
+			for c := 0; c < l.InCh; c++ {
+				col.Set(i, c*l.Width+w, x.At(src, c))
+			}
+		}
+	}
+	out, flops, err := GEMM(col, l.Weights)
+	if err != nil {
+		return Matrix{}, 0, err
+	}
+	for i := 0; i < t; i++ {
+		for c := 0; c < l.OutCh; c++ {
+			out.Data[i*out.Cols+c] += l.Bias[c]
+		}
+	}
+	return out, flops, nil
+}

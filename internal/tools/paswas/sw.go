@@ -1,0 +1,141 @@
+// Package paswas reimplements the pyPaSWAS-style Smith-Waterman sequence
+// aligner the paper uses as its motivating example (Section I: "PyPaSWAS,
+// which is a sequence alignment application that shows a 33x speedup with
+// GPU compared to CPU"). Like the other tools in this repository, the
+// alignment computation is real — CPU and simulated-GPU backends produce
+// identical alignments — and run time comes from a calibrated model.
+package paswas
+
+import (
+	"fmt"
+
+	"gyan/internal/bioseq"
+)
+
+// Scores parameterizes the local aligner. Smith-Waterman requires a
+// positive match score and negative mismatch/gap penalties.
+type Scores struct {
+	Match    int
+	Mismatch int
+	Gap      int
+}
+
+// DefaultScores returns pyPaSWAS's default scoring (match 5, mismatch -3,
+// gap -7 in its BLAST-like preset; any consistent scheme preserves the
+// optimum structure).
+func DefaultScores() Scores {
+	return Scores{Match: 5, Mismatch: -3, Gap: -7}
+}
+
+// Validate reports scheme errors.
+func (s Scores) Validate() error {
+	switch {
+	case s.Match <= 0:
+		return fmt.Errorf("paswas: match score %d must be positive", s.Match)
+	case s.Mismatch >= 0:
+		return fmt.Errorf("paswas: mismatch score %d must be negative", s.Mismatch)
+	case s.Gap >= 0:
+		return fmt.Errorf("paswas: gap score %d must be negative", s.Gap)
+	}
+	return nil
+}
+
+// Hit is one local alignment result.
+type Hit struct {
+	// QueryID and TargetID name the aligned pair.
+	QueryID, TargetID string
+	// Score is the optimal local alignment score.
+	Score int
+	// QueryStart/QueryEnd and TargetStart/TargetEnd delimit the aligned
+	// regions (half-open).
+	QueryStart, QueryEnd   int
+	TargetStart, TargetEnd int
+	// Matches counts exactly matching columns; Length is the alignment
+	// length in columns.
+	Matches, Length int
+	// Cells is the DP work performed (query length x target length).
+	Cells int64
+}
+
+// Identity returns the fraction of matching columns.
+func (h Hit) Identity() float64 {
+	if h.Length == 0 {
+		return 0
+	}
+	return float64(h.Matches) / float64(h.Length)
+}
+
+// Align computes the optimal Smith-Waterman local alignment of query
+// against target with linear gap penalties, including traceback.
+func Align(query, target bioseq.Seq, sc Scores) (Hit, error) {
+	if err := sc.Validate(); err != nil {
+		return Hit{}, err
+	}
+	n, m := query.Len(), target.Len()
+	if n == 0 || m == 0 {
+		return Hit{}, fmt.Errorf("paswas: empty sequence (query %d, target %d)", n, m)
+	}
+	width := m + 1
+	score := make([]int32, (n+1)*width)
+	move := make([]int8, (n+1)*width) // 0 stop, 1 diag, 2 up, 3 left
+
+	bestIdx, bestScore := 0, int32(0)
+	for i := 1; i <= n; i++ {
+		qb := query.Bases[i-1]
+		row := i * width
+		prow := row - width
+		for j := 1; j <= m; j++ {
+			sub := int32(sc.Mismatch)
+			if qb == target.Bases[j-1] {
+				sub = int32(sc.Match)
+			}
+			best, kind := int32(0), int8(0)
+			if v := score[prow+j-1] + sub; v > best {
+				best, kind = v, 1
+			}
+			if v := score[prow+j] + int32(sc.Gap); v > best {
+				best, kind = v, 2
+			}
+			if v := score[row+j-1] + int32(sc.Gap); v > best {
+				best, kind = v, 3
+			}
+			score[row+j] = best
+			move[row+j] = kind
+			if best > bestScore {
+				bestScore, bestIdx = best, row+j
+			}
+		}
+	}
+
+	hit := Hit{
+		QueryID:  query.ID,
+		TargetID: target.ID,
+		Score:    int(bestScore),
+		Cells:    int64(n) * int64(m),
+	}
+	if bestScore == 0 {
+		return hit, nil
+	}
+	// Traceback from the maximum to the first zero cell.
+	i, j := bestIdx/width, bestIdx%width
+	hit.QueryEnd, hit.TargetEnd = i, j
+	for i > 0 && j > 0 && move[i*width+j] != 0 {
+		switch move[i*width+j] {
+		case 1:
+			if query.Bases[i-1] == target.Bases[j-1] {
+				hit.Matches++
+			}
+			hit.Length++
+			i--
+			j--
+		case 2:
+			hit.Length++
+			i--
+		default: // 3
+			hit.Length++
+			j--
+		}
+	}
+	hit.QueryStart, hit.TargetStart = i, j
+	return hit, nil
+}

@@ -1,0 +1,123 @@
+package racon
+
+import (
+	"fmt"
+
+	"gyan/internal/bioseq"
+)
+
+// Read-to-backbone mapping. Real Racon consumes minimap2 overlaps; this
+// reimplementation uses the same underlying idea at small scale: index the
+// backbone's k-mers, then let each read's k-mers vote for a diagonal
+// (backbone position minus read offset). The winning diagonal is the read's
+// inferred start position on the backbone.
+
+// Mapping places one read on the backbone.
+type Mapping struct {
+	// ReadIndex identifies the read in the input slice.
+	ReadIndex int
+	// Start is the inferred backbone start position.
+	Start int
+	// Votes is the number of k-mers supporting the diagonal; higher means
+	// a more confident placement.
+	Votes int
+}
+
+// MapStats reports the work done by the mapper, feeding the cost models.
+type MapStats struct {
+	// KmersIndexed is the number of backbone k-mer positions indexed.
+	KmersIndexed int
+	// KmersQueried is the number of read k-mers looked up.
+	KmersQueried int
+	// Unmapped counts reads with no confident placement.
+	Unmapped int
+}
+
+// DefaultK is the mapper's k-mer length. 13 gives confident unique anchors
+// on the synthetic references (4^13 >> reference length) while tolerating
+// the ~10% read error rate.
+const DefaultK = 13
+
+// minVotes is the minimum diagonal support to accept a placement.
+const minVotes = 3
+
+// MapReads places every read on the backbone. Reads that cannot be placed
+// confidently are omitted from the result (and counted in stats).
+func MapReads(backbone bioseq.Seq, reads []bioseq.Seq, k int) ([]Mapping, MapStats, error) {
+	if k <= 0 || k > 31 {
+		return nil, MapStats{}, fmt.Errorf("racon: k-mer length %d out of range", k)
+	}
+	if backbone.Len() < k {
+		return nil, MapStats{}, fmt.Errorf("racon: backbone shorter than k (%d < %d)", backbone.Len(), k)
+	}
+
+	index := make(map[uint64][]int32)
+	var stats MapStats
+	forEachKmer(backbone.Bases, k, func(pos int, h uint64) {
+		index[h] = append(index[h], int32(pos))
+		stats.KmersIndexed++
+	})
+
+	var out []Mapping
+	for ri, read := range reads {
+		// Diagonal voting. Diagonals are offset by read length so they
+		// are non-negative map keys even for reads hanging off the left
+		// edge.
+		votes := make(map[int]int)
+		forEachKmer(read.Bases, k, func(off int, h uint64) {
+			stats.KmersQueried++
+			for _, pos := range index[h] {
+				votes[int(pos)-off]++
+			}
+		})
+		bestDiag, bestVotes := 0, 0
+		for d, v := range votes {
+			if v > bestVotes || (v == bestVotes && d < bestDiag) {
+				bestDiag, bestVotes = d, v
+			}
+		}
+		if bestVotes < minVotes {
+			stats.Unmapped++
+			continue
+		}
+		start := bestDiag
+		if start < 0 {
+			start = 0
+		}
+		if start >= backbone.Len() {
+			stats.Unmapped++
+			continue
+		}
+		out = append(out, Mapping{ReadIndex: ri, Start: start, Votes: bestVotes})
+	}
+	return out, stats, nil
+}
+
+// forEachKmer calls fn with every k-mer's 2-bit-packed hash. Assumes a valid
+// ACGT sequence (enforced upstream by bioseq validation).
+func forEachKmer(bases []byte, k int, fn func(pos int, h uint64)) {
+	if len(bases) < k {
+		return
+	}
+	mask := (uint64(1) << (2 * uint(k))) - 1
+	var h uint64
+	for i, b := range bases {
+		h = ((h << 2) | uint64(baseCode(b))) & mask
+		if i >= k-1 {
+			fn(i-k+1, h)
+		}
+	}
+}
+
+func baseCode(b byte) byte {
+	switch b {
+	case 'A':
+		return 0
+	case 'C':
+		return 1
+	case 'G':
+		return 2
+	default: // 'T'
+		return 3
+	}
+}

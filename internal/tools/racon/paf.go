@@ -1,0 +1,176 @@
+package racon
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gyan/internal/bioseq"
+)
+
+// PAF — the Pairwise mApping Format minimap2 emits and the real Racon
+// consumes as its overlaps input ("racon reads overlaps target"). The
+// reproduction's mapper produces Mapping records; this file bridges them to
+// and from PAF so overlap files can be written, inspected and fed back in,
+// exactly like the `$overlaps` input of the tool wrapper.
+
+// PAFRecord is one overlap line (the 12 mandatory PAF columns).
+type PAFRecord struct {
+	QueryName              string
+	QueryLen               int
+	QueryStart, QueryEnd   int
+	Strand                 byte // '+' or '-'
+	TargetName             string
+	TargetLen              int
+	TargetStart, TargetEnd int
+	ResidueMatches         int
+	BlockLen               int
+	MapQ                   int
+}
+
+// Validate reports structural errors.
+func (p PAFRecord) Validate() error {
+	switch {
+	case p.QueryName == "" || p.TargetName == "":
+		return fmt.Errorf("racon: PAF record with empty name")
+	case p.Strand != '+' && p.Strand != '-':
+		return fmt.Errorf("racon: PAF strand %q", p.Strand)
+	case p.QueryStart < 0 || p.QueryEnd < p.QueryStart || p.QueryLen < p.QueryEnd:
+		return fmt.Errorf("racon: PAF query interval %d-%d of %d", p.QueryStart, p.QueryEnd, p.QueryLen)
+	case p.TargetStart < 0 || p.TargetEnd < p.TargetStart || p.TargetLen < p.TargetEnd:
+		return fmt.Errorf("racon: PAF target interval %d-%d of %d", p.TargetStart, p.TargetEnd, p.TargetLen)
+	case p.MapQ < 0 || p.MapQ > 255:
+		return fmt.Errorf("racon: PAF mapq %d", p.MapQ)
+	}
+	return nil
+}
+
+// MappingsToPAF converts the mapper's placements into PAF records against
+// the backbone.
+func MappingsToPAF(backbone bioseq.Seq, reads []bioseq.Seq, mappings []Mapping) ([]PAFRecord, error) {
+	out := make([]PAFRecord, 0, len(mappings))
+	for _, m := range mappings {
+		if m.ReadIndex < 0 || m.ReadIndex >= len(reads) {
+			return nil, fmt.Errorf("racon: mapping references read %d of %d", m.ReadIndex, len(reads))
+		}
+		read := reads[m.ReadIndex]
+		tEnd := m.Start + read.Len()
+		if tEnd > backbone.Len() {
+			tEnd = backbone.Len()
+		}
+		qEnd := tEnd - m.Start
+		mapq := 60
+		if m.Votes < 10 {
+			mapq = 6 * m.Votes
+		}
+		rec := PAFRecord{
+			QueryName:      read.ID,
+			QueryLen:       read.Len(),
+			QueryStart:     0,
+			QueryEnd:       qEnd,
+			Strand:         '+',
+			TargetName:     backbone.ID,
+			TargetLen:      backbone.Len(),
+			TargetStart:    m.Start,
+			TargetEnd:      tEnd,
+			ResidueMatches: m.Votes,
+			BlockLen:       qEnd,
+			MapQ:           mapq,
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// WritePAF writes records as tab-separated PAF lines.
+func WritePAF(w io.Writer, recs []PAFRecord) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%d\t%d\t%c\t%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r.QueryName, r.QueryLen, r.QueryStart, r.QueryEnd, r.Strand,
+			r.TargetName, r.TargetLen, r.TargetStart, r.TargetEnd,
+			r.ResidueMatches, r.BlockLen, r.MapQ); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParsePAF reads PAF lines, tolerating optional SAM-like tag columns after
+// the 12 mandatory fields.
+func ParsePAF(r io.Reader) ([]PAFRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	var out []PAFRecord
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 12 {
+			return nil, fmt.Errorf("racon: PAF line %d has %d fields, need 12", lineNo, len(fields))
+		}
+		ints := make([]int, 12)
+		for _, idx := range []int{1, 2, 3, 6, 7, 8, 9, 10, 11} {
+			v, err := strconv.Atoi(fields[idx])
+			if err != nil {
+				return nil, fmt.Errorf("racon: PAF line %d column %d: %w", lineNo, idx+1, err)
+			}
+			ints[idx] = v
+		}
+		if len(fields[4]) != 1 {
+			return nil, fmt.Errorf("racon: PAF line %d strand %q", lineNo, fields[4])
+		}
+		rec := PAFRecord{
+			QueryName:      fields[0],
+			QueryLen:       ints[1],
+			QueryStart:     ints[2],
+			QueryEnd:       ints[3],
+			Strand:         fields[4][0],
+			TargetName:     fields[5],
+			TargetLen:      ints[6],
+			TargetStart:    ints[7],
+			TargetEnd:      ints[8],
+			ResidueMatches: ints[9],
+			BlockLen:       ints[10],
+			MapQ:           ints[11],
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("racon: PAF line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PAFToMappings converts parsed PAF records back into mapper placements,
+// resolving query names against the read set.
+func PAFToMappings(recs []PAFRecord, reads []bioseq.Seq) ([]Mapping, error) {
+	index := make(map[string]int, len(reads))
+	for i, r := range reads {
+		index[r.ID] = i
+	}
+	out := make([]Mapping, 0, len(recs))
+	for _, rec := range recs {
+		ri, ok := index[rec.QueryName]
+		if !ok {
+			return nil, fmt.Errorf("racon: PAF query %q not in read set", rec.QueryName)
+		}
+		out = append(out, Mapping{ReadIndex: ri, Start: rec.TargetStart, Votes: rec.ResidueMatches})
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package racon
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPAFRoundTrip(t *testing.T) {
+	rs := testReadSet(t)
+	mappings, _, err := MapReads(rs.Backbone, rs.Reads, DefaultK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := MappingsToPAF(rs.Backbone, rs.Reads, mappings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(mappings) {
+		t.Fatalf("%d PAF records for %d mappings", len(recs), len(mappings))
+	}
+	var b strings.Builder
+	if err := WritePAF(&b, recs); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParsePAF(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(recs) {
+		t.Fatalf("parsed %d records, wrote %d", len(parsed), len(recs))
+	}
+	for i := range recs {
+		if parsed[i] != recs[i] {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, parsed[i], recs[i])
+		}
+	}
+	back, err := PAFToMappings(parsed, rs.Reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mappings {
+		if back[i].ReadIndex != mappings[i].ReadIndex || back[i].Start != mappings[i].Start {
+			t.Fatalf("mapping %d did not round trip: %+v vs %+v", i, back[i], mappings[i])
+		}
+	}
+}
+
+func TestPAFRecordShape(t *testing.T) {
+	rs := testReadSet(t)
+	mappings, _, err := MapReads(rs.Backbone, rs.Reads, DefaultK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := MappingsToPAF(rs.Backbone, rs.Reads, mappings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs[:5] {
+		if r.TargetName != rs.Backbone.ID {
+			t.Errorf("target name %q", r.TargetName)
+		}
+		if r.Strand != '+' {
+			t.Errorf("strand %c", r.Strand)
+		}
+		if r.TargetEnd > rs.Backbone.Len() {
+			t.Errorf("target end %d beyond backbone %d", r.TargetEnd, rs.Backbone.Len())
+		}
+		if r.MapQ < 0 || r.MapQ > 60 {
+			t.Errorf("mapq %d", r.MapQ)
+		}
+	}
+}
+
+func TestParsePAFTolerantAndStrict(t *testing.T) {
+	// Extra tag columns after the 12 mandatory ones are tolerated.
+	line := "read1\t100\t0\t100\t+\tdraft\t2000\t50\t150\t88\t100\t60\ttp:A:P\tcm:i:12\n"
+	recs, err := ParsePAF(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ResidueMatches != 88 {
+		t.Fatalf("parsed %+v", recs)
+	}
+	// Blank lines are skipped.
+	recs, err = ParsePAF(strings.NewReader("\n" + line + "\n"))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("blank-line handling: %v, %d", err, len(recs))
+	}
+	bad := []string{
+		"read1\t100\t0\t100\t+\tdraft\t2000\t50\t150\t88\t100\n",      // 11 fields
+		"read1\tx\t0\t100\t+\tdraft\t2000\t50\t150\t88\t100\t60\n",    // non-numeric
+		"read1\t100\t0\t100\t*\tdraft\t2000\t50\t150\t88\t100\t60\n",  // bad strand
+		"read1\t100\t0\t200\t+\tdraft\t2000\t50\t150\t88\t100\t60\n",  // end > len
+		"read1\t100\t0\t100\t+\tdraft\t2000\t50\t150\t88\t100\t999\n", // mapq
+	}
+	for _, in := range bad {
+		if _, err := ParsePAF(strings.NewReader(in)); err == nil {
+			t.Errorf("bad PAF accepted: %q", in)
+		}
+	}
+}
+
+func TestPAFToMappingsUnknownRead(t *testing.T) {
+	rs := testReadSet(t)
+	recs := []PAFRecord{{
+		QueryName: "ghost", QueryLen: 10, QueryEnd: 10, Strand: '+',
+		TargetName: "draft", TargetLen: 100, TargetStart: 0, TargetEnd: 10,
+		ResidueMatches: 5, BlockLen: 10, MapQ: 30,
+	}}
+	if _, err := PAFToMappings(recs, rs.Reads); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+}
+
+func TestWritePAFValidates(t *testing.T) {
+	bad := PAFRecord{QueryName: "", Strand: '+'}
+	if err := WritePAF(&strings.Builder{}, []PAFRecord{bad}); err == nil {
+		t.Fatal("invalid record written")
+	}
+}

@@ -1,0 +1,124 @@
+package racon
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gyan/internal/bioseq"
+)
+
+// Per-window quality reporting. Assembly polishing pipelines triage their
+// output by window: which regions improved, which stayed weak (low
+// coverage, repeats), and what the consensus quality value (QV) is. The
+// paper's evaluation reports only end-to-end time; this is the
+// correctness-side companion a production polisher ships with.
+
+// WindowQuality describes one polishing window's outcome.
+type WindowQuality struct {
+	// Index, Start and End locate the window on the backbone.
+	Index, Start, End int
+	// Segments is the number of read fragments that informed the window.
+	Segments int
+	// DraftIdentity and PolishedIdentity measure the draft and consensus
+	// against the ground-truth reference slice (oracle evaluation; real
+	// pipelines estimate this from coverage agreement).
+	DraftIdentity, PolishedIdentity float64
+}
+
+// Improved reports whether polishing helped the window.
+func (w WindowQuality) Improved() bool { return w.PolishedIdentity > w.DraftIdentity }
+
+// QV converts an identity fraction into a Phred-scaled consensus quality
+// value, capped at 60 (the conventional ceiling for "no observed errors").
+func QV(identity float64) float64 {
+	if identity >= 1 {
+		return 60
+	}
+	if identity <= 0 {
+		return 0
+	}
+	qv := -10 * math.Log10(1-identity)
+	if qv > 60 {
+		qv = 60
+	}
+	if qv < 0 {
+		qv = 0
+	}
+	return qv
+}
+
+// windowQualities scores each window's consensus against the reference.
+func windowQualities(reference, backbone bioseq.Seq, windows []Window, consensus [][]byte) ([]WindowQuality, error) {
+	if len(windows) != len(consensus) {
+		return nil, fmt.Errorf("racon: %d windows with %d consensus pieces", len(windows), len(consensus))
+	}
+	out := make([]WindowQuality, len(windows))
+	for i, w := range windows {
+		end := w.End
+		if end > reference.Len() {
+			end = reference.Len()
+		}
+		start := w.Start
+		if start > end {
+			start = end
+		}
+		truth := reference.Bases[start:end]
+		out[i] = WindowQuality{
+			Index:            w.Index,
+			Start:            w.Start,
+			End:              w.End,
+			Segments:         len(w.Segments),
+			DraftIdentity:    bioseq.Identity(backbone.Bases[w.Start:w.End], truth),
+			PolishedIdentity: bioseq.Identity(consensus[i], truth),
+		}
+	}
+	return out, nil
+}
+
+// WorstWindows returns the n windows with the lowest polished identity,
+// ascending — the triage list a curator inspects first.
+func WorstWindows(stats []WindowQuality, n int) []WindowQuality {
+	out := append([]WindowQuality(nil), stats...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PolishedIdentity != out[j].PolishedIdentity {
+			return out[i].PolishedIdentity < out[j].PolishedIdentity
+		}
+		return out[i].Index < out[j].Index
+	})
+	if n > len(out) {
+		n = len(out)
+	}
+	return out[:n]
+}
+
+// QualitySummary aggregates the window report.
+type QualitySummary struct {
+	Windows          int
+	Improved         int
+	Regressed        int
+	MeanPolishedQV   float64
+	MinPolishedIdent float64
+}
+
+// Summarize aggregates per-window stats.
+func Summarize(stats []WindowQuality) QualitySummary {
+	if len(stats) == 0 {
+		return QualitySummary{}
+	}
+	s := QualitySummary{Windows: len(stats), MinPolishedIdent: 1}
+	var qvSum float64
+	for _, w := range stats {
+		if w.Improved() {
+			s.Improved++
+		} else if w.PolishedIdentity < w.DraftIdentity {
+			s.Regressed++
+		}
+		qvSum += QV(w.PolishedIdentity)
+		if w.PolishedIdentity < s.MinPolishedIdent {
+			s.MinPolishedIdent = w.PolishedIdentity
+		}
+	}
+	s.MeanPolishedQV = qvSum / float64(len(stats))
+	return s
+}

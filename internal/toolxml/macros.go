@@ -1,0 +1,68 @@
+package toolxml
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// Macro expansion. Galaxy tools factor shared requirement blocks into
+// macros.xml files (the paper's Code 1 shows racon's macros.xml declaring
+// the GPU requirement) and reference them from the wrapper with
+// <expand macro="requirements"/>.
+
+// MacroFile is a parsed macros.xml document.
+type MacroFile struct {
+	XMLName xml.Name `xml:"macros"`
+	Defs    []struct {
+		Name         string        `xml:"name,attr"`
+		Requirements []Requirement `xml:"requirement"`
+		Containers   []Container   `xml:"container"`
+	} `xml:"xml"`
+}
+
+// ParseMacros decodes a macros.xml document.
+func ParseMacros(doc string) (*MacroFile, error) {
+	var m MacroFile
+	if err := xml.Unmarshal([]byte(doc), &m); err != nil {
+		return nil, fmt.Errorf("toolxml: parse macros: %w", err)
+	}
+	return &m, nil
+}
+
+// ExpandMacros resolves every <expand macro="..."/> in the tool's
+// requirements section against the provided macro files (keyed by file
+// name, matching the tool's <import> list). Expansion is idempotent: the
+// expand references are consumed, so calling it again is a no-op.
+func (t *Tool) ExpandMacros(files map[string]*MacroFile) error {
+	if len(t.Requirements.Expand) == 0 {
+		return nil
+	}
+	if t.Macros == nil {
+		return fmt.Errorf("toolxml: tool %q expands macros but imports none", t.ID)
+	}
+	lookup := func(name string) ([]Requirement, []Container, bool) {
+		for _, imp := range t.Macros.Imports {
+			mf, ok := files[imp]
+			if !ok {
+				continue
+			}
+			for _, def := range mf.Defs {
+				if def.Name == name {
+					return def.Requirements, def.Containers, true
+				}
+			}
+		}
+		return nil, nil, false
+	}
+	for _, e := range t.Requirements.Expand {
+		reqs, containers, ok := lookup(e.Macro)
+		if !ok {
+			return fmt.Errorf("toolxml: tool %q: macro %q not found in imports %v",
+				t.ID, e.Macro, t.Macros.Imports)
+		}
+		t.Requirements.Items = append(t.Requirements.Items, reqs...)
+		t.Requirements.Containers = append(t.Requirements.Containers, containers...)
+	}
+	t.Requirements.Expand = nil
+	return nil
+}

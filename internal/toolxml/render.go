@@ -1,0 +1,24 @@
+package toolxml
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// Render serializes a tool back into wrapper XML. Galaxy admins inspect and
+// edit installed wrappers; Render guarantees that what the registry holds
+// (including GYAN's injected compute requirements and GPU-ID overrides) can
+// be written out and re-parsed losslessly.
+func Render(t *Tool) (string, error) {
+	if t == nil {
+		return "", fmt.Errorf("toolxml: render nil tool")
+	}
+	if t.ID == "" {
+		return "", fmt.Errorf("toolxml: render tool without id")
+	}
+	out, err := xml.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("toolxml: render: %w", err)
+	}
+	return xml.Header + string(out) + "\n", nil
+}

@@ -1,0 +1,167 @@
+package toolxml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cheetah-lite command templates. Galaxy renders tool <command> blocks with
+// the Cheetah template engine; the subset implemented here covers what the
+// paper's wrappers use (Code 3):
+//
+//	#if $__galaxy_gpu_enabled__ == "true":
+//	    racon_gpu -t $threads ...
+//	#else
+//	    racon -t $threads ...
+//	#end if
+//
+// Supported: $name and ${name} substitution, #if/#else if/#else/#end if with
+// ==, != and bare-truthiness conditions, arbitrarily nested.
+
+// RenderCommand evaluates a command template against the parameter
+// dictionary (the output of the Galaxy evaluator's build_param_dict).
+// Referencing an undefined variable is an error — silent empty expansion is
+// how real wrappers break, so we fail loudly.
+func RenderCommand(tmpl string, params map[string]string) (string, error) {
+	lines := strings.Split(tmpl, "\n")
+	var out []string
+	// Condition stack: each frame tracks whether the current branch is
+	// active and whether any branch of the #if chain has matched yet.
+	type frame struct {
+		active  bool // current branch emits lines
+		matched bool // some branch already taken
+		parent  bool // enclosing scope active
+	}
+	stack := []frame{{active: true, matched: true, parent: true}}
+	cur := func() *frame { return &stack[len(stack)-1] }
+
+	for ln, raw := range lines {
+		line := strings.TrimSpace(raw)
+		switch {
+		case strings.HasPrefix(line, "#if "):
+			cond, err := evalCond(strings.TrimSuffix(strings.TrimPrefix(line, "#if "), ":"), params)
+			if err != nil {
+				return "", fmt.Errorf("toolxml: line %d: %w", ln+1, err)
+			}
+			parentActive := cur().active
+			stack = append(stack, frame{active: parentActive && cond, matched: cond, parent: parentActive})
+		case strings.HasPrefix(line, "#else if "):
+			if len(stack) == 1 {
+				return "", fmt.Errorf("toolxml: line %d: #else if without #if", ln+1)
+			}
+			cond, err := evalCond(strings.TrimSuffix(strings.TrimPrefix(line, "#else if "), ":"), params)
+			if err != nil {
+				return "", fmt.Errorf("toolxml: line %d: %w", ln+1, err)
+			}
+			f := cur()
+			f.active = f.parent && !f.matched && cond
+			if cond {
+				f.matched = true
+			}
+		case line == "#else" || line == "#else:":
+			if len(stack) == 1 {
+				return "", fmt.Errorf("toolxml: line %d: #else without #if", ln+1)
+			}
+			f := cur()
+			f.active = f.parent && !f.matched
+			f.matched = true
+		case line == "#end if":
+			if len(stack) == 1 {
+				return "", fmt.Errorf("toolxml: line %d: #end if without #if", ln+1)
+			}
+			stack = stack[:len(stack)-1]
+		default:
+			if !cur().active || line == "" {
+				continue
+			}
+			expanded, err := substitute(line, params)
+			if err != nil {
+				return "", fmt.Errorf("toolxml: line %d: %w", ln+1, err)
+			}
+			out = append(out, expanded)
+		}
+	}
+	if len(stack) != 1 {
+		return "", fmt.Errorf("toolxml: unterminated #if (%d open)", len(stack)-1)
+	}
+	return strings.Join(out, " "), nil
+}
+
+// evalCond evaluates `$var == "lit"`, `$var != "lit"` or bare `$var`.
+func evalCond(expr string, params map[string]string) (bool, error) {
+	expr = strings.TrimSpace(expr)
+	for _, op := range []string{"==", "!="} {
+		if i := strings.Index(expr, op); i >= 0 {
+			left, err := lookupVar(strings.TrimSpace(expr[:i]), params)
+			if err != nil {
+				return false, err
+			}
+			right := strings.Trim(strings.TrimSpace(expr[i+2:]), `"'`)
+			if op == "==" {
+				return left == right, nil
+			}
+			return left != right, nil
+		}
+	}
+	v, err := lookupVar(expr, params)
+	if err != nil {
+		return false, err
+	}
+	return v != "" && v != "false" && v != "0" && v != "False", nil
+}
+
+func lookupVar(ref string, params map[string]string) (string, error) {
+	name := strings.TrimPrefix(strings.TrimSpace(ref), "$")
+	name = strings.TrimSuffix(strings.TrimPrefix(name, "{"), "}")
+	if name == "" {
+		return "", fmt.Errorf("empty variable reference %q", ref)
+	}
+	v, ok := params[name]
+	if !ok {
+		return "", fmt.Errorf("undefined template variable $%s", name)
+	}
+	return v, nil
+}
+
+// substitute expands every $name / ${name} occurrence in one line.
+func substitute(line string, params map[string]string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(line); {
+		c := line[i]
+		if c != '$' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		j := i + 1
+		braced := j < len(line) && line[j] == '{'
+		if braced {
+			j++
+		}
+		start := j
+		for j < len(line) && (isWordByte(line[j])) {
+			j++
+		}
+		if start == j {
+			return "", fmt.Errorf("stray '$' at column %d", i+1)
+		}
+		name := line[start:j]
+		if braced {
+			if j >= len(line) || line[j] != '}' {
+				return "", fmt.Errorf("unterminated ${%s", name)
+			}
+			j++
+		}
+		v, ok := params[name]
+		if !ok {
+			return "", fmt.Errorf("undefined template variable $%s", name)
+		}
+		b.WriteString(v)
+		i = j
+	}
+	return b.String(), nil
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gyan/internal/sim"
+)
+
+// Arrival processes. The paper's evaluation submits jobs by hand; the
+// load/queueing ablations need reproducible arrival streams instead. All
+// generators return offsets from time zero, sorted ascending.
+
+// PoissonArrivals returns n arrival offsets with exponentially distributed
+// gaps at the given mean rate (jobs per second).
+func PoissonArrivals(seed uint64, ratePerSec float64, n int) ([]time.Duration, error) {
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate %v", ratePerSec)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("workload: %d arrivals", n)
+	}
+	rng := sim.NewRNG(seed)
+	out := make([]time.Duration, n)
+	var t float64
+	for i := 0; i < n; i++ {
+		// Inverse-CDF sampling of Exp(rate); 1-U avoids log(0).
+		gap := -math.Log(1-rng.Float64()) / ratePerSec
+		t += gap
+		out[i] = time.Duration(t * float64(time.Second))
+	}
+	return out, nil
+}
+
+// UniformArrivals returns n arrivals spaced exactly `period` apart,
+// starting at one period.
+func UniformArrivals(period time.Duration, n int) ([]time.Duration, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("workload: arrival period %v", period)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("workload: %d arrivals", n)
+	}
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(i+1) * period
+	}
+	return out, nil
+}
+
+// BurstArrivals returns arrivals grouped into bursts: `burst` jobs spaced
+// `within` apart, with `between` separating burst starts, until n jobs are
+// emitted. This is the arrival shape that separates scatter-style policies
+// from single-device ones.
+func BurstArrivals(burst int, within, between time.Duration, n int) ([]time.Duration, error) {
+	if burst < 1 {
+		return nil, fmt.Errorf("workload: burst size %d", burst)
+	}
+	if within <= 0 || between <= 0 {
+		return nil, fmt.Errorf("workload: burst spacing %v/%v", within, between)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("workload: %d arrivals", n)
+	}
+	out := make([]time.Duration, 0, n)
+	for len(out) < n {
+		burstStart := time.Duration(len(out)/burst) * between
+		for j := 0; j < burst && len(out) < n; j++ {
+			out = append(out, burstStart+time.Duration(j)*within)
+		}
+	}
+	return out, nil
+}
