@@ -1,0 +1,20 @@
+# Developer entry points. `make check` is the gate CI runs: build, vet and
+# the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check build vet test bench
+
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

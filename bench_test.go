@@ -82,6 +82,13 @@ func BenchmarkFig11ProcessTable(b *testing.B) { runExperiment(b, "fig11", "") }
 // Smith-Waterman speedup claim.
 func BenchmarkRelatedPyPaSWAS(b *testing.B) { runExperiment(b, "related-pypaswas", "speedup") }
 
+// BenchmarkSchedBackfill runs the batch-scheduler study: greedy dispatch vs
+// FIFO gangs vs conservative backfill on one arrival trace, reporting the
+// backfill makespan in virtual seconds.
+func BenchmarkSchedBackfill(b *testing.B) {
+	runExperiment(b, "sched-backfill", "makespan_backfill")
+}
+
 // BenchmarkAblations runs the design-choice studies beyond the paper.
 func BenchmarkAblations(b *testing.B) {
 	for _, tc := range []struct{ id, metric string }{

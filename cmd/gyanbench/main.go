@@ -8,9 +8,16 @@
 //	gyanbench -experiment fig3    # one experiment
 //	gyanbench -list               # list experiment IDs
 //	gyanbench -seed 7 -quick      # smaller synthetic payloads
+//	gyanbench -json               # machine-readable results on stdout
+//
+// With -json the tables are suppressed and each experiment emits one object
+// carrying its metrics map — for sched-backfill that includes the scheduler
+// counters (mean/P99 queue wait, backfill and preemption counts) per
+// dispatch mode.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +26,14 @@ import (
 	"gyan/internal/experiments"
 )
 
+// jsonResult is the machine-readable shape of one experiment: the rendered
+// tables are replaced by the metrics map that tests assert on.
+type jsonResult struct {
+	ID      string             `json:"id"`
+	Caption string             `json:"caption"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
 func main() {
 	var (
 		experiment = flag.String("experiment", "all", "experiment ID to run, or 'all'")
@@ -26,6 +41,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "shrink the real synthetic payloads (model numbers unchanged)")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 		parallel   = flag.Bool("parallel", false, "run experiments concurrently (each has its own simulated cluster)")
+		asJSON     = flag.Bool("json", false, "emit results as JSON (one array of {id, caption, metrics})")
 	)
 	flag.Parse()
 
@@ -74,6 +90,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gyanbench: %s: %v\n", id, results[i].err)
 			os.Exit(1)
 		}
+	}
+
+	if *asJSON {
+		out := make([]jsonResult, len(ids))
+		for i := range ids {
+			res := results[i].res
+			out[i] = jsonResult{ID: res.ID, Caption: res.Caption, Metrics: res.Metrics}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "gyanbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	for i := range ids {
 		res := results[i].res
 		fmt.Printf("######## %s — %s\n\n", res.ID, res.Caption)
 		for _, tb := range res.Tables {

@@ -306,3 +306,69 @@ func TestDecisionReasonIsInformative(t *testing.T) {
 		t.Fatal("decision carries no reason")
 	}
 }
+
+// gpuReq builds a bare GPU compute requirement with the given version tag.
+func gpuReq(version string) toolxml.Requirement {
+	return toolxml.Requirement{Type: "compute", Name: "gpu", Version: version}
+}
+
+func TestAllocateEmptySurveyErrors(t *testing.T) {
+	var m Mapper
+	for _, policy := range []Policy{PolicyPID, PolicyMemory, PolicyUtilization} {
+		m.Policy = policy
+		if _, _, err := m.Allocate(gpuReq(""), smi.Usage{}); err == nil {
+			t.Errorf("%v: empty survey did not error", policy)
+		} else if !strings.Contains(err.Error(), "no GPUs in survey") {
+			t.Errorf("%v: empty survey error = %v", policy, err)
+		}
+	}
+}
+
+func TestAllocateVersionTagListPartiallyBusy(t *testing.T) {
+	// The wrapper pins GPUs 0,1 but device 0 is occupied: the PID policy
+	// must divert to the free device rather than honor a half-busy list.
+	c := gpu.NewPaperTestbed(nil)
+	occupy(t, c, 0, 512)
+	var m Mapper
+	devices, reason, err := m.Allocate(gpuReq("0,1"), surveyOf(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devices) != 1 || devices[0] != 1 {
+		t.Fatalf("allocated %v, want the free device [1]", devices)
+	}
+	if !strings.Contains(reason, "busy") {
+		t.Errorf("reason %q does not explain the diversion", reason)
+	}
+}
+
+func TestAllocateVersionTagListAllFree(t *testing.T) {
+	// Both pinned devices idle: the explicit list wins verbatim.
+	c := gpu.NewPaperTestbed(nil)
+	var m Mapper
+	devices, reason, err := m.Allocate(gpuReq("1,0"), surveyOf(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devices) != 2 || devices[0] != 1 || devices[1] != 0 {
+		t.Fatalf("allocated %v, want the requested order [1 0]", devices)
+	}
+	if !strings.Contains(reason, "available") {
+		t.Errorf("reason = %q", reason)
+	}
+}
+
+func TestAllocateMoreGPUsThanCluster(t *testing.T) {
+	// Asking for device IDs beyond the 2-GPU testbed names the missing
+	// device and the real inventory.
+	c := gpu.NewPaperTestbed(nil)
+	var m Mapper
+	_, _, err := m.Allocate(gpuReq("0,1,2,3"), surveyOf(t, c))
+	if err == nil {
+		t.Fatal("4-device request on a 2-GPU host did not error")
+	}
+	if !strings.Contains(err.Error(), "GPU 2 does not exist") ||
+		!strings.Contains(err.Error(), "[0 1]") {
+		t.Errorf("error %v does not name the missing device and inventory", err)
+	}
+}

@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-load", "ablation-multigpu", "ablation-policy", "ablation-window",
 		"case1", "case2", "case3", "case4",
 		"fig10", "fig11", "fig3", "fig4", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "polish", "related-pypaswas"}
+		"fig8", "fig9", "polish", "related-pypaswas", "sched-backfill"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %v, want %v", got, want)

@@ -2,6 +2,7 @@ package galaxy
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"gyan/internal/container"
@@ -9,6 +10,8 @@ import (
 	"gyan/internal/depres"
 	"gyan/internal/gpu"
 	"gyan/internal/jobconf"
+	"gyan/internal/monitor"
+	"gyan/internal/sched"
 	"gyan/internal/sim"
 	"gyan/internal/smi"
 	"gyan/internal/toolxml"
@@ -32,6 +35,13 @@ type Galaxy struct {
 	// profiler to its device streams.
 	Profiler func(*Job) gpu.Profiler
 
+	// mu guards all mutable job-queue state below. Engine callbacks run on
+	// the driving goroutine but Submit/Kill/Jobs may be called from others
+	// (e.g. HTTP handlers racing a draining engine). Lock order is always
+	// g.mu before the engine's internal lock; callbacks scheduled while
+	// holding g.mu run later, lock-free of the caller.
+	mu sync.Mutex
+
 	tools  map[string]*ToolBinding
 	jobs   []*Job
 	nextID int
@@ -48,6 +58,16 @@ type Galaxy struct {
 	UserQuota   int
 	userRunning map[string]int
 	userWaiting map[string][]*pendingStart
+
+	// sched, when set, replaces the greedy per-job dispatch for GPU jobs
+	// with batch scheduling (see scheduler.go): GPU jobs park in the
+	// scheduler's priority queue and start only when a Cycle grants them an
+	// exclusive device gang. The flat UserQuota gate and destination slot
+	// limits do not apply to scheduler-managed jobs — weighted fair sharing
+	// and gang allocation subsume both.
+	sched     *sched.Scheduler
+	schedJobs map[int]*schedEntry
+	qmon      *monitor.QueueMonitor
 }
 
 // pendingStart is a job parked behind a saturated destination.
@@ -93,6 +113,7 @@ func New(cluster *gpu.Cluster, opts ...Option) *Galaxy {
 		waiting:     make(map[string][]*pendingStart),
 		userRunning: make(map[string]int),
 		userWaiting: make(map[string][]*pendingStart),
+		schedJobs:   make(map[int]*schedEntry),
 	}
 	for _, opt := range opts {
 		opt(g)
@@ -166,8 +187,12 @@ func (g *Galaxy) Tool(id string) (*ToolBinding, error) {
 	return b, nil
 }
 
-// Jobs returns all jobs in submission order.
-func (g *Galaxy) Jobs() []*Job { return g.jobs }
+// Jobs returns a snapshot of all jobs in submission order.
+func (g *Galaxy) Jobs() []*Job {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*Job(nil), g.jobs...)
+}
 
 // SubmitOptions refine a submission.
 type SubmitOptions struct {
@@ -182,6 +207,15 @@ type SubmitOptions struct {
 	// User attributes the job for quota accounting; empty means the
 	// anonymous user.
 	User string
+	// Priority is the job's priority class under a batch scheduler
+	// (WithScheduler); higher runs first. Ignored by greedy dispatch.
+	Priority int
+	// GPUs is the gang size a scheduler-managed GPU job requests. Zero
+	// falls back to the wrapper's pinned device list, or 1.
+	GPUs int
+	// EstRuntime is the job's walltime estimate, feeding the scheduler's
+	// backfill reservations. Zero uses the scheduler's default.
+	EstRuntime time.Duration
 
 	// resubmitDest, when non-empty, pins the job to the named destination
 	// instead of the mapper's choice. Set internally when a destination's
@@ -197,6 +231,14 @@ const maxResubmits = 3
 // The returned job is filled in as lifecycle events run; call
 // Engine.Run (or g.Run) to drive it to completion.
 func (g *Galaxy) Submit(toolID string, params map[string]string, dataset any, opts SubmitOptions) (*Job, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.submitLocked(toolID, params, dataset, opts)
+}
+
+// submitLocked is Submit with g.mu held, for callers already inside the lock
+// (workflow step chaining fires from a completion hook under the lock).
+func (g *Galaxy) submitLocked(toolID string, params map[string]string, dataset any, opts SubmitOptions) (*Job, error) {
 	binding, err := g.Tool(toolID)
 	if err != nil {
 		return nil, err
@@ -232,6 +274,15 @@ func (g *Galaxy) Run() time.Duration { return g.Engine.Run() }
 // mapping, param-dict evaluation, command rendering, (optional) container
 // launch, and tool execution.
 func (g *Galaxy) startJob(job *Job, binding *ToolBinding, opts SubmitOptions, now time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.startJobLocked(job, binding, opts, now)
+}
+
+// startJobLocked runs admission control and destination mapping, then either
+// parks the job (quota, destination slots, or the batch scheduler's queue)
+// or hands it to launchLocked for execution.
+func (g *Galaxy) startJobLocked(job *Job, binding *ToolBinding, opts SubmitOptions, now time.Duration) {
 	if job.killed {
 		return // cancelled while queued
 	}
@@ -244,20 +295,25 @@ func (g *Galaxy) startJob(job *Job, binding *ToolBinding, opts SubmitOptions, no
 		}
 	}
 
-	// User quota admission, before any device survey.
-	if g.UserQuota > 0 && g.userRunning[job.User] >= g.UserQuota {
-		job.State = StateQueued
-		job.Info = fmt.Sprintf("queued: user %q at quota (%d concurrent jobs)", job.User, g.UserQuota)
-		g.userWaiting[job.User] = append(g.userWaiting[job.User],
-			&pendingStart{job: job, binding: binding, opts: opts})
-		return
+	// User quota admission, before any device survey. A configured batch
+	// scheduler supersedes the flat quota: weighted fair sharing orders
+	// users continuously instead of gating them at a fixed concurrency.
+	releaseUser := func() {}
+	if g.sched == nil {
+		if g.UserQuota > 0 && g.userRunning[job.User] >= g.UserQuota {
+			job.State = StateQueued
+			job.Info = fmt.Sprintf("queued: user %q at quota (%d concurrent jobs)", job.User, g.UserQuota)
+			g.userWaiting[job.User] = append(g.userWaiting[job.User],
+				&pendingStart{job: job, binding: binding, opts: opts})
+			return
+		}
+		g.userRunning[job.User]++
+		releaseUser = func() {
+			g.userRunning[job.User]--
+			g.dispatchNextUser(job.User)
+		}
+		release = releaseUser
 	}
-	g.userRunning[job.User]++
-	releaseUser := func() {
-		g.userRunning[job.User]--
-		g.dispatchNextUser(job.User)
-	}
-	release = releaseUser
 
 	// Survey the GPUs through the nvidia-smi XML interface at this
 	// instant, then run GYAN's dynamic destination rule.
@@ -304,6 +360,15 @@ func (g *Galaxy) startJob(job *Job, binding *ToolBinding, opts SubmitOptions, no
 		}
 	}
 
+	// Batch scheduling: GPU jobs park in the scheduler's priority queue
+	// and start when a cycle grants them an exclusive device gang.
+	// Resubmitted jobs keep the direct path — their fallback destination
+	// pin already fixed the placement.
+	if g.sched != nil && decision.GPUEnabled && opts.resubmitDest == "" {
+		g.parkInSchedulerLocked(job, binding, opts, tool, now)
+		return
+	}
+
 	// Destination scheduling: park the job if the destination is
 	// saturated; it is redispatched (with a fresh GPU survey) when a
 	// running job there completes. The user-quota slot is returned while
@@ -325,6 +390,29 @@ func (g *Galaxy) startJob(job *Job, binding *ToolBinding, opts SubmitOptions, no
 		releaseUser()
 		g.dispatchNext(destID)
 	}
+
+	g.launchLocked(job, binding, opts, tool, decision, release, now)
+}
+
+// launchLocked executes a mapped job: param-dict evaluation, command
+// rendering, dependency resolution or container launch, tool execution and
+// the completion event. release returns whatever admission slots the caller
+// acquired (destination/user slots, or the scheduler's device gang) and must
+// be non-nil.
+func (g *Galaxy) launchLocked(job *Job, binding *ToolBinding, opts SubmitOptions, tool *toolxml.Tool,
+	decision core.Decision, release func(), now time.Duration) {
+	fail := func(err error) {
+		job.Info = err.Error()
+		job.finish(StateError, g.Engine.Clock().Now())
+		if release != nil {
+			release()
+		}
+	}
+
+	// Each (re)launch bumps the run epoch; a stale completion event (from
+	// a run that was preempted) sees a newer epoch and stands down.
+	job.run++
+	run := job.run
 
 	job.State = StateRunning
 	job.Started = now
@@ -436,8 +524,10 @@ func (g *Galaxy) startJob(job *Job, binding *ToolBinding, opts SubmitOptions, no
 	end := start + res.Total
 	job.release = release
 	g.Engine.Schedule(end, func(fin time.Duration) {
-		if job.killed {
-			return // the kill already tore the job down
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		if job.killed || job.run != run {
+			return // a kill or preemption already tore this run down
 		}
 		for _, s := range job.sessions {
 			s.Close()
@@ -456,7 +546,12 @@ func (g *Galaxy) startJob(job *Job, binding *ToolBinding, opts SubmitOptions, no
 // skipped when its start event or queue dispatch reaches it. Killing a
 // finished job is a no-op.
 func (g *Galaxy) Kill(job *Job) {
-	if job == nil || job.Done() || job.killed {
+	if job == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if job.Done() || job.killed {
 		return
 	}
 	job.killed = true
@@ -466,11 +561,19 @@ func (g *Galaxy) Kill(job *Job) {
 	}
 	job.sessions = nil
 	job.Info = "killed by user"
-	job.finish(StateError, g.Engine.Clock().Now())
+	job.finish(StateError, now)
 	if job.release != nil {
 		rel := job.release
 		job.release = nil
 		rel()
+	} else if g.sched != nil {
+		// Queued under the batch scheduler: drop it from the priority
+		// queue so a later cycle cannot start a dead job.
+		if _, parked := g.schedJobs[job.ID]; parked {
+			g.sched.Remove(job.ID)
+			delete(g.schedJobs, job.ID)
+			g.recordQueueLocked(now)
+		}
 	}
 }
 

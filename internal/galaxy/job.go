@@ -44,6 +44,9 @@ type Job struct {
 	// Resubmitted counts how many times the job was rerouted to a
 	// fallback destination after a failure.
 	Resubmitted int
+	// Preempted counts how many times a batch scheduler evicted the job
+	// to make room for a higher-priority one (each eviction requeues it).
+	Preempted int
 	// DependencyInstall is the time spent installing the tool's conda
 	// environment (zero when cached or containerized).
 	DependencyInstall time.Duration
@@ -80,6 +83,9 @@ type Job struct {
 	// killed marks a job cancelled by the user; the pending completion
 	// event becomes a no-op.
 	killed bool
+	// run is the launch epoch: bumped on every (re)launch so a completion
+	// event scheduled by a preempted run stands down.
+	run int
 	// release returns the job's scheduler slots; set while running.
 	release func()
 }
@@ -101,6 +107,15 @@ func (j *Job) WallTime() time.Duration {
 		return 0
 	}
 	return j.Finished - j.Started
+}
+
+// QueueWait returns how long the job waited between submission and its
+// (most recent) start; zero while still queued.
+func (j *Job) QueueWait() time.Duration {
+	if j.Started < j.Submitted {
+		return 0
+	}
+	return j.Started - j.Submitted
 }
 
 // Done reports whether the job reached a terminal state.

@@ -298,3 +298,53 @@ func TestDependencyInstallChargedOnce(t *testing.T) {
 			first.WallTime(), second.WallTime())
 	}
 }
+
+func TestUserQuotaFairnessUnderUnequalLoad(t *testing.T) {
+	// Fairness regression for the per-user dispatch path: a heavy
+	// submitter (6 jobs) must not starve a light one (2 jobs) under a
+	// 1-job quota — each user's queue drains independently.
+	g := New(nil, WithUserQuota(1))
+	if err := g.RegisterDefaultTools(); err != nil {
+		t.Fatal(err)
+	}
+	rs := smallReadSet(t)
+	var heavy, light []*Job
+	for i := 0; i < 6; i++ {
+		j, err := g.Submit("seqstats", nil, rs, SubmitOptions{User: "heavy"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		heavy = append(heavy, j)
+	}
+	for i := 0; i < 2; i++ {
+		j, err := g.Submit("seqstats", nil, rs,
+			SubmitOptions{User: "light", Delay: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		light = append(light, j)
+	}
+	g.Run()
+
+	for _, j := range append(append([]*Job(nil), heavy...), light...) {
+		if j.State != StateOK {
+			t.Fatalf("job %d (%s) finished %s: %s", j.ID, j.User, j.State, j.Info)
+		}
+	}
+	// Each user serializes under the quota…
+	for _, jobs := range [][]*Job{heavy, light} {
+		for i := 1; i < len(jobs); i++ {
+			if jobs[i].Started < jobs[i-1].Finished {
+				t.Errorf("user %s ran jobs %d and %d concurrently under quota 1",
+					jobs[i].User, jobs[i-1].ID, jobs[i].ID)
+			}
+		}
+	}
+	// …but the light user's two jobs never wait behind the heavy backlog:
+	// they are done before the heavy user's third job completes.
+	lightDone := light[1].Finished
+	if lightDone > heavy[2].Finished {
+		t.Errorf("light user finished at %v, after heavy's third job at %v — starved",
+			lightDone, heavy[2].Finished)
+	}
+}

@@ -1,0 +1,90 @@
+package galaxy
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gyan/internal/sched"
+)
+
+// These tests exist for the race detector: submission and kill may arrive
+// from goroutines other than the one driving the engine (the HTTP API does
+// exactly that), so dispatch, completion and kill paths must be safe under
+// concurrent entry. Run with `go test -race`.
+
+func TestConcurrentSubmitAndKill(t *testing.T) {
+	g := testGalaxy(t)
+	rs := smallReadSet(t)
+	const n = 12
+	jobs := make([]*Job, n)
+	var submits sync.WaitGroup
+	for i := 0; i < n; i++ {
+		submits.Add(1)
+		go func(i int) {
+			defer submits.Done()
+			j, err := g.Submit("seqstats", nil, rs, SubmitOptions{
+				User:  fmt.Sprintf("user%d", i%3),
+				Delay: time.Duration(i) * time.Millisecond,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			jobs[i] = j
+		}(i)
+	}
+	submits.Wait()
+
+	// Kill a few jobs from another goroutine while the engine drains.
+	var kills sync.WaitGroup
+	kills.Add(1)
+	go func() {
+		defer kills.Done()
+		for _, j := range jobs[:n/4] {
+			g.Kill(j)
+		}
+	}()
+	g.Run()
+	kills.Wait()
+	g.Run() // drain redispatch events a late kill may have scheduled
+
+	for i, j := range jobs[n/4:] {
+		if j.State != StateOK {
+			t.Errorf("job %d finished %s: %s", i+n/4, j.State, j.Info)
+		}
+	}
+}
+
+func TestConcurrentSubmitWithScheduler(t *testing.T) {
+	g := testGalaxy(t, WithScheduler(sched.New(sched.Config{Backfill: true})))
+	rs := smallReadSet(t)
+	const n = 6
+	jobs := make([]*Job, n)
+	var submits sync.WaitGroup
+	for i := 0; i < n; i++ {
+		submits.Add(1)
+		go func(i int) {
+			defer submits.Done()
+			j, err := g.Submit("racon", fastParams(), rs, SubmitOptions{
+				User: fmt.Sprintf("user%d", i%2),
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			jobs[i] = j
+		}(i)
+	}
+	submits.Wait()
+	g.Run()
+	for i, j := range jobs {
+		if j.State != StateOK {
+			t.Errorf("job %d finished %s: %s", i, j.State, j.Info)
+		}
+	}
+	if m := g.SchedulerMetrics(); m.Started != n {
+		t.Errorf("scheduler started %d of %d jobs", m.Started, n)
+	}
+}

@@ -1,0 +1,261 @@
+package galaxy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"gyan/internal/core"
+	"gyan/internal/monitor"
+	"gyan/internal/sched"
+	"gyan/internal/smi"
+	"gyan/internal/toolxml"
+)
+
+// Batch-scheduler integration. With WithScheduler configured, GPU jobs no
+// longer start greedily the instant they are mapped: they park in the
+// scheduler's priority queue and a scheduling cycle — run as an engine event
+// whenever the queue or the device state changes — decides which jobs start
+// on which exclusive device gangs. Greedy dispatch semantics change in three
+// ways:
+//
+//   - the flat UserQuota gate is replaced by weighted fair sharing;
+//   - destination slot limits do not apply to scheduler-managed GPU jobs
+//     (gang exclusivity is the capacity limit);
+//   - a job may be preempted (aborted and requeued, not failed) when a
+//     higher-priority job has waited past the scheduler's deadline.
+//
+// CPU-routed jobs, resubmitted jobs pinned to a fallback destination, and
+// every job on a scheduler-less Galaxy keep the original greedy path.
+
+// schedEntry tracks one scheduler-managed job from park to release, keeping
+// everything needed to (re)launch it: the pending start (job, binding,
+// opts), the patched wrapper used at mapping time, and the original request
+// so preemption victims requeue with their submission time intact.
+type schedEntry struct {
+	pending *pendingStart
+	tool    *toolxml.Tool
+	req     sched.Request
+}
+
+// WithScheduler installs a batch scheduler for GPU jobs. The scheduler must
+// not be shared across Galaxy instances.
+func WithScheduler(s *sched.Scheduler) Option {
+	return func(g *Galaxy) { g.sched = s }
+}
+
+// WithQueueMonitor records queue-depth samples into m after every scheduler
+// event (no-op without WithScheduler).
+func WithQueueMonitor(m *monitor.QueueMonitor) Option {
+	return func(g *Galaxy) { g.qmon = m }
+}
+
+// Scheduler returns the configured batch scheduler (nil when greedy).
+func (g *Galaxy) Scheduler() *sched.Scheduler { return g.sched }
+
+// SchedulerMetrics returns the scheduler's counters; the zero Metrics when
+// no scheduler is configured.
+func (g *Galaxy) SchedulerMetrics() sched.Metrics {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.sched == nil {
+		return sched.Metrics{}
+	}
+	return g.sched.Metrics()
+}
+
+// parkInSchedulerLocked enqueues a mapped GPU job with the batch scheduler
+// and schedules the cycles that will eventually start it.
+func (g *Galaxy) parkInSchedulerLocked(job *Job, binding *ToolBinding, opts SubmitOptions,
+	tool *toolxml.Tool, now time.Duration) {
+	gang := opts.GPUs
+	if gang <= 0 {
+		// The wrapper's pinned device list (version-tag IDs) implies the
+		// gang size the tool expects.
+		if req, ok := tool.GPURequirement(); ok {
+			if ids, err := req.GPUIDs(); err == nil && len(ids) > 0 {
+				gang = len(ids)
+			}
+		}
+	}
+	if gang <= 0 {
+		gang = 1
+	}
+	req := sched.Request{
+		ID:         job.ID,
+		User:       job.User,
+		Priority:   opts.Priority,
+		GPUs:       gang,
+		EstRuntime: opts.EstRuntime,
+		Submitted:  job.Submitted,
+	}
+	if req.Submitted == 0 {
+		// Mirror sched.Submit's zero-means-now default so the preemption
+		// deadline below and the stored requeue request agree with what
+		// the scheduler records.
+		req.Submitted = now
+	}
+	if err := g.sched.Submit(req, now); err != nil {
+		job.Info = err.Error()
+		job.finish(StateError, now)
+		return
+	}
+	job.State = StateQueued
+	job.Info = fmt.Sprintf("queued: awaiting gang of %d GPU(s)", gang)
+	g.schedJobs[job.ID] = &schedEntry{
+		pending: &pendingStart{job: job, binding: binding, opts: opts},
+		tool:    tool,
+		req:     req,
+	}
+	g.recordQueueLocked(now)
+	g.scheduleCycle(0)
+	// A preemption deadline is a future decision point with no device
+	// event to trigger it; plant a cycle at the instant it matures.
+	if pa := g.sched.Config().PreemptAfter; pa > 0 {
+		if delay := req.Submitted + pa - now; delay > 0 {
+			g.scheduleCycle(delay)
+		}
+	}
+}
+
+// scheduleCycle plants a scheduling cycle `delay` after the current virtual
+// time. Redundant cycles are cheap: a cycle with nothing to decide returns
+// an empty decision.
+func (g *Galaxy) scheduleCycle(delay time.Duration) {
+	g.Engine.After(delay, g.schedCycle)
+}
+
+// schedCycle surveys the devices, runs one scheduler cycle and executes its
+// decision: rejects fail, preempts abort-and-requeue, starts launch.
+func (g *Galaxy) schedCycle(now time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.sched == nil {
+		return
+	}
+	doc, err := smi.Query(g.Cluster, now)
+	if err != nil {
+		return
+	}
+	survey, err := smi.UsageFromXML(doc)
+	if err != nil {
+		return
+	}
+	dec := g.sched.Cycle(now, survey)
+	for _, rej := range dec.Rejects {
+		e := g.schedJobs[rej.ID]
+		delete(g.schedJobs, rej.ID)
+		if e == nil || e.pending.job.Done() {
+			continue
+		}
+		e.pending.job.Info = rej.Reason
+		e.pending.job.finish(StateError, now)
+	}
+	for _, p := range dec.Preempts {
+		g.preemptLocked(p, now)
+	}
+	for _, st := range dec.Starts {
+		if e := g.schedJobs[st.ID]; e != nil {
+			g.launchScheduledLocked(e, st, now)
+		}
+	}
+	if !dec.Empty() {
+		g.recordQueueLocked(now)
+	}
+	if len(dec.Preempts) > 0 {
+		// Victims released their devices synchronously above; replan at
+		// this instant so the waiting job claims them.
+		g.scheduleCycle(0)
+	}
+}
+
+// preemptLocked executes one eviction order: abort the victim's device
+// sessions, invalidate its pending completion event, and requeue it with its
+// original submission time so its queue position is preserved.
+func (g *Galaxy) preemptLocked(p sched.Preempt, now time.Duration) {
+	e := g.schedJobs[p.ID]
+	if e == nil {
+		// Victim vanished (killed in the same instant); free its devices.
+		g.sched.Release(p.ID, now)
+		return
+	}
+	job := e.pending.job
+	for _, s := range job.sessions {
+		s.Abort(now)
+	}
+	job.sessions = nil
+	job.run++ // the scheduled completion event now stands down
+	job.release = nil
+	job.Preempted++
+	job.State = StateQueued
+	job.Info = p.Reason
+	g.sched.Release(p.ID, now)
+	if e.req.Submitted == 0 {
+		// A true t=0 submission would hit Submit's zero-means-now default
+		// and lose its seniority; a nanosecond keeps it at the front.
+		e.req.Submitted = time.Nanosecond
+	}
+	if err := g.sched.Submit(e.req, now); err != nil {
+		delete(g.schedJobs, p.ID)
+		job.Info = err.Error()
+		job.finish(StateError, now)
+	}
+}
+
+// launchScheduledLocked starts one granted job on exactly its device gang.
+func (g *Galaxy) launchScheduledLocked(e *schedEntry, st sched.Start, now time.Duration) {
+	job := e.pending.job
+	if job.killed || job.Done() {
+		// Defensive: Kill removes parked jobs from the scheduler, so a
+		// grant for a dead job should not happen.
+		delete(g.schedJobs, job.ID)
+		g.sched.Release(job.ID, now)
+		return
+	}
+	dest, err := g.Conf.Destination(g.Mapper.GPUDestID())
+	if err != nil {
+		delete(g.schedJobs, job.ID)
+		g.sched.Release(job.ID, now)
+		job.Info = err.Error()
+		job.finish(StateError, now)
+		return
+	}
+	decision := core.Decision{
+		Destination:    dest,
+		GPUEnabled:     true,
+		Devices:        st.Devices,
+		VisibleDevices: deviceList(st.Devices),
+		Reason:         st.Reason,
+	}
+	id := job.ID
+	release := func() {
+		delete(g.schedJobs, id)
+		at := g.Engine.Clock().Now()
+		g.sched.Release(id, at)
+		g.recordQueueLocked(at)
+		g.scheduleCycle(0)
+	}
+	g.launchLocked(job, e.pending.binding, e.pending.opts, e.tool, decision, release, now)
+}
+
+// recordQueueLocked samples queue depth into the scheduler's metrics and the
+// optional queue monitor.
+func (g *Galaxy) recordQueueLocked(now time.Duration) {
+	if g.sched == nil {
+		return
+	}
+	g.sched.RecordDepth(now)
+	if g.qmon != nil {
+		g.qmon.Record(now, g.sched.QueueDepth(), g.sched.RunningCount())
+	}
+}
+
+// deviceList renders minor IDs as a CUDA_VISIBLE_DEVICES value.
+func deviceList(devices []int) string {
+	parts := make([]string, len(devices))
+	for i, d := range devices {
+		parts[i] = strconv.Itoa(d)
+	}
+	return strings.Join(parts, ",")
+}

@@ -70,19 +70,25 @@ func (g *Galaxy) SubmitWorkflow(name string, steps []WorkflowStep) (*Workflow, e
 		return nil, fmt.Errorf("galaxy: workflow %q first step has no dataset", name)
 	}
 	w := &Workflow{Name: name, State: StateRunning, steps: steps, g: g}
-	if err := w.submitStep(0, steps[0].Dataset); err != nil {
+	g.mu.Lock()
+	err := w.submitStep(0, steps[0].Dataset)
+	g.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
 	return w, nil
 }
 
+// submitStep submits step i with g.mu held: SubmitWorkflow locks around the
+// first step, and stepDone fires from a completion hook already under the
+// lock.
 func (w *Workflow) submitStep(i int, dataset any) error {
 	step := w.steps[i]
 	opts := step.Options
 	if i > 0 {
 		opts.Delay = 0
 	}
-	job, err := w.g.Submit(step.ToolID, step.Params, dataset, opts)
+	job, err := w.g.submitLocked(step.ToolID, step.Params, dataset, opts)
 	if err != nil {
 		return err
 	}

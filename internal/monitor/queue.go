@@ -1,0 +1,95 @@
+package monitor
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// QueueSample is one observation of batch-scheduler queue pressure: how many
+// jobs were waiting and how many were running at a virtual instant.
+type QueueSample struct {
+	At      time.Duration
+	Depth   int
+	Running int
+}
+
+// QueueMonitor records queue-depth samples from a scheduler-driven Galaxy
+// (galaxy.WithQueueMonitor), complementing the per-device hardware sampler:
+// together they answer whether idle devices coexist with a deep queue. It is
+// safe for concurrent use.
+type QueueMonitor struct {
+	mu      sync.Mutex
+	samples []QueueSample
+}
+
+// NewQueueMonitor returns an empty queue monitor.
+func NewQueueMonitor() *QueueMonitor { return &QueueMonitor{} }
+
+// Record appends one sample.
+func (q *QueueMonitor) Record(at time.Duration, depth, running int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.samples = append(q.samples, QueueSample{At: at, Depth: depth, Running: running})
+}
+
+// Samples returns the chronological record.
+func (q *QueueMonitor) Samples() []QueueSample {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]QueueSample, len(q.samples))
+	copy(out, q.samples)
+	return out
+}
+
+// QueueStats aggregates a queue trace.
+type QueueStats struct {
+	Samples    int
+	MaxDepth   int
+	MeanDepth  float64
+	MaxRunning int
+}
+
+// Stats aggregates the recorded samples.
+func (q *QueueMonitor) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := QueueStats{Samples: len(q.samples)}
+	if len(q.samples) == 0 {
+		return st
+	}
+	total := 0
+	for _, s := range q.samples {
+		total += s.Depth
+		if s.Depth > st.MaxDepth {
+			st.MaxDepth = s.Depth
+		}
+		if s.Running > st.MaxRunning {
+			st.MaxRunning = s.Running
+		}
+	}
+	st.MeanDepth = float64(total) / float64(len(q.samples))
+	return st
+}
+
+// WriteCSV emits the samples in the hardware monitor's CSV style.
+func (q *QueueMonitor) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"timestamp_s", "queue_depth", "running"}); err != nil {
+		return err
+	}
+	for _, s := range q.Samples() {
+		rec := []string{
+			strconv.FormatFloat(s.At.Seconds(), 'f', 3, 64),
+			strconv.Itoa(s.Depth),
+			strconv.Itoa(s.Running),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"sync"
 	"time"
 )
 
@@ -15,14 +16,20 @@ type Event struct {
 	seq uint64
 }
 
-// Engine is a single-threaded discrete-event scheduler around a Clock.
-// It drives the multi-GPU experiments (cases 1-4), where job arrivals,
-// completions and allocator decisions must interleave deterministically.
+// Engine is a discrete-event scheduler around a Clock. It drives the
+// multi-GPU experiments (cases 1-4), where job arrivals, completions and
+// allocator decisions must interleave deterministically.
 //
-// Engine is not safe for concurrent use; callbacks run on the caller's
-// goroutine during Run.
+// Only one goroutine may drive the engine (Run/RunUntil/Step), and
+// callbacks run on that goroutine; but Schedule/After/Pending may be called
+// concurrently from other goroutines (e.g. HTTP submission handlers racing
+// a draining engine). Determinism holds for events scheduled from the
+// driving goroutine; cross-goroutine schedules interleave at whatever
+// virtual instant they land.
 type Engine struct {
 	clock *Clock
+
+	mu    sync.Mutex
 	queue eventQueue
 	seq   uint64
 }
@@ -39,11 +46,15 @@ func NewEngine(clock *Clock) *Engine {
 // Clock returns the engine's clock.
 func (e *Engine) Clock() *Clock { return e.clock }
 
-// Schedule enqueues fn to run at absolute virtual time at. Scheduling in the
-// past (before the clock's current time) panics: it would reorder history.
+// Schedule enqueues fn to run at absolute virtual time at. An `at` behind
+// the clock (a logic error from the driving goroutine, or a benign race
+// when another goroutine schedules while the engine drains) is clamped to
+// the current instant rather than reordering history.
 func (e *Engine) Schedule(at time.Duration, fn func(now time.Duration)) {
-	if at < e.clock.Now() {
-		panic("sim: Schedule in the past")
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if now := e.clock.Now(); at < now {
+		at = now
 	}
 	e.seq++
 	heap.Push(&e.queue, &Event{At: at, Fn: fn, seq: e.seq})
@@ -55,16 +66,24 @@ func (e *Engine) After(d time.Duration, fn func(now time.Duration)) {
 }
 
 // Pending reports the number of events not yet run.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.queue.Len()
+}
 
 // Step runs the single earliest pending event, advancing the clock to its
-// timestamp, and reports whether an event ran.
+// timestamp, and reports whether an event ran. The callback executes
+// without the engine lock held, so it may schedule further events.
 func (e *Engine) Step() bool {
+	e.mu.Lock()
 	if e.queue.Len() == 0 {
+		e.mu.Unlock()
 		return false
 	}
 	ev := heap.Pop(&e.queue).(*Event)
 	e.clock.AdvanceTo(ev.At)
+	e.mu.Unlock()
 	ev.Fn(ev.At)
 	return true
 }
@@ -80,8 +99,13 @@ func (e *Engine) Run() time.Duration {
 // RunUntil drains events with timestamps <= deadline and returns the clock's
 // time afterwards (which is min(deadline, last event) if any event ran).
 func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
-	for e.queue.Len() > 0 && e.queue[0].At <= deadline {
-		e.Step()
+	for {
+		e.mu.Lock()
+		due := e.queue.Len() > 0 && e.queue[0].At <= deadline
+		e.mu.Unlock()
+		if !due || !e.Step() {
+			break
+		}
 	}
 	return e.clock.Now()
 }

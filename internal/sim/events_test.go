@@ -56,15 +56,21 @@ func TestEngineCallbackMaySchedule(t *testing.T) {
 	}
 }
 
-func TestEngineSchedulePastPanics(t *testing.T) {
+func TestEngineSchedulePastClampsToNow(t *testing.T) {
+	// A timestamp behind the clock (stale read from a concurrent
+	// submitter) fires at the current instant instead of reordering
+	// history.
 	e := NewEngine(nil)
 	e.Clock().Advance(5 * time.Second)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("scheduling in the past did not panic")
-		}
-	}()
-	e.Schedule(time.Second, func(time.Duration) {})
+	var at time.Duration
+	e.Schedule(time.Second, func(now time.Duration) { at = now })
+	e.Run()
+	if at != 5*time.Second {
+		t.Fatalf("past-scheduled event fired at %v, want clamped to 5s", at)
+	}
+	if got := e.Clock().Now(); got != 5*time.Second {
+		t.Fatalf("clock at %v after clamped event, want 5s", got)
+	}
 }
 
 func TestEngineAfterUsesCurrentTime(t *testing.T) {

@@ -52,6 +52,18 @@ func (c *Chart) AddJobs(jobs []*galaxy.Job) {
 	}
 }
 
+// AddQueueWaits adds one lane per job that waited in a scheduler queue,
+// spanning submission to start, so queue delay is visible next to run time.
+func (c *Chart) AddQueueWaits(jobs []*galaxy.Job) {
+	for _, j := range jobs {
+		if j.State != galaxy.StateOK || j.QueueWait() <= 0 {
+			continue
+		}
+		lane := fmt.Sprintf("job %d wait", j.ID)
+		c.Add(lane, "queued", j.Submitted, j.Started)
+	}
+}
+
 // AddDevices adds one lane per device with its kernel-residency spans.
 func (c *Chart) AddDevices(cluster *gpu.Cluster) {
 	for _, d := range cluster.Devices() {
