@@ -3,9 +3,14 @@
 
 GO ?= go
 
-.PHONY: check build vet test bench
+# Native Go fuzzers and the time budget each gets under fuzz-short.
+FUZZERS   ?= FuzzParseTool FuzzExpandMacros
+FUZZ_PKG  ?= ./internal/toolxml
+FUZZTIME  ?= 10s
 
-check: build vet test
+.PHONY: check build vet test test-race fuzz-short bench
+
+check: build vet test-race
 
 build:
 	$(GO) build ./...
@@ -14,7 +19,23 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test -race ./...
+	$(GO) test ./...
+
+# test-race runs the suite under the race detector; the concurrency tests in
+# internal/galaxy (submit/kill/retry from foreign goroutines) only bite here.
+# The experiment harness replays full simulations, so under the detector's
+# overhead the package needs more than go test's default 10m budget.
+test-race:
+	$(GO) test -race -timeout 30m ./...
+
+# fuzz-short gives each native fuzzer a small deterministic budget — a smoke
+# pass over the seed corpus plus a few seconds of mutation, cheap enough for
+# every CI run.
+fuzz-short:
+	@for f in $(FUZZERS); do \
+		echo "fuzzing $$f for $(FUZZTIME)"; \
+		$(GO) test $(FUZZ_PKG) -run='^$$' -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) || exit 1; \
+	done
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -1,0 +1,124 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gyan/internal/faults"
+	"gyan/internal/galaxy"
+	"gyan/internal/workload"
+)
+
+// faultedServer builds a server over a Galaxy armed with a fault plan that
+// crashes the first racon attempt on device 0, plus retry and quarantine.
+func faultedServer(t *testing.T) (*httptest.Server, *faults.Plan) {
+	t.Helper()
+	plan := faults.NewPlan(7, faults.Rule{
+		Match: faults.Match{Op: faults.OpCrash, Devices: []int{0}},
+		Fault: faults.Fault{Class: faults.Transient, Msg: "XID 79: GPU fell off the bus"},
+		Count: 1,
+	})
+	g := galaxy.New(nil,
+		galaxy.WithFaultPlan(plan),
+		galaxy.WithRetry(faults.Backoff{MaxAttempts: 3, Base: time.Second}),
+		galaxy.WithQuarantine(faults.NewQuarantine(1, 0)),
+	)
+	if err := g.RegisterDefaultTools(); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(g)
+	rs, err := workload.GenerateLongReads(workload.LongReadConfig{
+		Name: "api", Seed: 3, RefLen: 2000, ReadLen: 300, Coverage: 8,
+		SubRate: 0.02, InsRate: 0.03, DelRate: 0.03, BackboneErrorRate: 0.04,
+		NominalBytes: 17 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RegisterDataset("reads", rs)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, plan
+}
+
+func TestFaultsEndpointSurfacesInjectionsAndQuarantine(t *testing.T) {
+	ts, plan := faultedServer(t)
+	body, _ := json.Marshal(map[string]any{
+		"tool":    "racon",
+		"params":  map[string]string{"scale": "0.001"},
+		"dataset": "reads",
+	})
+	resp, err := http.Post(ts.URL+"/api/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		State    string `json:"state"`
+		Attempts int    `json:"attempts"`
+		Failures []struct {
+			Op    string `json:"op"`
+			Class string `json:"class"`
+		} `json:"failures"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if job.State != "ok" || job.Attempts != 2 {
+		t.Fatalf("job = %+v, want ok on attempt 2", job)
+	}
+	if len(job.Failures) != 1 || job.Failures[0].Op != "crash" || job.Failures[0].Class != "transient" {
+		t.Fatalf("failures = %+v", job.Failures)
+	}
+
+	resp, raw := get(t, ts, "/api/faults")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var fr struct {
+		Injected    int   `json:"injected"`
+		Quarantined []int `json:"quarantined_devices"`
+		Events      []struct {
+			Op  string `json:"op"`
+			Job int    `json:"job"`
+		} `json:"events"`
+		Spans []struct {
+			Device       int      `json:"device"`
+			UntilSeconds *float64 `json:"until_seconds"`
+		} `json:"quarantine_spans"`
+	}
+	if err := json.Unmarshal(raw, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Injected != plan.Fired() || fr.Injected != 1 {
+		t.Errorf("injected = %d (plan fired %d)", fr.Injected, plan.Fired())
+	}
+	if len(fr.Events) != 1 || fr.Events[0].Op != "crash" || fr.Events[0].Job != 1 {
+		t.Errorf("events = %+v", fr.Events)
+	}
+	if len(fr.Quarantined) != 1 || fr.Quarantined[0] != 0 {
+		t.Errorf("quarantined = %v, want [0]", fr.Quarantined)
+	}
+	if len(fr.Spans) != 1 || fr.Spans[0].Device != 0 || fr.Spans[0].UntilSeconds != nil {
+		t.Errorf("spans = %+v, want one open span on device 0", fr.Spans)
+	}
+}
+
+func TestFaultsEndpointEmptyWithoutPlan(t *testing.T) {
+	ts := testServer(t)
+	resp, raw := get(t, ts, "/api/faults")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var fr map[string]any
+	if err := json.Unmarshal(raw, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr["injected"] != float64(0) {
+		t.Errorf("injected = %v on an unarmed server", fr["injected"])
+	}
+}

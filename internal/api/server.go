@@ -61,6 +61,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/jobs/", s.handleJob)
 	mux.HandleFunc("/api/smi", s.handleSMI)
 	mux.HandleFunc("/api/monitor", s.handleMonitor)
+	mux.HandleFunc("/api/faults", s.handleFaults)
 	mux.HandleFunc("/api/history", s.handleHistory)
 	mux.HandleFunc("/api/workflows", s.handleWorkflows)
 	return mux
@@ -161,6 +162,17 @@ type jobJSON struct {
 	WallSeconds      float64           `json:"wall_seconds"`
 	Output           string            `json:"output,omitempty"`
 	Params           map[string]string `json:"params,omitempty"`
+	Attempts         int               `json:"attempts"`
+	Failures         []failureJSON     `json:"failures,omitempty"`
+}
+
+// failureJSON is one entry of a job's classified-failure log.
+type failureJSON struct {
+	AtSeconds float64 `json:"at_seconds"`
+	Attempt   int     `json:"attempt"`
+	Op        string  `json:"op"`
+	Class     string  `json:"class"`
+	Msg       string  `json:"msg"`
 }
 
 func toJobJSON(j *galaxy.Job) jobJSON {
@@ -177,6 +189,16 @@ func toJobJSON(j *galaxy.Job) jobJSON {
 		Info:             j.Info,
 		WallSeconds:      j.WallTime().Seconds(),
 		Params:           j.Params,
+		Attempts:         j.Attempt(),
+	}
+	for _, f := range j.Failures {
+		out.Failures = append(out.Failures, failureJSON{
+			AtSeconds: f.At.Seconds(),
+			Attempt:   f.Attempt,
+			Op:        string(f.Op),
+			Class:     f.Class.String(),
+			Msg:       f.Msg,
+		})
 	}
 	if j.Result != nil {
 		out.Output = j.Result.Output
@@ -286,6 +308,79 @@ func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	writeJSON(w, http.StatusOK, s.mon.Stats())
+}
+
+// faultEventJSON is one fired injection, for the /api/faults view.
+type faultEventJSON struct {
+	AtSeconds float64 `json:"at_seconds"`
+	Op        string  `json:"op"`
+	Job       int     `json:"job"`
+	Tool      string  `json:"tool,omitempty"`
+	Attempt   int     `json:"attempt"`
+	Devices   []int   `json:"devices,omitempty"`
+	Class     string  `json:"class"`
+	Msg       string  `json:"msg"`
+}
+
+// quarantineSpanJSON is one device's stay in quarantine; end_seconds is
+// absent for open (still active) spans.
+type quarantineSpanJSON struct {
+	Device       int      `json:"device"`
+	FromSeconds  float64  `json:"from_seconds"`
+	UntilSeconds *float64 `json:"until_seconds,omitempty"`
+}
+
+// faultsResponse is the GET /api/faults body: everything the fault model
+// surfaces — the injection log, quarantine state and the dead-letter queue.
+type faultsResponse struct {
+	Injected    int                  `json:"injected"`
+	Events      []faultEventJSON     `json:"events,omitempty"`
+	Quarantined []int                `json:"quarantined_devices,omitempty"`
+	Spans       []quarantineSpanJSON `json:"quarantine_spans,omitempty"`
+	DeadLetters []jobJSON            `json:"dead_letters,omitempty"`
+}
+
+// handleFaults serves the fault-injection post-mortem: what fired where,
+// which devices are blacklisted, and which jobs exhausted recovery.
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.g.Engine.Clock().Now()
+	resp := faultsResponse{}
+	if plan := s.g.FaultPlan(); plan != nil {
+		resp.Injected = plan.Fired()
+		for _, e := range plan.Events() {
+			resp.Events = append(resp.Events, faultEventJSON{
+				AtSeconds: e.At.Seconds(),
+				Op:        string(e.Site.Op),
+				Job:       e.Site.Job,
+				Tool:      e.Site.Tool,
+				Attempt:   e.Site.Attempt,
+				Devices:   e.Site.Devices,
+				Class:     e.Fault.Class.String(),
+				Msg:       e.Fault.Msg,
+			})
+		}
+	}
+	if q := s.g.DeviceQuarantine(); q != nil {
+		resp.Quarantined = q.Quarantined(now)
+		for _, sp := range q.Spans() {
+			sj := quarantineSpanJSON{Device: sp.Device, FromSeconds: sp.From.Seconds()}
+			if !sp.Open() {
+				until := sp.To.Seconds()
+				sj.UntilSeconds = &until
+			}
+			resp.Spans = append(resp.Spans, sj)
+		}
+	}
+	for _, j := range s.g.DeadLetters() {
+		resp.DeadLetters = append(resp.DeadLetters, toJobJSON(j))
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHistory serves the shareable JSON-lines job history.

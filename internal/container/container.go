@@ -18,6 +18,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"gyan/internal/faults"
 )
 
 // Runtime names.
@@ -100,6 +102,14 @@ type LaunchSpec struct {
 	Volumes []VolumeMount
 	// GPU requests device injection (--gpus all / --nv).
 	GPU bool
+
+	// JobID, ToolID, Attempt and At carry the dispatching job's identity
+	// into the engine's fault-injection seam (see Engine.Faults); zero
+	// values are fine when no fault plan is armed.
+	JobID   int
+	ToolID  string
+	Attempt int
+	At      time.Duration
 }
 
 // Validate reports spec errors.
@@ -201,7 +211,12 @@ type Running struct {
 type Engine struct {
 	Registry     *Registry
 	NvidiaDocker bool
-	nextID       int
+	// Faults, when armed, is consulted before every launch with an OpLaunch
+	// site built from the spec's job context. A fired fault aborts the
+	// launch with a classified error — the simulated equivalent of
+	// `docker run` dying on a pull timeout or a wedged containerd.
+	Faults *faults.Plan
+	nextID int
 }
 
 // NewEngine returns an engine over a fresh default registry with
@@ -216,6 +231,10 @@ func (e *Engine) Launch(s LaunchSpec) (*Running, error) {
 	cmd, err := AssembleCommand(s)
 	if err != nil {
 		return nil, err
+	}
+	site := faults.Site{Op: faults.OpLaunch, Job: s.JobID, Tool: s.ToolID, Attempt: s.Attempt}
+	if f, fired := e.Faults.Check(s.At, site); fired {
+		return nil, faults.NewError(site, f)
 	}
 	if s.GPU && !e.NvidiaDocker {
 		return nil, fmt.Errorf("container: GPU requested but NVIDIA-Docker is not installed on the host")

@@ -8,12 +8,12 @@ import (
 	"gyan/internal/container"
 	"gyan/internal/core"
 	"gyan/internal/depres"
+	"gyan/internal/faults"
 	"gyan/internal/gpu"
 	"gyan/internal/jobconf"
 	"gyan/internal/monitor"
 	"gyan/internal/sched"
 	"gyan/internal/sim"
-	"gyan/internal/smi"
 	"gyan/internal/toolxml"
 	"strings"
 )
@@ -68,6 +68,17 @@ type Galaxy struct {
 	sched     *sched.Scheduler
 	schedJobs map[int]*schedEntry
 	qmon      *monitor.QueueMonitor
+
+	// Fault injection + recovery policy (see faults.go). faultPlan is the
+	// armed injection plan; retry/retryRNG drive transient-fault backoff;
+	// jobTimeout bounds each run; quarantine blacklists faulty devices;
+	// gateDenials buffers gang starts the plan vetoed mid-cycle.
+	faultPlan   *faults.Plan
+	retry       faults.Backoff
+	retryRNG    *sim.RNG
+	jobTimeout  time.Duration
+	quarantine  *faults.Quarantine
+	gateDenials []gateDenial
 }
 
 // pendingStart is a job parked behind a saturated destination.
@@ -114,9 +125,13 @@ func New(cluster *gpu.Cluster, opts ...Option) *Galaxy {
 		userRunning: make(map[string]int),
 		userWaiting: make(map[string][]*pendingStart),
 		schedJobs:   make(map[int]*schedEntry),
+		retryRNG:    newRetryRNG(),
 	}
 	for _, opt := range opts {
 		opt(g)
+	}
+	if g.sched != nil && g.faultPlan != nil {
+		g.installStartGate()
 	}
 	return g
 }
@@ -288,11 +303,7 @@ func (g *Galaxy) startJobLocked(job *Job, binding *ToolBinding, opts SubmitOptio
 	}
 	var release func() // set once quota/destination slots are acquired
 	fail := func(err error) {
-		job.Info = err.Error()
-		job.finish(StateError, g.Engine.Clock().Now())
-		if release != nil {
-			release()
-		}
+		g.failLocked(job, binding, opts, err, release)
 	}
 
 	// User quota admission, before any device survey. A configured batch
@@ -316,13 +327,9 @@ func (g *Galaxy) startJobLocked(job *Job, binding *ToolBinding, opts SubmitOptio
 	}
 
 	// Survey the GPUs through the nvidia-smi XML interface at this
-	// instant, then run GYAN's dynamic destination rule.
-	doc, err := smi.Query(g.Cluster, now)
-	if err != nil {
-		fail(err)
-		return
-	}
-	survey, err := smi.UsageFromXML(doc)
+	// instant (a fault-injection site, with quarantined devices hidden),
+	// then run GYAN's dynamic destination rule.
+	survey, err := g.surveyLocked(job, now)
 	if err != nil {
 		fail(err)
 		return
@@ -402,17 +409,14 @@ func (g *Galaxy) startJobLocked(job *Job, binding *ToolBinding, opts SubmitOptio
 func (g *Galaxy) launchLocked(job *Job, binding *ToolBinding, opts SubmitOptions, tool *toolxml.Tool,
 	decision core.Decision, release func(), now time.Duration) {
 	fail := func(err error) {
-		job.Info = err.Error()
-		job.finish(StateError, g.Engine.Clock().Now())
-		if release != nil {
-			release()
-		}
+		g.failLocked(job, binding, opts, err, release)
 	}
 
 	// Each (re)launch bumps the run epoch; a stale completion event (from
 	// a run that was preempted) sees a newer epoch and stands down.
 	job.run++
 	run := job.run
+	attempt := job.Attempt()
 
 	job.State = StateRunning
 	job.Started = now
@@ -466,6 +470,10 @@ func (g *Galaxy) launchLocked(job *Job, binding *ToolBinding, opts SubmitOptions
 			},
 			Volumes: []container.VolumeMount{{Host: "/galaxy/database", Container: "/data", Mode: "rw"}},
 			GPU:     decision.GPUEnabled,
+			JobID:   job.ID,
+			ToolID:  job.ToolID,
+			Attempt: attempt,
+			At:      now,
 		}
 		if decision.VisibleDevices != "" {
 			spec.Env["CUDA_VISIBLE_DEVICES"] = decision.VisibleDevices
@@ -496,14 +504,23 @@ func (g *Galaxy) launchLocked(job *Job, binding *ToolBinding, opts SubmitOptions
 		Params:        dict,
 		Dataset:       job.Dataset,
 	}
+	// The executor invocation is a fault-injection site: a fired OpExec
+	// fault fails the call outright, before any device session opens.
+	execSite := faults.Site{Op: faults.OpExec, Job: job.ID, Tool: job.ToolID, Attempt: attempt, Devices: decision.Devices}
+	if f, fired := g.faultPlan.Check(now, execSite); fired {
+		fail(faults.NewError(execSite, f))
+		return
+	}
 	res, err := binding.Exec(req)
 	if err != nil {
 		// Galaxy resubmission: a destination may name a fallback for
 		// failed jobs (e.g. device OOM on the GPU destination reroutes
 		// to the CPU one). The current slots are released and the job
-		// re-enters dispatch pinned to the fallback.
+		// re-enters dispatch pinned to the fallback. Classified faults
+		// skip this path — they belong to the retry machinery.
+		_, classified := faults.ClassOf(err)
 		if dest, ok := decision.Destination.Param("resubmit_destination"); ok &&
-			dest != "" && job.Resubmitted < maxResubmits {
+			!classified && dest != "" && job.Resubmitted < maxResubmits {
 			job.Resubmitted++
 			job.State = StateQueued
 			job.Info = fmt.Sprintf("resubmitting to %q after failure: %v", dest, err)
@@ -523,6 +540,7 @@ func (g *Galaxy) launchLocked(job *Job, binding *ToolBinding, opts SubmitOptions
 	job.sessions = res.Sessions
 	end := start + res.Total
 	job.release = release
+	end = g.armRunFaultsLocked(job, binding, opts, decision.Devices, run, start, end, now)
 	g.Engine.Schedule(end, func(fin time.Duration) {
 		g.mu.Lock()
 		defer g.mu.Unlock()

@@ -23,6 +23,10 @@ const (
 	StateRunning JobState = "running"
 	StateOK      JobState = "ok"
 	StateError   JobState = "error"
+	// StateDeadLetter marks a job that exhausted fault recovery: a permanent
+	// fault, or a transient one with no retry budget left. Dead-lettered jobs
+	// keep their full failure log for post-mortem (see Job.Failures).
+	StateDeadLetter JobState = "dead_letter"
 )
 
 // Job is one submitted tool execution.
@@ -47,6 +51,10 @@ type Job struct {
 	// Preempted counts how many times a batch scheduler evicted the job
 	// to make room for a higher-priority one (each eviction requeues it).
 	Preempted int
+	// Failures is the job's classified-fault log, one entry per failed
+	// dispatch attempt (injected faults and execution timeouts; legacy
+	// StateError failures are not logged here).
+	Failures []Failure
 	// DependencyInstall is the time spent installing the tool's conda
 	// environment (zero when cached or containerized).
 	DependencyInstall time.Duration
@@ -119,4 +127,10 @@ func (j *Job) QueueWait() time.Duration {
 }
 
 // Done reports whether the job reached a terminal state.
-func (j *Job) Done() bool { return j.State == StateOK || j.State == StateError }
+func (j *Job) Done() bool {
+	return j.State == StateOK || j.State == StateError || j.State == StateDeadLetter
+}
+
+// Attempt returns the job's current 1-based dispatch attempt: one more than
+// the number of classified failures recorded so far.
+func (j *Job) Attempt() int { return len(j.Failures) + 1 }

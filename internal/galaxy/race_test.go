@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"gyan/internal/faults"
 	"gyan/internal/sched"
 )
 
@@ -86,5 +87,81 @@ func TestConcurrentSubmitWithScheduler(t *testing.T) {
 	}
 	if m := g.SchedulerMetrics(); m.Started != n {
 		t.Errorf("scheduler started %d of %d jobs", m.Started, n)
+	}
+}
+
+// TestConcurrentSubmitKillRetryUnderFaults drives the full fault machinery —
+// crash injection, retry with backoff, quarantine — while submissions and
+// kills arrive from other goroutines. The point is the race detector: retry
+// re-entry (startJob from a timer event) must not race with external Kill or
+// Submit. Every surviving job must still reach a terminal state.
+func TestConcurrentSubmitKillRetryUnderFaults(t *testing.T) {
+	plan := faults.NewPlan(11,
+		faults.Rule{
+			Match: faults.Match{Op: faults.OpCrash, Devices: []int{0}},
+			Fault: faults.Fault{Class: faults.Transient, Msg: "XID 79: GPU fell off the bus"},
+			Count: 4,
+		},
+		faults.Rule{
+			Match: faults.Match{Op: faults.OpExec, Job: 3},
+			Fault: faults.Fault{Class: faults.Permanent, Msg: "driver wedged"},
+			Count: 1,
+		},
+	)
+	g := testGalaxy(t,
+		WithFaultPlan(plan),
+		WithRetry(faults.Backoff{MaxAttempts: 3, Base: 50 * time.Millisecond}),
+		WithQuarantine(faults.NewQuarantine(3, time.Second)),
+		WithJobTimeout(time.Minute),
+	)
+	rs := smallReadSet(t)
+	const n = 12
+	jobs := make([]*Job, n)
+	var submits sync.WaitGroup
+	for i := 0; i < n; i++ {
+		submits.Add(1)
+		go func(i int) {
+			defer submits.Done()
+			j, err := g.Submit("racon", fastParams(), rs, SubmitOptions{
+				User:  fmt.Sprintf("user%d", i%3),
+				Delay: time.Duration(i) * 10 * time.Millisecond,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			jobs[i] = j
+		}(i)
+	}
+	submits.Wait()
+
+	// Kill a few jobs from another goroutine while the engine retries the
+	// crashed ones.
+	var kills sync.WaitGroup
+	kills.Add(1)
+	go func() {
+		defer kills.Done()
+		for _, j := range jobs[:n/4] {
+			g.Kill(j)
+		}
+	}()
+	g.Run()
+	kills.Wait()
+	g.Run() // drain retry/redispatch events a late kill may have scheduled
+
+	for i, j := range jobs[n/4:] {
+		if !j.Done() {
+			t.Errorf("job %d never reached a terminal state: %s (%s)", i+n/4, j.State, j.Info)
+		}
+		if j.State == StateError {
+			t.Errorf("job %d fell back to unclassified error: %s", i+n/4, j.Info)
+		}
+	}
+	// The permanent fault targeted job ID 3; whoever drew that ID must be
+	// dead-lettered — unless a concurrent kill landed first.
+	for _, j := range jobs {
+		if j != nil && j.ID == 3 && !j.killed && j.State != StateDeadLetter {
+			t.Errorf("job 3 hit a permanent fault but ended %s: %s", j.State, j.Info)
+		}
 	}
 }

@@ -142,6 +142,9 @@ func (g *Galaxy) schedCycle(now time.Duration) {
 	if err != nil {
 		return
 	}
+	// Quarantined devices are invisible to the scheduler, exactly as they
+	// are to the greedy mapper.
+	survey = survey.Without(g.quarantine.Quarantined(now))
 	dec := g.sched.Cycle(now, survey)
 	for _, rej := range dec.Rejects {
 		e := g.schedJobs[rej.ID]
@@ -160,7 +163,8 @@ func (g *Galaxy) schedCycle(now time.Duration) {
 			g.launchScheduledLocked(e, st, now)
 		}
 	}
-	if !dec.Empty() {
+	denied := g.processGateDenialsLocked(now)
+	if !dec.Empty() || denied {
 		g.recordQueueLocked(now)
 	}
 	if len(dec.Preempts) > 0 {

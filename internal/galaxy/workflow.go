@@ -98,7 +98,9 @@ func (w *Workflow) submitStep(i int, dataset any) error {
 }
 
 func (w *Workflow) stepDone(i int, job *Job) {
-	if job.State == StateError {
+	if job.State != StateOK {
+		// Covers StateError and StateDeadLetter: any non-OK terminal state
+		// fails the chain.
 		w.State = StateError
 		w.Info = fmt.Sprintf("step %d (%s) failed: %s", i, job.ToolID, job.Info)
 		return

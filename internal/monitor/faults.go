@@ -1,0 +1,57 @@
+package monitor
+
+import (
+	"sort"
+	"time"
+
+	"gyan/internal/faults"
+)
+
+// FaultReport aggregates a run's fault-injection activity the way the
+// hardware monitor aggregates utilization: totals, breakdowns and the
+// current blacklist, ready for dashboards and experiment summaries.
+type FaultReport struct {
+	// Total is the number of faults fired.
+	Total int
+	// ByOp counts fired faults per hook point (probe, launch, exec, ...).
+	ByOp map[string]int
+	// ByClass counts fired faults per classification (transient/permanent).
+	ByClass map[string]int
+	// ByDevice counts device-attributed faults per GPU minor ID.
+	ByDevice map[int]int
+	// Quarantined lists the devices blacklisted at the report's time.
+	Quarantined []int
+	// QuarantineEntries counts how many times any device entered quarantine.
+	QuarantineEntries int
+}
+
+// TallyFaults builds a FaultReport from a fault plan and (optionally) a
+// quarantine, evaluated at virtual time now. Both arguments are nil-safe.
+func TallyFaults(plan *faults.Plan, q *faults.Quarantine, now time.Duration) FaultReport {
+	rep := FaultReport{
+		ByOp:     make(map[string]int),
+		ByClass:  make(map[string]int),
+		ByDevice: make(map[int]int),
+	}
+	for _, e := range plan.Events() {
+		rep.Total++
+		rep.ByOp[string(e.Site.Op)]++
+		rep.ByClass[e.Fault.Class.String()]++
+		for _, d := range e.Fault.Culprits {
+			rep.ByDevice[d]++
+		}
+	}
+	rep.Quarantined = q.Quarantined(now)
+	rep.QuarantineEntries = len(q.Spans())
+	return rep
+}
+
+// Devices returns the minor IDs with device-attributed faults, ascending.
+func (r FaultReport) Devices() []int {
+	out := make([]int, 0, len(r.ByDevice))
+	for d := range r.ByDevice {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}

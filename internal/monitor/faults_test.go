@@ -1,0 +1,46 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"gyan/internal/faults"
+)
+
+func TestTallyFaults(t *testing.T) {
+	plan := faults.NewPlan(1,
+		faults.Rule{Match: faults.Match{Op: faults.OpCrash}, Fault: faults.Fault{Class: faults.Transient, Msg: "x"}},
+		faults.Rule{Match: faults.Match{Op: faults.OpLaunch}, Fault: faults.Fault{Class: faults.Permanent, Msg: "y"}},
+	)
+	plan.Check(time.Second, faults.Site{Op: faults.OpCrash, Job: 1, Devices: []int{0, 1}})
+	plan.Check(2*time.Second, faults.Site{Op: faults.OpCrash, Job: 2, Devices: []int{1}})
+	plan.Check(3*time.Second, faults.Site{Op: faults.OpLaunch, Job: 3})
+
+	q := faults.NewQuarantine(2, 0)
+	q.RecordFault(1, time.Second)
+	q.RecordFault(1, 2*time.Second)
+
+	rep := TallyFaults(plan, q, 3*time.Second)
+	if rep.Total != 3 || rep.ByOp["crash"] != 2 || rep.ByOp["launch"] != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.ByClass["transient"] != 2 || rep.ByClass["permanent"] != 1 {
+		t.Errorf("by class = %v", rep.ByClass)
+	}
+	if rep.ByDevice[0] != 1 || rep.ByDevice[1] != 2 {
+		t.Errorf("by device = %v", rep.ByDevice)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != 1 || rep.QuarantineEntries != 1 {
+		t.Errorf("quarantine view = %v / %d", rep.Quarantined, rep.QuarantineEntries)
+	}
+	if ds := rep.Devices(); len(ds) != 2 || ds[0] != 0 || ds[1] != 1 {
+		t.Errorf("Devices() = %v", ds)
+	}
+}
+
+func TestTallyFaultsNilSafe(t *testing.T) {
+	rep := TallyFaults(nil, nil, 0)
+	if rep.Total != 0 || len(rep.Quarantined) != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}

@@ -28,6 +28,9 @@ type Metrics struct {
 	Preemptions int
 	// Rejected counts impossible requests (gang larger than the cluster).
 	Rejected int
+	// GateDenied counts starts vetoed by Config.StartGate (injected
+	// gang-start faults).
+	GateDenied int
 	// Waits holds each started job's queue wait, in start order.
 	Waits []time.Duration
 	// Depths holds the caller-recorded queue-depth samples.

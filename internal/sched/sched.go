@@ -109,6 +109,15 @@ type Config struct {
 	// DefaultEstRuntime stands in for requests with no estimate; zero
 	// defaults to 30s.
 	DefaultEstRuntime time.Duration
+	// StartGate, when non-nil, is consulted with the chosen device gang
+	// before each start is committed — the fault-injection seam for gang
+	// starts that die during device allocation (cgroup setup, CUDA context
+	// creation). A non-nil error vetoes the start: the job stays queued,
+	// its devices stay free this cycle, and the gate call is counted in
+	// Metrics.GateDenied. The caller owns rescheduling a later cycle (and
+	// bounding repeated denials), otherwise a permanently vetoed job waits
+	// forever.
+	StartGate func(id int, devices []int, now time.Duration) error
 }
 
 // entry is one queued job.
@@ -196,6 +205,12 @@ func New(cfg Config) *Scheduler {
 
 // Config returns the scheduler's configuration.
 func (s *Scheduler) Config() Config { return s.cfg }
+
+// SetStartGate installs or replaces the start gate (see Config.StartGate).
+// The integration layer uses it to arm fault injection after construction.
+func (s *Scheduler) SetStartGate(gate func(id int, devices []int, now time.Duration) error) {
+	s.cfg.StartGate = gate
+}
 
 // QueueDepth reports the number of queued (not running) jobs.
 func (s *Scheduler) QueueDepth() int { return len(s.queue) }
@@ -440,6 +455,9 @@ func (s *Scheduler) Cycle(now time.Duration, survey smi.Usage) Decision {
 			// Head-of-line position with room: start on the
 			// best-scored free devices.
 			gang := pickGang(free, e.req.GPUs, s.cfg.Scorer, survey)
+			if s.gateDenied(e.req.ID, gang, now) {
+				break // stays queued; devices remain free this cycle
+			}
 			dec.Starts = append(dec.Starts, s.start(e, gang, now, false,
 				fmt.Sprintf("priority dispatch on GPU(s) %v", gang)))
 			free = subtract(free, gang)
@@ -487,6 +505,9 @@ func (s *Scheduler) Cycle(now time.Duration, survey smi.Usage) Decision {
 			}
 			if len(candidates) >= e.req.GPUs {
 				gang := pickGang(candidates, e.req.GPUs, s.cfg.Scorer, survey)
+				if s.gateDenied(e.req.ID, gang, now) {
+					break
+				}
 				dec.Starts = append(dec.Starts, s.start(e, gang, now, true,
 					fmt.Sprintf("backfilled onto GPU(s) %v under reservation at %v",
 						gang, res.at)))
@@ -501,6 +522,19 @@ func (s *Scheduler) Cycle(now time.Duration, survey smi.Usage) Decision {
 	}
 	s.queue = remaining
 	return dec
+}
+
+// gateDenied runs the configured start gate over a chosen gang and records a
+// denial.
+func (s *Scheduler) gateDenied(id int, gang []int, now time.Duration) bool {
+	if s.cfg.StartGate == nil {
+		return false
+	}
+	if err := s.cfg.StartGate(id, gang, now); err != nil {
+		s.m.GateDenied++
+		return true
+	}
+	return false
 }
 
 // start moves a queued entry into the running set and builds its Start.

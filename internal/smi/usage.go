@@ -60,6 +60,39 @@ func UsageFromReport(rep Report) Usage {
 	return u
 }
 
+// Without returns a copy of the survey with the listed minor IDs removed
+// from every view, as if the devices were not on the host. The dispatch path
+// uses it to hide quarantined GPUs from the mapper and the batch scheduler.
+func (u Usage) Without(minors []int) Usage {
+	if len(minors) == 0 {
+		return u
+	}
+	drop := make(map[int]bool, len(minors))
+	for _, m := range minors {
+		drop[m] = true
+	}
+	out := Usage{
+		ProcsByGPU:      make(map[int][]int),
+		UsedMemMiBByGPU: make(map[int]int64),
+		UtilPctByGPU:    make(map[int]int),
+	}
+	for _, m := range u.AllGPUs {
+		if drop[m] {
+			continue
+		}
+		out.AllGPUs = append(out.AllGPUs, m)
+		out.ProcsByGPU[m] = u.ProcsByGPU[m]
+		out.UsedMemMiBByGPU[m] = u.UsedMemMiBByGPU[m]
+		out.UtilPctByGPU[m] = u.UtilPctByGPU[m]
+	}
+	for _, m := range u.AvailableGPUs {
+		if !drop[m] {
+			out.AvailableGPUs = append(out.AvailableGPUs, m)
+		}
+	}
+	return out
+}
+
 // Available reports whether the given minor ID is in the available list.
 func (u Usage) Available(minor int) bool {
 	for _, m := range u.AvailableGPUs {

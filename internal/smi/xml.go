@@ -118,10 +118,31 @@ func RenderXML(r Report) (string, error) {
 	return xml.Header + string(out) + "\n", nil
 }
 
+// FieldError reports an nvidia-smi field that could not be read. The
+// by-memory allocation policy ranks devices by <fb_memory_usage> readings,
+// so a missing or "N/A" memory field must surface as an error: silently
+// parsing it as zero would make a broken device look like the least-loaded
+// one and attract every job.
+type FieldError struct {
+	// GPU is the device's minor number.
+	GPU int
+	// Field is the XML path of the unreadable field.
+	Field string
+	// Raw is the field text as received ("" when the tag was absent).
+	Raw string
+}
+
+// Error implements the error interface.
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("smi: GPU %d: unreadable %s field %q", e.GPU, e.Field, e.Raw)
+}
+
 // ParseXML decodes an `nvidia-smi -q -x` document back into a Report. This is
 // the consumer half of the paper's Pseudocode 1 (there done with
 // BeautifulSoup); GYAN's allocators call it rather than touching the cluster
-// directly.
+// directly. Cosmetic fields (fan, power, temperature) parse forgivingly as in
+// the paper's soup-based extraction, but the <fb_memory_usage> readings the
+// allocation policies depend on return a *FieldError when missing or "N/A".
 func ParseXML(doc string) (Report, error) {
 	var x xmlLog
 	if err := xml.Unmarshal([]byte(doc), &x); err != nil {
@@ -132,6 +153,14 @@ func ParseXML(doc string) (Report, error) {
 		CUDAVersion:   x.CUDAVersion,
 	}
 	for _, g := range x.GPUs {
+		memTotal, err := parseMiBStrict(g.MinorNumber, "fb_memory_usage/total", g.FBMemory.Total)
+		if err != nil {
+			return Report{}, err
+		}
+		memUsed, err := parseMiBStrict(g.MinorNumber, "fb_memory_usage/used", g.FBMemory.Used)
+		if err != nil {
+			return Report{}, err
+		}
 		gi := GPUInfo{
 			MinorNumber:    g.MinorNumber,
 			ProductName:    g.ProductName,
@@ -139,8 +168,8 @@ func ParseXML(doc string) (Report, error) {
 			BusID:          g.ID,
 			FanPercent:     parseFan(g.FanSpeed),
 			PerfState:      g.PerfState,
-			MemoryTotalMiB: parseMiB(g.FBMemory.Total),
-			MemoryUsedMiB:  parseMiB(g.FBMemory.Used),
+			MemoryTotalMiB: memTotal,
+			MemoryUsedMiB:  memUsed,
 			UtilizationPct: parsePct(g.Utilization.GPUUtil),
 			TemperatureC:   parseUnit(g.Temperature.GPUTemp, "C"),
 			PowerDrawW:     parseUnit(g.Power.PowerDraw, "W"),
@@ -166,8 +195,21 @@ func parseFan(s string) int {
 	return parsePct(s)
 }
 
-func parsePct(s string) int   { return parseUnit(s, "%") }
-func parseMiB(s string) int64 { return int64(parseUnit(s, "MiB")) }
+func parsePct(s string) int { return parseUnit(s, "%") }
+
+// parseMiBStrict parses a "<n> MiB" memory reading, returning a *FieldError
+// for absent, "N/A" or otherwise malformed values.
+func parseMiBStrict(minor int, field, s string) (int64, error) {
+	trimmed := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "MiB"))
+	if trimmed == "" || strings.EqualFold(trimmed, "N/A") {
+		return 0, &FieldError{GPU: minor, Field: field, Raw: s}
+	}
+	v, err := strconv.ParseInt(trimmed, 10, 64)
+	if err != nil || v < 0 {
+		return 0, &FieldError{GPU: minor, Field: field, Raw: s}
+	}
+	return v, nil
+}
 
 // parseUnit extracts the integer from strings like "11441 MiB", "95 %",
 // "60 W". Unknown or malformed fields parse as 0, matching the forgiving

@@ -1,0 +1,41 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gyan/internal/faults"
+	"gyan/internal/galaxy"
+)
+
+func TestAddFailuresAndQuarantineLanes(t *testing.T) {
+	job := &galaxy.Job{
+		ID: 4, ToolID: "racon", State: galaxy.StateDeadLetter,
+		Submitted: 0, Finished: 3 * time.Second,
+		Failures: []galaxy.Failure{
+			{At: time.Second, Attempt: 1, Op: faults.OpCrash, Class: faults.Transient, Msg: "boom"},
+			{At: 3 * time.Second, Attempt: 2, Op: faults.OpCrash, Class: faults.Permanent, Msg: "boom"},
+		},
+	}
+	q := faults.NewQuarantine(1, 0)
+	q.RecordFault(0, 2*time.Second)
+
+	var c Chart
+	c.AddFailures([]*galaxy.Job{job})
+	c.AddQuarantine(q, 5*time.Second)
+	out := c.Render(40)
+	for _, want := range []string{"job 4 faults", "dead-letter: permanent crash", "GPU 0 quarantine", "quarantined"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAddFailuresSkipsCleanJobs(t *testing.T) {
+	var c Chart
+	c.AddFailures([]*galaxy.Job{{ID: 1, State: galaxy.StateOK}})
+	if out := c.Render(40); !strings.Contains(out, "no activity") {
+		t.Errorf("clean job produced lanes:\n%s", out)
+	}
+}

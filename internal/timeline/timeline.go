@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"gyan/internal/faults"
 	"gyan/internal/galaxy"
 	"gyan/internal/gpu"
 )
@@ -61,6 +62,41 @@ func (c *Chart) AddQueueWaits(jobs []*galaxy.Job) {
 		}
 		lane := fmt.Sprintf("job %d wait", j.ID)
 		c.Add(lane, "queued", j.Submitted, j.Started)
+	}
+}
+
+// AddFailures adds one lane per job with a classified-failure log, so
+// retried and dead-lettered attempts are visible next to the successful
+// runs. Each failed attempt spans from the previous event (submission or
+// the prior failure) to the failure instant; a dead-lettered job's lane is
+// labeled with its final state.
+func (c *Chart) AddFailures(jobs []*galaxy.Job) {
+	for _, j := range jobs {
+		if len(j.Failures) == 0 {
+			continue
+		}
+		lane := fmt.Sprintf("job %d faults", j.ID)
+		from := j.Submitted
+		for _, f := range j.Failures {
+			label := fmt.Sprintf("%s %s", f.Class, f.Op)
+			if j.State == galaxy.StateDeadLetter && f.Attempt == len(j.Failures) {
+				label = "dead-letter: " + label
+			}
+			c.Add(lane, label, from, f.At)
+			from = f.At
+		}
+	}
+}
+
+// AddQuarantine adds one lane per quarantined device; open spans extend to
+// `end` (pass the run's final virtual time).
+func (c *Chart) AddQuarantine(q *faults.Quarantine, end time.Duration) {
+	for _, s := range q.Spans() {
+		to := s.To
+		if s.Open() {
+			to = end
+		}
+		c.Add(fmt.Sprintf("GPU %d quarantine", s.Device), "quarantined", s.From, to)
 	}
 }
 
