@@ -3,12 +3,14 @@
 
 GO ?= go
 
-# Native Go fuzzers and the time budget each gets under fuzz-short.
-FUZZERS   ?= FuzzParseTool FuzzExpandMacros
-FUZZ_PKG  ?= ./internal/toolxml
-FUZZTIME  ?= 10s
+# Native Go fuzzers as package:fuzzer pairs, and the time budget each gets
+# under fuzz-short.
+FUZZ_TARGETS ?= ./internal/toolxml:FuzzParseTool \
+                ./internal/toolxml:FuzzExpandMacros \
+                ./internal/journal:FuzzReplay
+FUZZTIME     ?= 10s
 
-.PHONY: check build vet test test-race fuzz-short bench
+.PHONY: check build vet test test-race test-crash fuzz-short bench
 
 check: build vet test-race
 
@@ -28,13 +30,21 @@ test:
 test-race:
 	$(GO) test -race -timeout 30m ./...
 
+# test-crash replays the kill-and-failover scenario end to end: handler h1
+# dies mid-workload with a torn record on disk, standby h2 recovers from the
+# journal, and the audit pins zero lost jobs and zero double executions.
+test-crash:
+	$(GO) test ./internal/experiments -run 'TestCrashRecovery' -v
+	$(GO) test ./internal/galaxy -run 'TestCrashMidWorkload|TestLeaseExpiry' -v
+
 # fuzz-short gives each native fuzzer a small deterministic budget — a smoke
 # pass over the seed corpus plus a few seconds of mutation, cheap enough for
 # every CI run.
 fuzz-short:
-	@for f in $(FUZZERS); do \
-		echo "fuzzing $$f for $(FUZZTIME)"; \
-		$(GO) test $(FUZZ_PKG) -run='^$$' -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) || exit 1; \
+	@for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; f=$${t##*:}; \
+		echo "fuzzing $$pkg $$f for $(FUZZTIME)"; \
+		$(GO) test $$pkg -run='^$$' -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) || exit 1; \
 	done
 
 bench:

@@ -89,6 +89,20 @@ func BenchmarkSchedBackfill(b *testing.B) {
 	runExperiment(b, "sched-backfill", "makespan_backfill")
 }
 
+// BenchmarkCrashRecovery replays the kill-and-failover scenario: handler h1
+// dies mid-workload with a torn journal tail, standby h2 recovers and
+// finishes; the reported metric is the replayed record count.
+func BenchmarkCrashRecovery(b *testing.B) {
+	runExperiment(b, "crash-recovery", "records_replayed")
+}
+
+// BenchmarkJournalOverhead measures the durability tax: the same job batch
+// with the state journal off vs on (DurableSubmits + batched fsync),
+// reporting the wall-clock overhead percentage.
+func BenchmarkJournalOverhead(b *testing.B) {
+	runExperiment(b, "journal-overhead", "overhead_pct")
+}
+
 // BenchmarkAblations runs the design-choice studies beyond the paper.
 func BenchmarkAblations(b *testing.B) {
 	for _, tc := range []struct{ id, metric string }{

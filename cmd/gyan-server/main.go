@@ -5,6 +5,15 @@
 //	curl localhost:8080/api/tools
 //	curl -X POST localhost:8080/api/jobs -d '{"tool":"racon","dataset":"alzheimers_nfl","params":{"scale":"0.01"}}'
 //	curl localhost:8080/api/smi
+//
+// With -journal the server becomes crash-safe: every job state transition
+// is appended to a write-ahead log, and on startup the directory is
+// replayed so acknowledged jobs survive a kill -9:
+//
+//	gyan-server -journal /var/lib/gyan/journal -handler main &
+//	kill -9 %1
+//	gyan-server -journal /var/lib/gyan/journal -handler main &
+//	curl localhost:8080/api/recovery
 package main
 
 import (
@@ -12,26 +21,31 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"time"
 
 	"gyan/internal/api"
 	"gyan/internal/core"
 	"gyan/internal/galaxy"
+	"gyan/internal/journal"
 	"gyan/internal/workload"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:8080", "listen address")
-		policy = flag.String("policy", "pid", "multi-GPU allocation policy: pid, memory, utilization")
-		seed   = flag.Uint64("seed", 42, "synthetic dataset seed")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		policy     = flag.String("policy", "pid", "multi-GPU allocation policy: pid, memory, utilization")
+		seed       = flag.Uint64("seed", 42, "synthetic dataset seed")
+		journalDir = flag.String("journal", "", "job-state journal directory (empty disables durability)")
+		handler    = flag.String("handler", "main", "handler ID stamped on journal records and leases")
+		leaseTTL   = flag.Duration("lease-ttl", galaxy.DefaultLeaseTTL, "heartbeat lease TTL; a standby may adopt this handler's jobs after it expires")
 	)
 	flag.Parse()
-	if err := run(*addr, *policy, *seed); err != nil {
+	if err := run(*addr, *policy, *seed, *journalDir, *handler, *leaseTTL); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, policyName string, seed uint64) error {
+func run(addr, policyName string, seed uint64, journalDir, handler string, leaseTTL time.Duration) error {
 	var pol core.Policy
 	switch policyName {
 	case "pid":
@@ -44,28 +58,73 @@ func run(addr, policyName string, seed uint64) error {
 		return fmt.Errorf("unknown policy %q", policyName)
 	}
 
-	g := galaxy.New(nil, galaxy.WithPolicy(pol))
-	if err := g.RegisterDefaultTools(); err != nil {
-		return err
-	}
-	s := api.NewServer(g)
-
+	// Datasets come first: recovery needs them by name to requeue journaled
+	// jobs, and the API registers the same instances afterwards.
 	reads, err := workload.AlzheimersNFL(seed)
 	if err != nil {
 		return err
 	}
-	s.RegisterDataset("alzheimers_nfl", reads)
 	small, err := workload.AcinetobacterPittii(seed)
 	if err != nil {
 		return err
 	}
-	s.RegisterDataset("acinetobacter_pittii", small)
 	large, err := workload.KlebsiellaPneumoniae(seed)
 	if err != nil {
 		return err
 	}
-	s.RegisterDataset("klebsiella_pneumoniae_ksb2", large)
+	datasets := map[string]any{
+		"alzheimers_nfl":             reads,
+		"acinetobacter_pittii":       small,
+		"klebsiella_pneumoniae_ksb2": large,
+	}
 
+	gopts := []galaxy.Option{galaxy.WithPolicy(pol)}
+	if journalDir != "" {
+		// Replay whatever a previous incarnation left behind before opening
+		// the journal for writing (Open starts a fresh segment, so the read
+		// must come first). A missing directory replays as empty.
+		recs, rerr := journal.Replay(journalDir)
+		j, err := journal.Open(journalDir, journal.Options{DurableSubmits: true})
+		if err != nil {
+			return err
+		}
+		gopts = append(gopts, galaxy.WithJournal(j, handler), galaxy.WithLeaseTTL(leaseTTL))
+		g := galaxy.New(nil, gopts...)
+		if err := g.RegisterDefaultTools(); err != nil {
+			return err
+		}
+		if len(recs) > 0 || rerr != nil {
+			rep, err := g.Recover(recs, rerr, galaxy.RecoverOptions{
+				Datasets:     datasets,
+				RestartDelay: leaseTTL + time.Second,
+				AdoptExpired: true,
+			})
+			if err != nil {
+				return err
+			}
+			g.Run() // drain the requeued work before accepting new jobs
+			log.Printf("recovered %d journal records: %d ok, %d errored, %d dead-lettered, %d requeued, %d adopted, %d orphaned",
+				rep.Records, rep.Completed, rep.Errored, rep.DeadLettered, rep.Requeued, rep.Adopted, rep.Orphaned)
+			if rep.CorruptTail != "" {
+				log.Printf("journal had a torn tail (expected after a crash): %s", rep.CorruptTail)
+			}
+		}
+		log.Printf("journaling to %s as handler %q (lease TTL %v)", journalDir, handler, leaseTTL)
+		return serve(addr, policyName, g, datasets)
+	}
+
+	g := galaxy.New(nil, gopts...)
+	if err := g.RegisterDefaultTools(); err != nil {
+		return err
+	}
+	return serve(addr, policyName, g, datasets)
+}
+
+func serve(addr, policyName string, g *galaxy.Galaxy, datasets map[string]any) error {
+	s := api.NewServer(g)
+	for name, ds := range datasets {
+		s.RegisterDataset(name, ds)
+	}
 	log.Printf("gyan-server listening on %s (policy=%s)", addr, policyName)
 	return http.ListenAndServe(addr, s.Handler())
 }

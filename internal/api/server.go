@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"gyan/internal/galaxy"
+	"gyan/internal/journal"
 	"gyan/internal/monitor"
 	"gyan/internal/smi"
 	"gyan/internal/tools/racon"
@@ -64,6 +65,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/faults", s.handleFaults)
 	mux.HandleFunc("/api/history", s.handleHistory)
 	mux.HandleFunc("/api/workflows", s.handleWorkflows)
+	mux.HandleFunc("/api/recovery", s.handleRecovery)
 	return mux
 }
 
@@ -173,6 +175,7 @@ type failureJSON struct {
 	Op        string  `json:"op"`
 	Class     string  `json:"class"`
 	Msg       string  `json:"msg"`
+	Devices   []int   `json:"devices,omitempty"`
 }
 
 func toJobJSON(j *galaxy.Job) jobJSON {
@@ -198,6 +201,7 @@ func toJobJSON(j *galaxy.Job) jobJSON {
 			Op:        string(f.Op),
 			Class:     f.Class.String(),
 			Msg:       f.Msg,
+			Devices:   f.Devices,
 		})
 	}
 	if j.Result != nil {
@@ -230,8 +234,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		job, err := s.g.Submit(req.Tool, req.Params, dataset, galaxy.SubmitOptions{
-			Runtime:    req.Runtime,
-			GPURequest: req.GPURequest,
+			Runtime:     req.Runtime,
+			GPURequest:  req.GPURequest,
+			DatasetName: req.Dataset,
 		})
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "%v", err)
@@ -248,14 +253,18 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/jobs/")
+	if idText, ok := strings.CutSuffix(rest, "/resubmit"); ok {
+		s.handleResubmit(w, r, idText)
+		return
+	}
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	idText := strings.TrimPrefix(r.URL.Path, "/api/jobs/")
-	id, err := strconv.Atoi(idText)
+	id, err := strconv.Atoi(rest)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad job id %q", idText)
+		writeErr(w, http.StatusBadRequest, "bad job id %q", rest)
 		return
 	}
 	s.mu.Lock()
@@ -267,6 +276,83 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeErr(w, http.StatusNotFound, "no job %d", id)
+}
+
+// handleResubmit is the POST /api/jobs/{id}/resubmit admin endpoint: a
+// dead-lettered job re-enters dispatch as a fresh run epoch with a reset
+// retry budget, its failure log retained for post-mortem.
+func (s *Server) handleResubmit(w http.ResponseWriter, r *http.Request, idText string) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	id, err := strconv.Atoi(idText)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad job id %q", idText)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, err := s.g.ResubmitDeadLetter(id)
+	if err != nil {
+		status := http.StatusConflict
+		if strings.Contains(err.Error(), "no job") {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, "%v", err)
+		return
+	}
+	_ = s.mon.Attach(s.g.Engine, time.Second, s.g.Engine.Clock().Now()+time.Hour)
+	s.g.Run()
+	writeJSON(w, http.StatusCreated, toJobJSON(job))
+}
+
+// recoveryResponse is the GET /api/recovery body: whether this handler
+// journals, what it recovered at boot, and the journal's write-side
+// counters.
+type recoveryResponse struct {
+	Handler    string                 `json:"handler,omitempty"`
+	Journaling bool                   `json:"journaling"`
+	Recovered  bool                   `json:"recovered"`
+	Report     *galaxy.RecoveryReport `json:"report,omitempty"`
+	Stats      *journal.Stats         `json:"journal_stats,omitempty"`
+	Error      string                 `json:"journal_error,omitempty"`
+}
+
+// handleRecovery serves the durability status (GET) and triggers a
+// snapshot+compaction (POST with action=compact).
+func (s *Server) handleRecovery(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch r.Method {
+	case http.MethodGet:
+		resp := recoveryResponse{Handler: s.g.HandlerID()}
+		if stats, ok := s.g.JournalStats(); ok {
+			resp.Journaling = true
+			resp.Stats = &stats
+		}
+		if rep := s.g.LastRecovery(); rep != nil {
+			resp.Recovered = true
+			resp.Report = rep
+		}
+		if err := s.g.JournalError(); err != nil {
+			resp.Error = err.Error()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case http.MethodPost:
+		if r.URL.Query().Get("action") != "compact" {
+			writeErr(w, http.StatusBadRequest, "POST requires action=compact")
+			return
+		}
+		if err := s.g.SnapshotJournal(); err != nil {
+			writeErr(w, http.StatusConflict, "%v", err)
+			return
+		}
+		stats, _ := s.g.JournalStats()
+		writeJSON(w, http.StatusOK, map[string]any{"compacted": true, "journal_stats": stats})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "GET or POST")
+	}
 }
 
 func (s *Server) handleSMI(w http.ResponseWriter, r *http.Request) {
@@ -441,8 +527,9 @@ func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
 			ToolID: sr.Tool,
 			Params: sr.Params,
 			Options: galaxy.SubmitOptions{
-				Runtime:    sr.Runtime,
-				GPURequest: sr.GPURequest,
+				Runtime:     sr.Runtime,
+				GPURequest:  sr.GPURequest,
+				DatasetName: sr.Dataset,
 			},
 		}
 		if sr.Dataset != "" {

@@ -10,9 +10,10 @@ func quick() Options { return Options{Seed: 42, Quick: true} }
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ablation-banding", "ablation-energy", "ablation-hardware",
 		"ablation-load", "ablation-multigpu", "ablation-policy", "ablation-window",
-		"case1", "case2", "case3", "case4", "chaos-dispatch",
+		"case1", "case2", "case3", "case4", "chaos-dispatch", "crash-recovery",
 		"fig10", "fig11", "fig3", "fig4", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "polish", "related-pypaswas", "sched-backfill"}
+		"fig8", "fig9", "journal-overhead", "polish", "related-pypaswas",
+		"sched-backfill"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %v, want %v", got, want)

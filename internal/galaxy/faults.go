@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gyan/internal/faults"
+	"gyan/internal/journal"
 	"gyan/internal/sim"
 	"gyan/internal/smi"
 )
@@ -47,6 +48,9 @@ type Failure struct {
 	Class faults.Class
 	// Msg is the failure text.
 	Msg string
+	// Devices are the fault's culprit GPU minor IDs (the ones charged to
+	// the quarantine), journaled so replay can rebuild quarantine state.
+	Devices []int
 }
 
 // WithFaultPlan arms a fault-injection plan across the dispatch path; the
@@ -149,6 +153,10 @@ func (g *Galaxy) failLocked(job *Job, binding *ToolBinding, opts SubmitOptions, 
 	if !classified {
 		job.Info = err.Error()
 		job.finish(StateError, now)
+		g.logJournal(journal.Record{
+			Type: journal.TypeComplete, At: now, Job: job.ID,
+			State: string(StateError), Msg: job.Info,
+		})
 		return
 	}
 
@@ -161,14 +169,26 @@ func (g *Galaxy) failLocked(job *Job, binding *ToolBinding, opts SubmitOptions, 
 		culprits = ferr.Culprits
 	}
 	job.Failures = append(job.Failures, Failure{
-		At: now, Attempt: attempt, Op: op, Class: class, Msg: err.Error(),
+		At: now, Attempt: attempt, Op: op, Class: class, Msg: err.Error(), Devices: culprits,
+	})
+	g.logJournal(journal.Record{
+		Type: journal.TypeAttempt, At: now, Job: job.ID, Attempt: attempt,
+		Op: string(op), Class: class.String(), Msg: err.Error(), Devices: culprits,
 	})
 	// Device-attributed faults feed the quarantine: only the culprit
 	// devices are charged, so a device-keyed fault on a multi-GPU gang
 	// leaves the gang's healthy members allocatable. Probe and launch
 	// faults carry no device set and never count against a GPU.
 	for _, d := range culprits {
-		g.quarantine.RecordFault(d, now)
+		if g.quarantine.RecordFault(d, now) {
+			until := time.Duration(-1)
+			if g.quarantine.Cooldown > 0 {
+				until = now + g.quarantine.Cooldown
+			}
+			g.logJournal(journal.Record{
+				Type: journal.TypeQuarantine, At: now, Device: d, Until: until,
+			})
+		}
 	}
 
 	if class == faults.Transient && attempt < g.retry.Attempts() {
@@ -185,6 +205,9 @@ func (g *Galaxy) failLocked(job *Job, binding *ToolBinding, opts SubmitOptions, 
 	}
 	job.Info = fmt.Sprintf("dead-letter after %d attempt(s): %v", attempt, err)
 	job.finish(StateDeadLetter, now)
+	g.logJournal(journal.Record{
+		Type: journal.TypeDeadLetter, At: now, Job: job.ID, Msg: job.Info,
+	})
 }
 
 // armRunFaultsLocked plants the post-launch fault events for one run: slow-

@@ -11,6 +11,7 @@ import (
 	"gyan/internal/faults"
 	"gyan/internal/gpu"
 	"gyan/internal/jobconf"
+	"gyan/internal/journal"
 	"gyan/internal/monitor"
 	"gyan/internal/sched"
 	"gyan/internal/sim"
@@ -79,6 +80,19 @@ type Galaxy struct {
 	jobTimeout  time.Duration
 	quarantine  *faults.Quarantine
 	gateDenials []gateDenial
+
+	// Durability (see recovery.go). journal, when set, receives every job
+	// state transition; handlerID names this handler in lease and ownership
+	// records; leaseTTL is how long a heartbeat asserts ownership. lastLease
+	// tracks the newest heartbeat so writes piggyback fresh leases onto the
+	// activity stream; journalErr latches the first append failure.
+	journal      *journal.Journal
+	handlerID    string
+	leaseTTL     time.Duration
+	lastLease    time.Duration
+	leaseWritten bool
+	journalErr   error
+	recovery     *RecoveryReport
 }
 
 // pendingStart is a job parked behind a saturated destination.
@@ -231,6 +245,10 @@ type SubmitOptions struct {
 	// EstRuntime is the job's walltime estimate, feeding the scheduler's
 	// backfill reservations. Zero uses the scheduler's default.
 	EstRuntime time.Duration
+	// DatasetName, when set, names the dataset in the server's registry.
+	// It is journaled with the submission so crash recovery can re-resolve
+	// the payload — the payload itself never touches the journal.
+	DatasetName string
 
 	// resubmitDest, when non-empty, pins the job to the named destination
 	// instead of the mapper's choice. Set internally when a destination's
@@ -274,6 +292,15 @@ func (g *Galaxy) submitLocked(toolID string, params map[string]string, dataset a
 		State:     StateQueued,
 		Submitted: g.Engine.Clock().Now(),
 	}
+	job.datasetName = opts.DatasetName
+	job.submit = journal.Record{
+		Type: journal.TypeSubmit, At: job.Submitted, Handler: g.handlerID,
+		Job: job.ID, Tool: toolID, User: job.User, Params: params,
+		Dataset: opts.DatasetName, Runtime: opts.Runtime,
+		Priority: opts.Priority, GPUs: opts.GPUs, EstRuntime: opts.EstRuntime,
+		Submitted: job.Submitted, Delay: opts.Delay,
+	}
+	g.logJournal(job.submit)
 	g.jobs = append(g.jobs, job)
 	g.Engine.After(opts.Delay, func(now time.Duration) {
 		g.startJob(job, binding, opts, now)
@@ -367,6 +394,12 @@ func (g *Galaxy) startJobLocked(job *Job, binding *ToolBinding, opts SubmitOptio
 		}
 	}
 
+	g.logJournal(journal.Record{
+		Type: journal.TypeMap, At: now, Job: job.ID,
+		Destination: decision.Destination.ID, GPUEnabled: decision.GPUEnabled,
+		Devices: decision.Devices, Msg: decision.Reason,
+	})
+
 	// Batch scheduling: GPU jobs park in the scheduler's priority queue
 	// and start when a cycle grants them an exclusive device gang.
 	// Resubmitted jobs keep the direct path — their fallback destination
@@ -426,6 +459,10 @@ func (g *Galaxy) launchLocked(job *Job, binding *ToolBinding, opts SubmitOptions
 	job.VisibleDevices = decision.VisibleDevices
 	job.Info = decision.Reason
 	job.PID = g.Cluster.NextPID()
+	g.logJournal(journal.Record{
+		Type: journal.TypeStart, At: now, Job: job.ID, Epoch: run,
+		Destination: job.Destination, GPUEnabled: job.GPUEnabled, Devices: job.Devices,
+	})
 
 	dict, err := BuildParamDict(tool, job.Params, decision.GPUEnabled)
 	if err != nil {
@@ -553,6 +590,10 @@ func (g *Galaxy) launchLocked(job *Job, binding *ToolBinding, opts SubmitOptions
 		job.sessions = nil
 		job.release = nil
 		job.finish(StateOK, fin)
+		g.logJournal(journal.Record{
+			Type: journal.TypeComplete, At: fin, Job: job.ID,
+			Epoch: run, State: string(StateOK),
+		})
 		release()
 	})
 }
@@ -580,6 +621,10 @@ func (g *Galaxy) Kill(job *Job) {
 	job.sessions = nil
 	job.Info = "killed by user"
 	job.finish(StateError, now)
+	g.logJournal(journal.Record{
+		Type: journal.TypeComplete, At: now, Job: job.ID,
+		State: string(StateError), Msg: job.Info,
+	})
 	if job.release != nil {
 		rel := job.release
 		job.release = nil
@@ -590,6 +635,7 @@ func (g *Galaxy) Kill(job *Job) {
 		if _, parked := g.schedJobs[job.ID]; parked {
 			g.sched.Remove(job.ID)
 			delete(g.schedJobs, job.ID)
+			g.logJournal(journal.Record{Type: journal.TypeQueue, At: now, Job: job.ID, QueueOp: "remove"})
 			g.recordQueueLocked(now)
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"gyan/internal/gpu"
+	"gyan/internal/journal"
 )
 
 // JobState is the lifecycle state of a job, mirroring Galaxy's job states.
@@ -96,6 +97,18 @@ type Job struct {
 	run int
 	// release returns the job's scheduler slots; set while running.
 	release func()
+	// submit is the journal record that created this job, retained so a
+	// snapshot can condense history without re-deriving submission options.
+	submit journal.Record
+	// datasetName is the registry name the dataset was resolved from
+	// (journaled so recovery can re-resolve the payload after a restart).
+	datasetName string
+	// attemptBase offsets Attempt() after an admin resubmit: the retained
+	// failure log no longer counts against the fresh retry budget.
+	attemptBase int
+	// owner is the handler that owns this job when it differs from the
+	// local handler (orphaned jobs recovered under a live foreign lease).
+	owner string
 }
 
 // finish moves the job to a terminal state and fires the completion hook.
@@ -132,5 +145,16 @@ func (j *Job) Done() bool {
 }
 
 // Attempt returns the job's current 1-based dispatch attempt: one more than
-// the number of classified failures recorded so far.
-func (j *Job) Attempt() int { return len(j.Failures) + 1 }
+// the number of classified failures recorded since the job's retry budget
+// last reset (an admin resubmit retains the failure log but starts a fresh
+// budget).
+func (j *Job) Attempt() int { return len(j.Failures) - j.attemptBase + 1 }
+
+// ownerOr returns the job's owning handler, defaulting to def for jobs the
+// local handler owns.
+func (j *Job) ownerOr(def string) string {
+	if j.owner != "" {
+		return j.owner
+	}
+	return def
+}

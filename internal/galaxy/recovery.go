@@ -1,0 +1,649 @@
+package galaxy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"gyan/internal/faults"
+	"gyan/internal/journal"
+	"gyan/internal/monitor"
+)
+
+// Crash recovery and handler failover. With a journal attached (WithJournal)
+// every job state transition is appended to a durable write-ahead log, and a
+// freshly built Galaxy can be rebuilt from the log with Recover: terminal
+// jobs rematerialize with their failure logs, quarantine state is replayed
+// from the attempt records, and non-terminal jobs requeue as a new run epoch
+// with their original submission time, so seniority survives the restart.
+//
+// Ownership is lease-based. Each handler piggybacks heartbeat lease records
+// onto its journal writes (at least every leaseTTL/2 of activity); a job is
+// owned by the handler that journaled its submit record until an adopt
+// record transfers it. During recovery a handler only requeues jobs it owns
+// — a foreign job is adopted (with an adopt record) only when its owner's
+// lease has expired and RecoverOptions.AdoptExpired is set, otherwise it is
+// left orphaned for its owner to resume. Because a requeued run is a fresh
+// epoch and completed epochs are journaled, a job is never double-executed:
+// the worst a crash costs is re-running work whose completion record was
+// still buffered.
+//
+// Known limits, accepted for the reproduction: workflow step chaining
+// (onDone hooks) is not journaled, a resubmit_destination pin does not
+// survive replay, and a pending submit Delay is not re-applied — recovered
+// queued jobs redispatch immediately at the resumed time.
+
+// DefaultLeaseTTL is how long a heartbeat asserts ownership when
+// WithLeaseTTL is not configured.
+const DefaultLeaseTTL = 30 * time.Second
+
+// WithJournal attaches a durable job-state journal and names this handler
+// for lease and ownership records.
+func WithJournal(j *journal.Journal, handlerID string) Option {
+	return func(g *Galaxy) {
+		g.journal = j
+		g.handlerID = handlerID
+		if g.leaseTTL == 0 {
+			g.leaseTTL = DefaultLeaseTTL
+		}
+	}
+}
+
+// WithLeaseTTL sets how long a handler heartbeat asserts job ownership.
+// Non-positive values keep the default.
+func WithLeaseTTL(d time.Duration) Option {
+	return func(g *Galaxy) {
+		if d > 0 {
+			g.leaseTTL = d
+		}
+	}
+}
+
+// HandlerID returns this handler's name in the journal ("" when journaling
+// is off).
+func (g *Galaxy) HandlerID() string { return g.handlerID }
+
+// Journal returns the attached journal (nil when journaling is off).
+func (g *Galaxy) Journal() *journal.Journal { return g.journal }
+
+// JournalStats returns the journal's write-side counters and whether a
+// journal is attached.
+func (g *Galaxy) JournalStats() (journal.Stats, bool) {
+	if g.journal == nil {
+		return journal.Stats{}, false
+	}
+	return g.journal.Stats(), true
+}
+
+// JournalError returns the first journal append failure, if any. Append
+// errors never fail the job path — durability degrades, dispatch does not.
+func (g *Galaxy) JournalError() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.journalErr
+}
+
+// LastRecovery returns the report of the Recover call that built this
+// instance (nil for a cold start).
+func (g *Galaxy) LastRecovery() *RecoveryReport {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.recovery
+}
+
+// logJournal appends one record with g.mu held, stamping the handler and
+// piggybacking a heartbeat lease when the last one is older than half the
+// TTL. A nil journal makes it a no-op; append errors are latched, not
+// propagated — the dispatch path never fails on durability.
+func (g *Galaxy) logJournal(rec journal.Record) {
+	if g.journal == nil {
+		return
+	}
+	if rec.Handler == "" {
+		rec.Handler = g.handlerID
+	}
+	g.maybeHeartbeatLocked(rec.At)
+	if err := g.journal.Append(rec); err != nil && g.journalErr == nil {
+		g.journalErr = err
+	}
+}
+
+// maybeHeartbeatLocked writes a lease record if the newest one is stale.
+func (g *Galaxy) maybeHeartbeatLocked(now time.Duration) {
+	if g.leaseWritten && now < g.lastLease+g.leaseTTL/2 {
+		return
+	}
+	g.leaseWritten = true
+	g.lastLease = now
+	err := g.journal.Append(journal.Record{
+		Type: journal.TypeLease, At: now, Handler: g.handlerID, TTL: g.leaseTTL,
+	})
+	if err != nil && g.journalErr == nil {
+		g.journalErr = err
+	}
+}
+
+// WriteLease forces a heartbeat at the current virtual time (a no-op
+// without a journal). Useful before a long quiet stretch.
+func (g *Galaxy) WriteLease() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.journal == nil {
+		return
+	}
+	g.leaseWritten = false
+	g.maybeHeartbeatLocked(g.Engine.Clock().Now())
+}
+
+// LeaseInfo summarizes one handler's heartbeat trail in a replayed journal.
+type LeaseInfo struct {
+	// First and Last are the handler's first and newest heartbeat times.
+	First time.Duration `json:"first"`
+	Last  time.Duration `json:"last"`
+	// Deadline is when the newest lease expires (Last + TTL).
+	Deadline time.Duration `json:"deadline"`
+	// Expired reports whether the deadline had passed at recovery time.
+	Expired bool `json:"expired"`
+}
+
+// RecoveredJob is one job's disposition in a RecoveryReport.
+type RecoveredJob struct {
+	ID    int      `json:"id"`
+	Tool  string   `json:"tool"`
+	State JobState `json:"state"`
+	// Action is what recovery did: "kept" (terminal state restored),
+	// "requeued" (own non-terminal job redispatched), "adopted" (foreign
+	// job taken over after lease expiry, then requeued), "orphaned" (left
+	// for a live foreign owner) or "failed" (unrecoverable: tool or
+	// dataset no longer available).
+	Action string `json:"action"`
+	// Owner is the handler owning the job after recovery.
+	Owner string `json:"owner,omitempty"`
+}
+
+// RecoveryReport describes one journal replay: what was read, what was
+// rebuilt, and how every job was dispositioned.
+type RecoveryReport struct {
+	// Handler is the recovering handler's ID.
+	Handler string `json:"handler"`
+	// Records is the number of journal records replayed.
+	Records int `json:"records"`
+	// CorruptTail describes the torn/corrupt record replay stopped at
+	// ("" for a clean journal). Everything before it was recovered.
+	CorruptTail string `json:"corrupt_tail,omitempty"`
+	// LastRecordAt is the newest replayed record's virtual time; ResumedAt
+	// is the virtual time the engine resumed at (LastRecordAt plus the
+	// configured restart delay).
+	LastRecordAt time.Duration `json:"last_record_at"`
+	ResumedAt    time.Duration `json:"resumed_at"`
+
+	// Job disposition counts: terminal jobs kept (ok/error), dead-lettered
+	// jobs kept, non-terminal jobs requeued (Adopted of those from dead
+	// handlers), jobs left to live foreign owners, and jobs whose tool or
+	// dataset no longer exists.
+	Completed    int `json:"completed"`
+	Errored      int `json:"errored"`
+	DeadLettered int `json:"dead_lettered"`
+	Requeued     int `json:"requeued"`
+	Adopted      int `json:"adopted"`
+	Orphaned     int `json:"orphaned"`
+	Failed       int `json:"failed"`
+
+	// Jobs lists every job's disposition in ID order.
+	Jobs []RecoveredJob `json:"jobs"`
+	// Leases maps handler IDs to their heartbeat trails.
+	Leases map[string]LeaseInfo `json:"leases"`
+	// Faults is the replayed classified-failure history, ready for
+	// monitor.FaultReport.AddReplayed.
+	Faults []monitor.ReplayedFault `json:"faults,omitempty"`
+	// QuarantineRestored counts the quarantine spans rebuilt by replaying
+	// the attempt records' culprit devices.
+	QuarantineRestored int `json:"quarantine_restored"`
+}
+
+// RecoverOptions tune a journal replay.
+type RecoverOptions struct {
+	// Datasets resolves journaled dataset names back to payloads; a
+	// non-terminal job whose dataset is missing recovers as failed.
+	Datasets map[string]any
+	// RestartDelay is how far past the newest record the engine resumes —
+	// the (virtual) downtime between crash and restart. Recovery compares
+	// lease deadlines against the resumed time, so a delay longer than the
+	// lease TTL makes every pre-crash lease expired.
+	RestartDelay time.Duration
+	// AdoptExpired lets this handler take over jobs whose owner's lease
+	// has expired (writing adopt records). Without it, foreign jobs are
+	// left orphaned regardless of lease state.
+	AdoptExpired bool
+}
+
+// jobHistory is one job's folded record trail.
+type jobHistory struct {
+	submit      journal.Record
+	lastMap     *journal.Record
+	lastStart   *journal.Record
+	attempts    []journal.Record
+	preempts    int
+	terminal    *journal.Record
+	owner       string
+	attemptBase int
+}
+
+// Recover rebuilds this Galaxy from a journal replay. It must be called on
+// a fresh instance (tools registered, nothing submitted) before the engine
+// runs; replayErr is whatever Replay returned — a *CorruptRecordError is
+// treated as the expected torn-tail crash artifact and reported, any other
+// error aborts. Terminal jobs are rematerialized with their failure logs,
+// quarantine charges are replayed, completed GPU runtimes are re-credited
+// to fair share, and non-terminal jobs owned (or adopted) by this handler
+// requeue in ID order as fresh run epochs with their original submission
+// times.
+func (g *Galaxy) Recover(recs []journal.Record, replayErr error, opts RecoverOptions) (*RecoveryReport, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.jobs) > 0 || g.nextID != 0 {
+		return nil, fmt.Errorf("galaxy: recover requires a fresh instance (have %d jobs)", len(g.jobs))
+	}
+	rep := &RecoveryReport{
+		Handler: g.handlerID,
+		Records: len(recs),
+		Leases:  make(map[string]LeaseInfo),
+	}
+	if replayErr != nil {
+		var cerr *journal.CorruptRecordError
+		if !errors.As(replayErr, &cerr) {
+			return nil, replayErr
+		}
+		rep.CorruptTail = cerr.Error()
+	}
+
+	// Fold the flat record stream into per-job trails and per-handler
+	// lease deadlines.
+	hist := make(map[int]*jobHistory)
+	var order []int
+	var maxAt time.Duration
+	for i := range recs {
+		rec := recs[i]
+		if rec.At > maxAt {
+			maxAt = rec.At
+		}
+		if rec.Type == journal.TypeLease {
+			li, seen := rep.Leases[rec.Handler]
+			if !seen {
+				li.First = rec.At
+			}
+			li.Last = rec.At
+			li.Deadline = rec.At + rec.TTL
+			rep.Leases[rec.Handler] = li
+			continue
+		}
+		if rec.Job == 0 {
+			continue
+		}
+		h := hist[rec.Job]
+		if h == nil {
+			if rec.Type != journal.TypeSubmit {
+				continue // trail truncated by compaction; nothing to fold onto
+			}
+			hist[rec.Job] = &jobHistory{submit: rec, owner: rec.Handler}
+			order = append(order, rec.Job)
+			continue
+		}
+		switch rec.Type {
+		case journal.TypeSubmit:
+			// Duplicate submit (should not happen); first wins.
+		case journal.TypeMap:
+			h.lastMap = &recs[i]
+		case journal.TypeStart:
+			h.lastStart = &recs[i]
+		case journal.TypeAttempt:
+			h.attempts = append(h.attempts, rec)
+		case journal.TypePreempt:
+			h.preempts++
+		case journal.TypeComplete, journal.TypeDeadLetter:
+			h.terminal = &recs[i]
+		case journal.TypeAdopt:
+			h.owner = rec.Handler
+		case journal.TypeResubmit:
+			h.terminal = nil
+			h.attemptBase = len(h.attempts)
+		}
+	}
+	rep.LastRecordAt = maxAt
+	now := g.Engine.Clock().AdvanceTo(maxAt + opts.RestartDelay)
+	rep.ResumedAt = now
+	for id, li := range rep.Leases {
+		li.Expired = now >= li.Deadline
+		rep.Leases[id] = li
+	}
+
+	// Replay the quarantine: charging every attempt's culprit devices in
+	// record order rebuilds counts, spans and cooldown deadlines exactly.
+	for _, rec := range recs {
+		if rec.Type != journal.TypeAttempt {
+			continue
+		}
+		for _, d := range rec.Devices {
+			g.quarantine.RecordFault(d, rec.At)
+		}
+		rep.Faults = append(rep.Faults, monitor.ReplayedFault{
+			At: rec.At, Op: rec.Op, Class: rec.Class, Devices: rec.Devices,
+		})
+	}
+	rep.QuarantineRestored = len(g.quarantine.Spans())
+
+	sort.Ints(order)
+	for _, id := range order {
+		h := hist[id]
+		if id > g.nextID {
+			g.nextID = id
+		}
+		job := g.materializeLocked(id, h, opts)
+		rj := RecoveredJob{ID: id, Tool: job.ToolID, Owner: h.owner}
+
+		if h.terminal != nil {
+			switch {
+			case h.terminal.Type == journal.TypeDeadLetter:
+				job.State = StateDeadLetter
+				rep.DeadLettered++
+			case h.terminal.State == string(StateOK):
+				job.State = StateOK
+				rep.Completed++
+			default:
+				job.State = StateError
+				rep.Errored++
+			}
+			job.Finished = h.terminal.At
+			if h.terminal.Msg != "" {
+				job.Info = h.terminal.Msg
+			}
+			// Re-credit the completed run's GPU-seconds so fair share does
+			// not reset across the restart. Requeued work is deliberately
+			// not credited here — its new run is charged on release, so
+			// nothing is double-charged.
+			if g.sched != nil && job.State == StateOK && job.GPUEnabled &&
+				len(job.Devices) > 0 && job.Finished > job.Started {
+				g.sched.RestoreUsage(job.User,
+					float64(len(job.Devices))*(job.Finished-job.Started).Seconds())
+			}
+			rj.Action = "kept"
+			rj.State = job.State
+			g.jobs = append(g.jobs, job)
+			rep.Jobs = append(rep.Jobs, rj)
+			continue
+		}
+
+		// Non-terminal: ownership decides. A foreign job is requeued only
+		// when its owner's lease expired and adoption is allowed. A handler
+		// with no ID (journaling off) claims every job as its own.
+		owner := h.owner
+		foreign := owner != "" && g.handlerID != "" && owner != g.handlerID
+		if foreign {
+			li, seen := rep.Leases[owner]
+			live := seen && !li.Expired
+			if live || !opts.AdoptExpired {
+				job.State = StateQueued
+				job.owner = owner
+				state := "expired"
+				if live {
+					state = "live"
+				}
+				job.Info = fmt.Sprintf("orphaned: owned by handler %q (lease %s)", owner, state)
+				rep.Orphaned++
+				rj.Action = "orphaned"
+				rj.State = job.State
+				g.jobs = append(g.jobs, job)
+				rep.Jobs = append(rep.Jobs, rj)
+				continue
+			}
+			g.logJournal(journal.Record{
+				Type: journal.TypeAdopt, At: now, Job: id, From: owner,
+			})
+			job.submit.Handler = g.handlerID
+			rep.Adopted++
+			rj.Owner = g.handlerID
+		}
+
+		binding, dataset, rerr := g.resolveRequeueLocked(job, opts)
+		if rerr != nil {
+			job.State = StateError
+			job.Info = rerr.Error()
+			job.Finished = now
+			rep.Failed++
+			rj.Action = "failed"
+			rj.State = job.State
+			g.jobs = append(g.jobs, job)
+			rep.Jobs = append(rep.Jobs, rj)
+			continue
+		}
+		job.Dataset = dataset
+		job.State = StateQueued
+		if h.lastStart != nil {
+			job.Info = fmt.Sprintf("recovered: rerunning as epoch %d after handler crash", job.run+1)
+		} else {
+			job.Info = "recovered: requeued after handler restart"
+		}
+		if job.Submitted == 0 {
+			// A true t=0 submission would hit the zero-means-now defaults
+			// downstream and lose its seniority; a nanosecond keeps it at
+			// the front of every queue.
+			job.Submitted = time.Nanosecond
+		}
+		rep.Requeued++
+		if foreign {
+			rj.Action = "adopted"
+		} else {
+			rj.Action = "requeued"
+		}
+		rj.State = job.State
+		g.jobs = append(g.jobs, job)
+		rep.Jobs = append(rep.Jobs, rj)
+
+		sub := job.submit
+		sopts := SubmitOptions{
+			Runtime: sub.Runtime, User: sub.User, Priority: sub.Priority,
+			GPUs: sub.GPUs, EstRuntime: sub.EstRuntime, DatasetName: sub.Dataset,
+		}
+		requeued := job
+		// ID-order requeue at the same instant: the engine's FIFO
+		// tie-break preserves submission seniority through dispatch.
+		g.Engine.After(0, func(at time.Duration) {
+			g.startJob(requeued, binding, sopts, at)
+		})
+	}
+
+	// Assert this handler's ownership of whatever it just rebuilt.
+	if g.journal != nil {
+		g.leaseWritten = false
+		g.maybeHeartbeatLocked(now)
+	}
+	g.recovery = rep
+	return rep, nil
+}
+
+// materializeLocked rebuilds one Job value from its folded trail (without
+// deciding its disposition).
+func (g *Galaxy) materializeLocked(id int, h *jobHistory, opts RecoverOptions) *Job {
+	sub := h.submit
+	job := &Job{
+		ID:          id,
+		ToolID:      sub.Tool,
+		Params:      sub.Params,
+		User:        userOrAnonymous(sub.User),
+		Runtime:     sub.Runtime,
+		Submitted:   sub.Submitted,
+		Preempted:   h.preempts,
+		submit:      sub,
+		datasetName: sub.Dataset,
+		attemptBase: h.attemptBase,
+	}
+	for _, a := range h.attempts {
+		job.Failures = append(job.Failures, Failure{
+			At: a.At, Attempt: a.Attempt, Op: faults.Op(a.Op),
+			Class: classFromString(a.Class), Msg: a.Msg, Devices: a.Devices,
+		})
+	}
+	if h.lastMap != nil {
+		job.Destination = h.lastMap.Destination
+		job.GPUEnabled = h.lastMap.GPUEnabled
+		job.Devices = h.lastMap.Devices
+		job.VisibleDevices = deviceList(h.lastMap.Devices)
+	}
+	if h.lastStart != nil {
+		job.Started = h.lastStart.At
+		job.run = h.lastStart.Epoch
+		if h.lastStart.Destination != "" {
+			job.Destination = h.lastStart.Destination
+		}
+		job.GPUEnabled = h.lastStart.GPUEnabled
+		job.Devices = h.lastStart.Devices
+		job.VisibleDevices = deviceList(h.lastStart.Devices)
+	}
+	// Resolve the dataset opportunistically even for terminal jobs, so an
+	// admin resubmit of a recovered dead-letter has a payload to run.
+	if ds, ok := opts.Datasets[sub.Dataset]; ok {
+		job.Dataset = ds
+	}
+	return job
+}
+
+// resolveRequeueLocked checks that a requeued job's tool and dataset still
+// exist on this handler.
+func (g *Galaxy) resolveRequeueLocked(job *Job, opts RecoverOptions) (*ToolBinding, any, error) {
+	binding, err := g.Tool(job.ToolID)
+	if err != nil {
+		return nil, nil, fmt.Errorf("unrecoverable: %v", err)
+	}
+	if job.datasetName == "" {
+		return nil, nil, fmt.Errorf("unrecoverable: no dataset name journaled for job %d", job.ID)
+	}
+	ds, ok := opts.Datasets[job.datasetName]
+	if !ok {
+		return nil, nil, fmt.Errorf("unrecoverable: dataset %q unavailable after recovery", job.datasetName)
+	}
+	return binding, ds, nil
+}
+
+// classFromString parses a journaled faults.Class back.
+func classFromString(s string) faults.Class {
+	if s == faults.Permanent.String() {
+		return faults.Permanent
+	}
+	return faults.Transient
+}
+
+// ResubmitDeadLetter replays a dead-lettered job as a fresh run epoch: the
+// failure log stays attached for post-mortem, but the retry budget restarts
+// (Attempt counts from 1 again). The admin path behind
+// POST /api/jobs/{id}/resubmit.
+func (g *Galaxy) ResubmitDeadLetter(id int) (*Job, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var job *Job
+	for _, j := range g.jobs {
+		if j.ID == id {
+			job = j
+			break
+		}
+	}
+	if job == nil {
+		return nil, fmt.Errorf("galaxy: no job %d", id)
+	}
+	if job.State != StateDeadLetter {
+		return nil, fmt.Errorf("galaxy: job %d is %q, not %q", id, job.State, StateDeadLetter)
+	}
+	binding, err := g.Tool(job.ToolID)
+	if err != nil {
+		return nil, err
+	}
+	if job.Dataset == nil && job.datasetName != "" {
+		return nil, fmt.Errorf("galaxy: job %d's dataset %q is not loaded; cannot resubmit",
+			id, job.datasetName)
+	}
+	now := g.Engine.Clock().Now()
+	job.attemptBase = len(job.Failures)
+	job.killed = false
+	job.State = StateQueued
+	job.Finished = 0
+	job.Info = fmt.Sprintf("admin resubmit: fresh retry budget (%d prior failure(s) retained)",
+		len(job.Failures))
+	g.logJournal(journal.Record{Type: journal.TypeResubmit, At: now, Job: job.ID})
+	sub := job.submit
+	opts := SubmitOptions{
+		Runtime: job.Runtime, User: job.User, Priority: sub.Priority,
+		GPUs: sub.GPUs, EstRuntime: sub.EstRuntime, DatasetName: job.datasetName,
+	}
+	g.Engine.After(0, func(at time.Duration) {
+		g.startJob(job, binding, opts, at)
+	})
+	return job, nil
+}
+
+// SnapshotJournal condenses the journal: the current in-memory state is
+// re-emitted as the minimal record stream that would rebuild it, installed
+// as a snapshot, and every older segment is deleted. Call it during quiet
+// periods to bound replay time and disk use.
+func (g *Galaxy) SnapshotJournal() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.journal == nil {
+		return fmt.Errorf("galaxy: no journal attached")
+	}
+	now := g.Engine.Clock().Now()
+	recs := []journal.Record{{
+		Type: journal.TypeLease, At: now, Handler: g.handlerID, TTL: g.leaseTTL,
+	}}
+	for _, j := range g.jobs {
+		sub := j.submit
+		if sub.Type == "" {
+			// Job predates journaling (journal attached mid-flight);
+			// synthesize the submit record from the job itself.
+			sub = journal.Record{
+				Type: journal.TypeSubmit, At: j.Submitted, Job: j.ID,
+				Tool: j.ToolID, User: j.User, Params: j.Params,
+				Dataset: j.datasetName, Runtime: j.Runtime, Submitted: j.Submitted,
+			}
+		}
+		sub.Handler = j.ownerOr(g.handlerID)
+		recs = append(recs, sub)
+		emitAttempt := func(f Failure) {
+			recs = append(recs, journal.Record{
+				Type: journal.TypeAttempt, At: f.At, Job: j.ID, Attempt: f.Attempt,
+				Op: string(f.Op), Class: f.Class.String(), Msg: f.Msg, Devices: f.Devices,
+			})
+		}
+		// The resubmit marker splits the failure log so replay rebuilds
+		// the same attemptBase.
+		for i, f := range j.Failures {
+			if j.attemptBase > 0 && i == j.attemptBase {
+				recs = append(recs, journal.Record{Type: journal.TypeResubmit, At: f.At, Job: j.ID})
+			}
+			emitAttempt(f)
+		}
+		if j.attemptBase > 0 && j.attemptBase >= len(j.Failures) {
+			recs = append(recs, journal.Record{Type: journal.TypeResubmit, At: now, Job: j.ID})
+		}
+		for i := 0; i < j.Preempted; i++ {
+			recs = append(recs, journal.Record{Type: journal.TypePreempt, At: j.Submitted, Job: j.ID})
+		}
+		if j.run > 0 {
+			recs = append(recs, journal.Record{
+				Type: journal.TypeStart, At: j.Started, Job: j.ID, Epoch: j.run,
+				Destination: j.Destination, GPUEnabled: j.GPUEnabled, Devices: j.Devices,
+			})
+		}
+		switch j.State {
+		case StateOK, StateError:
+			recs = append(recs, journal.Record{
+				Type: journal.TypeComplete, At: j.Finished, Job: j.ID,
+				Epoch: j.run, State: string(j.State), Msg: j.Info,
+			})
+		case StateDeadLetter:
+			recs = append(recs, journal.Record{
+				Type: journal.TypeDeadLetter, At: j.Finished, Job: j.ID, Msg: j.Info,
+			})
+		}
+	}
+	return g.journal.WriteSnapshot(recs)
+}

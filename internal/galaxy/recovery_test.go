@@ -1,0 +1,418 @@
+package galaxy
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gyan/internal/faults"
+	"gyan/internal/journal"
+	"gyan/internal/sched"
+)
+
+// openTestJournal opens a journal in a fresh temp dir with durable submits,
+// the configuration gyan-server runs with.
+func openTestJournal(t *testing.T, dir string) *journal.Journal {
+	t.Helper()
+	j, err := journal.Open(dir, journal.Options{DurableSubmits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// replayDir replays a journal directory, failing the test on non-corruption
+// errors.
+func replayDir(t *testing.T, dir string) ([]journal.Record, error) {
+	t.Helper()
+	recs, err := journal.Replay(dir)
+	if err != nil {
+		var cerr *journal.CorruptRecordError
+		if !asCorrupt(err, &cerr) {
+			t.Fatalf("replay: %v", err)
+		}
+	}
+	return recs, err
+}
+
+func asCorrupt(err error, out **journal.CorruptRecordError) bool {
+	c, ok := err.(*journal.CorruptRecordError)
+	if ok {
+		*out = c
+	}
+	return ok
+}
+
+func TestRecoverRebuildsTerminalState(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir)
+	plan := faults.NewPlan(1, faults.Rule{
+		Match: faults.Match{Op: faults.OpExec, Job: 2},
+		Fault: faults.Fault{Class: faults.Permanent, Msg: "device retired"},
+	})
+	g := testGalaxy(t, WithJournal(j, "h1"), WithFaultPlan(plan),
+		WithRetry(faults.Backoff{MaxAttempts: 3, Base: time.Second}))
+	rs := smallReadSet(t)
+	ok, err := g.Submit("racon", fastParams(), rs, SubmitOptions{DatasetName: "nfl", User: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, err := g.Submit("racon", fastParams(), rs, SubmitOptions{DatasetName: "nfl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+	if ok.State != StateOK || dead.State != StateDeadLetter {
+		t.Fatalf("pre-crash states: %s / %s", ok.State, dead.State)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, rerr := replayDir(t, dir)
+	if rerr != nil {
+		t.Fatalf("clean journal replayed with error: %v", rerr)
+	}
+	j2 := openTestJournal(t, dir)
+	defer j2.Close()
+	g2 := testGalaxy(t, WithJournal(j2, "h1"))
+	rep, err := g2.Recover(recs, rerr, RecoverOptions{
+		Datasets:     map[string]any{"nfl": rs},
+		RestartDelay: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 1 || rep.DeadLettered != 1 || rep.Requeued != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	jobs := g2.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("recovered %d jobs, want 2", len(jobs))
+	}
+	r1, r2 := jobs[0], jobs[1]
+	if r1.State != StateOK || r1.User != "alice" || r1.ToolID != "racon" {
+		t.Fatalf("recovered job 1 = state %s user %s tool %s", r1.State, r1.User, r1.ToolID)
+	}
+	if r1.Finished != ok.Finished || r1.Submitted != ok.Submitted {
+		t.Errorf("recovered timestamps fin=%v sub=%v, want fin=%v sub=%v",
+			r1.Finished, r1.Submitted, ok.Finished, ok.Submitted)
+	}
+	if r2.State != StateDeadLetter || len(r2.Failures) != len(dead.Failures) {
+		t.Fatalf("recovered dead-letter: state %s, %d failures (want %d)",
+			r2.State, len(r2.Failures), len(dead.Failures))
+	}
+	if g2.LastRecovery() != rep {
+		t.Error("LastRecovery does not return the report")
+	}
+}
+
+func TestCrashMidWorkloadRequeuesWithSeniority(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir)
+	g := testGalaxy(t, WithJournal(j, "h1"), WithLeaseTTL(10*time.Second))
+	rs := smallReadSet(t)
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		job, err := g.Submit("racon", fastParams(), rs, SubmitOptions{
+			DatasetName: "nfl",
+			Delay:       time.Duration(i) * 30 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job)
+	}
+	// Kill the handler mid-workload: the first job has finished, later
+	// ones are still queued behind their delays.
+	g.Engine.RunUntil(45 * time.Second)
+	if jobs[0].State != StateOK {
+		t.Fatalf("job 1 state at crash = %s", jobs[0].State)
+	}
+	if err := j.CrashTorn([]byte{0x13, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, rerr := replayDir(t, dir)
+	if rerr == nil {
+		t.Fatal("torn tail replayed clean")
+	}
+	j2 := openTestJournal(t, dir)
+	defer j2.Close()
+	g2 := testGalaxy(t, WithJournal(j2, "h1"), WithLeaseTTL(10*time.Second))
+	rep, err := g2.Recover(recs, rerr, RecoverOptions{
+		Datasets:     map[string]any{"nfl": rs},
+		RestartDelay: 15 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CorruptTail == "" {
+		t.Error("report does not surface the torn tail")
+	}
+	if rep.Requeued == 0 {
+		t.Fatalf("nothing requeued: %+v", rep)
+	}
+	g2.Run()
+	rec := g2.Jobs()
+	if len(rec) != 4 {
+		t.Fatalf("recovered %d jobs, want 4", len(rec))
+	}
+	var lastStart time.Duration
+	for i, job := range rec {
+		if job.State != StateOK {
+			t.Fatalf("job %d finished %s: %s", job.ID, job.State, job.Info)
+		}
+		// t=0 submissions recover as the 1 ns seniority sentinel; any later
+		// submission must keep its exact original time.
+		want := jobs[i].Submitted
+		if want == 0 {
+			want = time.Nanosecond
+		}
+		if job.Submitted != want {
+			t.Errorf("job %d submitted %v, want %v", job.ID, job.Submitted, want)
+		}
+		// Requeued jobs redispatch in ID (seniority) order: start times are
+		// non-decreasing even though parallel GPUs may finish out of order.
+		if job.Started < lastStart {
+			t.Errorf("job %d started %v before its senior's %v", job.ID, job.Started, lastStart)
+		}
+		lastStart = job.Started
+	}
+}
+
+func TestLeaseExpiryGatesAdoption(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir)
+	g := testGalaxy(t, WithJournal(j, "h1"), WithLeaseTTL(10*time.Second))
+	rs := smallReadSet(t)
+	if _, err := g.Submit("racon", fastParams(), rs, SubmitOptions{DatasetName: "nfl"}); err != nil {
+		t.Fatal(err)
+	}
+	g.Engine.RunUntil(0) // submit journaled, job still queued
+	if err := j.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	recs, rerr := replayDir(t, dir)
+	datasets := map[string]any{"nfl": rs}
+
+	// Standby restarts before h1's lease expires: the job must be left
+	// orphaned, not run twice.
+	early := testGalaxy(t, WithJournal(openTestJournal(t, t.TempDir()), "h2"),
+		WithLeaseTTL(10*time.Second))
+	rep, err := early.Recover(recs, rerr, RecoverOptions{
+		Datasets: datasets, RestartDelay: 2 * time.Second, AdoptExpired: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Adopted != 0 || rep.Orphaned != 1 {
+		t.Fatalf("live-lease recovery adopted=%d orphaned=%d", rep.Adopted, rep.Orphaned)
+	}
+	early.Run()
+	if got := early.Jobs()[0]; got.State != StateQueued ||
+		!strings.Contains(got.Info, "orphaned") {
+		t.Fatalf("orphan state=%s info=%q", got.State, got.Info)
+	}
+	if li, ok := rep.Leases["h1"]; !ok || li.Expired {
+		t.Fatalf("h1 lease = %+v, want live", li)
+	}
+
+	// Standby restarts after the lease expired: it adopts and finishes the
+	// job.
+	late := testGalaxy(t, WithJournal(openTestJournal(t, t.TempDir()), "h2"),
+		WithLeaseTTL(10*time.Second))
+	rep, err = late.Recover(recs, rerr, RecoverOptions{
+		Datasets: datasets, RestartDelay: 30 * time.Second, AdoptExpired: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Adopted != 1 || rep.Requeued != 1 || rep.Orphaned != 0 {
+		t.Fatalf("expired-lease recovery = %+v", rep)
+	}
+	late.Run()
+	if got := late.Jobs()[0]; got.State != StateOK {
+		t.Fatalf("adopted job finished %s: %s", got.State, got.Info)
+	}
+}
+
+func TestRecoverRestoresQuarantineAndFairShare(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir)
+	plan := faults.NewPlan(1, faults.Rule{
+		Match: faults.Match{Op: faults.OpExec, Job: 1, Devices: []int{0, 1}},
+		Fault: faults.Fault{Class: faults.Transient, Msg: "Xid 79"},
+		Count: 1,
+	})
+	g := testGalaxy(t,
+		WithJournal(j, "h1"),
+		WithFaultPlan(plan),
+		WithRetry(faults.Backoff{MaxAttempts: 3, Base: time.Second}),
+		WithQuarantine(faults.NewQuarantine(1, 0)),
+		WithScheduler(sched.New(sched.Config{})),
+	)
+	rs := smallReadSet(t)
+	job, err := g.Submit("racon", fastParams(), rs, SubmitOptions{DatasetName: "nfl", User: "alice", GPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+	if job.State != StateOK || len(job.Failures) != 1 {
+		t.Fatalf("pre-crash job state=%s failures=%d", job.State, len(job.Failures))
+	}
+	preQuarantined := g.DeviceQuarantine().Quarantined(g.Engine.Clock().Now())
+	if len(preQuarantined) == 0 {
+		t.Fatal("fault did not quarantine any device")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, rerr := replayDir(t, dir)
+	j2 := openTestJournal(t, dir)
+	defer j2.Close()
+	s2 := sched.New(sched.Config{})
+	g2 := testGalaxy(t, WithJournal(j2, "h1"),
+		WithQuarantine(faults.NewQuarantine(1, 0)), WithScheduler(s2))
+	rep, err := g2.Recover(recs, rerr, RecoverOptions{
+		Datasets: map[string]any{"nfl": rs}, RestartDelay: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := g2.Engine.Clock().Now()
+	got := g2.DeviceQuarantine().Quarantined(now)
+	if len(got) != len(preQuarantined) || got[0] != preQuarantined[0] {
+		t.Fatalf("quarantine after recovery = %v, want %v", got, preQuarantined)
+	}
+	if rep.QuarantineRestored == 0 {
+		t.Error("report shows no quarantine spans restored")
+	}
+	if len(rep.Faults) != 1 || rep.Faults[0].Op != string(faults.OpExec) {
+		t.Fatalf("replayed faults = %+v", rep.Faults)
+	}
+	if s2.Usage("alice") <= 0 {
+		t.Error("completed GPU job's runtime not re-credited to fair share")
+	}
+}
+
+func TestRecoverRequiresFreshInstanceAndDataset(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir)
+	g := testGalaxy(t, WithJournal(j, "h1"))
+	rs := smallReadSet(t)
+	if _, err := g.Submit("racon", fastParams(), rs, SubmitOptions{DatasetName: "nfl"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	recs, rerr := replayDir(t, dir)
+
+	if _, err := g.Recover(recs, rerr, RecoverOptions{}); err == nil {
+		t.Fatal("Recover on a used instance did not error")
+	}
+
+	// Without the dataset the job cannot be re-run; it must recover as
+	// failed, not vanish or panic.
+	g2 := testGalaxy(t)
+	rep, err := g2.Recover(recs, rerr, RecoverOptions{RestartDelay: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 || rep.Requeued != 0 {
+		t.Fatalf("datasetless recovery = %+v", rep)
+	}
+	if job := g2.Jobs()[0]; job.State != StateError ||
+		!strings.Contains(job.Info, "unrecoverable") {
+		t.Fatalf("job = %s %q", job.State, job.Info)
+	}
+}
+
+func TestResubmitDeadLetterRunsFreshEpoch(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir)
+	defer j.Close()
+	plan := faults.NewPlan(1, faults.Rule{
+		Match: faults.Match{Op: faults.OpExec},
+		Fault: faults.Fault{Class: faults.Permanent, Msg: "driver wedged"},
+		Count: 1,
+	})
+	g := testGalaxy(t, WithJournal(j, "h1"), WithFaultPlan(plan))
+	job, err := g.Submit("racon", fastParams(), smallReadSet(t), SubmitOptions{DatasetName: "nfl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+	if job.State != StateDeadLetter {
+		t.Fatalf("state = %s, want dead_letter", job.State)
+	}
+
+	if _, err := g.ResubmitDeadLetter(99); err == nil {
+		t.Error("resubmitting an unknown job did not error")
+	}
+	got, err := g.ResubmitDeadLetter(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != job {
+		t.Fatal("resubmit returned a different job")
+	}
+	if job.Attempt() != 1 {
+		t.Errorf("Attempt() after resubmit = %d, want a fresh budget", job.Attempt())
+	}
+	g.Run()
+	if job.State != StateOK {
+		t.Fatalf("resubmitted job finished %s: %s", job.State, job.Info)
+	}
+	if len(job.Failures) != 1 {
+		t.Errorf("failure log lost on resubmit: %d entries", len(job.Failures))
+	}
+	if _, err := g.ResubmitDeadLetter(job.ID); err == nil {
+		t.Error("resubmitting an ok job did not error")
+	}
+}
+
+func TestSnapshotJournalSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir)
+	g := testGalaxy(t, WithJournal(j, "h1"))
+	rs := smallReadSet(t)
+	first, err := g.Submit("racon", fastParams(), rs, SubmitOptions{DatasetName: "nfl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+	if err := g.SnapshotJournal(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot activity lands in the fresh segment.
+	second, err := g.Submit("racon", fastParams(), rs, SubmitOptions{DatasetName: "nfl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, rerr := replayDir(t, dir)
+	if rerr != nil {
+		t.Fatalf("snapshot+tail replay errored: %v", rerr)
+	}
+	g2 := testGalaxy(t)
+	rep, err := g2.Recover(recs, rerr, RecoverOptions{
+		Datasets: map[string]any{"nfl": rs}, RestartDelay: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 2 {
+		t.Fatalf("recovered %d completed jobs from snapshot+tail, want 2: %+v", rep.Completed, rep)
+	}
+	jobs := g2.Jobs()
+	if len(jobs) != 2 || jobs[0].ID != first.ID || jobs[1].ID != second.ID {
+		t.Fatalf("recovered job set = %+v", jobs)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gyan/internal/core"
+	"gyan/internal/journal"
 	"gyan/internal/monitor"
 	"gyan/internal/sched"
 	"gyan/internal/smi"
@@ -103,6 +104,10 @@ func (g *Galaxy) parkInSchedulerLocked(job *Job, binding *ToolBinding, opts Subm
 	}
 	job.State = StateQueued
 	job.Info = fmt.Sprintf("queued: awaiting gang of %d GPU(s)", gang)
+	g.logJournal(journal.Record{
+		Type: journal.TypeSchedule, At: now, Job: job.ID,
+		GPUs: gang, Priority: opts.Priority, QueueOp: "park",
+	})
 	g.schedJobs[job.ID] = &schedEntry{
 		pending: &pendingStart{job: job, binding: binding, opts: opts},
 		tool:    tool,
@@ -154,6 +159,10 @@ func (g *Galaxy) schedCycle(now time.Duration) {
 		}
 		e.pending.job.Info = rej.Reason
 		e.pending.job.finish(StateError, now)
+		g.logJournal(journal.Record{
+			Type: journal.TypeComplete, At: now, Job: rej.ID,
+			State: string(StateError), Msg: rej.Reason,
+		})
 	}
 	for _, p := range dec.Preempts {
 		g.preemptLocked(p, now)
@@ -194,6 +203,7 @@ func (g *Galaxy) preemptLocked(p sched.Preempt, now time.Duration) {
 	job.Preempted++
 	job.State = StateQueued
 	job.Info = p.Reason
+	g.logJournal(journal.Record{Type: journal.TypePreempt, At: now, Job: p.ID, Msg: p.Reason})
 	g.sched.Release(p.ID, now)
 	if e.req.Submitted == 0 {
 		// A true t=0 submission would hit Submit's zero-means-now default
@@ -232,6 +242,10 @@ func (g *Galaxy) launchScheduledLocked(e *schedEntry, st sched.Start, now time.D
 		VisibleDevices: deviceList(st.Devices),
 		Reason:         st.Reason,
 	}
+	g.logJournal(journal.Record{
+		Type: journal.TypeQueue, At: now, Job: job.ID,
+		QueueOp: "grant", Devices: st.Devices,
+	})
 	id := job.ID
 	release := func() {
 		delete(g.schedJobs, id)

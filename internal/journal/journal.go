@@ -1,0 +1,393 @@
+package journal
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Options tune a journal's durability/throughput trade-off.
+type Options struct {
+	// SegmentBytes rotates to a new segment once the current one reaches
+	// this size; zero defaults to 1 MiB. A segment always holds at least
+	// one record, however large.
+	SegmentBytes int64
+	// SyncEvery fsyncs after this many appends (group commit); zero
+	// defaults to 64, 1 syncs every append, negative never syncs on
+	// append (rotation and Close still do).
+	SyncEvery int
+	// DurableSubmits fsyncs immediately on submit and adopt records, so a
+	// job acknowledged to the user can never be lost to a crash. The rest
+	// of the stream keeps the batched policy — a lost start or complete
+	// record only costs a re-execution, never a job.
+	DurableSubmits bool
+}
+
+// Stats counts a journal's write-side activity, for the overhead benchmark
+// and the recovery status API.
+type Stats struct {
+	// Appends is the number of records appended.
+	Appends int
+	// Syncs is the number of fsync calls issued.
+	Syncs int
+	// Rotations is the number of segment rotations.
+	Rotations int
+	// Bytes is the total encoded record bytes written.
+	Bytes int64
+	// Segment is the current segment sequence number.
+	Segment int
+}
+
+// Journal is the append side of a write-ahead log directory. It is safe
+// for concurrent use.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	seq     int
+	size    int64
+	pending int // appends since the last fsync
+	stats   Stats
+	closed  bool
+}
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	snapPrefix = "snap-"
+	snapSuffix = ".json"
+)
+
+func segName(seq int) string  { return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix) }
+func snapName(seq int) string { return fmt.Sprintf("%s%08d%s", snapPrefix, seq, snapSuffix) }
+
+// parseSeq extracts the sequence number from a segment or snapshot file
+// name; ok is false for foreign files.
+func parseSeq(name, prefix, suffix string) (int, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSeqs returns the sorted sequence numbers of the directory's files
+// with the given prefix/suffix. A missing directory lists as empty.
+func listSeqs(dir, prefix, suffix string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: list %s: %w", dir, err)
+	}
+	var out []int
+	for _, e := range entries {
+		if n, ok := parseSeq(e.Name(), prefix, suffix); ok {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Open creates (or reopens) a journal directory for appending. Existing
+// segments are never written to again: appends go to a fresh segment after
+// the highest existing sequence, so a torn tail from a previous crash stays
+// isolated in its own file.
+func Open(dir string, opts Options) (*Journal, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 1 << 20
+	}
+	if opts.SyncEvery == 0 {
+		opts.SyncEvery = 64
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: create %s: %w", dir, err)
+	}
+	seq := 0
+	if segs, err := listSeqs(dir, segPrefix, segSuffix); err != nil {
+		return nil, err
+	} else if len(segs) > 0 {
+		seq = segs[len(segs)-1]
+	}
+	if snaps, err := listSeqs(dir, snapPrefix, snapSuffix); err != nil {
+		return nil, err
+	} else if len(snaps) > 0 && snaps[len(snaps)-1] > seq {
+		seq = snaps[len(snaps)-1]
+	}
+	j := &Journal{dir: dir, opts: opts, seq: seq}
+	if err := j.openSegment(seq + 1); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// Dir returns the journal's directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Stats returns a snapshot of the write-side counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := j.stats
+	s.Segment = j.seq
+	return s
+}
+
+// openSegment starts a fresh segment with j.mu held (or before the journal
+// is shared).
+func (j *Journal) openSegment(seq int) error {
+	f, err := os.OpenFile(filepath.Join(j.dir, segName(seq)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: open segment: %w", err)
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	j.seq = seq
+	j.size = 0
+	return nil
+}
+
+// syncLocked flushes the buffer and fsyncs the current segment.
+func (j *Journal) syncLocked() error {
+	if j.w != nil {
+		if err := j.w.Flush(); err != nil {
+			return fmt.Errorf("journal: flush: %w", err)
+		}
+	}
+	if j.f != nil {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync: %w", err)
+		}
+		j.stats.Syncs++
+	}
+	j.pending = 0
+	return nil
+}
+
+// rotateLocked seals the current segment and opens the next one.
+func (j *Journal) rotateLocked() error {
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("journal: close segment: %w", err)
+	}
+	j.stats.Rotations++
+	return j.openSegment(j.seq + 1)
+}
+
+// Append writes one record. Depending on the options and the record type
+// the write may be buffered (group commit) or fsynced before returning.
+func (j *Journal) Append(rec Record) error {
+	buf, err := encode(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: append to closed journal")
+	}
+	if j.size > 0 && j.size+int64(len(buf)) > j.opts.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := j.w.Write(buf); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.size += int64(len(buf))
+	j.stats.Appends++
+	j.stats.Bytes += int64(len(buf))
+	j.pending++
+	durable := j.opts.DurableSubmits && (rec.Type == TypeSubmit || rec.Type == TypeAdopt)
+	if durable || (j.opts.SyncEvery > 0 && j.pending >= j.opts.SyncEvery) {
+		return j.syncLocked()
+	}
+	return nil
+}
+
+// Sync forces buffered records to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	return j.syncLocked()
+}
+
+// Close syncs and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	return j.f.Close()
+}
+
+// Crash abandons the journal the way a killed process would: buffered
+// (un-fsynced) records are dropped on the floor and the file handle is
+// closed without flushing. Tests and the crash-recovery experiment use it
+// to model a handler dying mid-write.
+func (j *Journal) Crash() error { return j.CrashTorn(nil) }
+
+// CrashTorn is Crash plus a torn in-flight write: after dropping the
+// buffer, the given garbage bytes are appended raw to the current segment,
+// modeling a record that made it partially to disk before the power went
+// out. Replay must detect and discard the torn tail.
+func (j *Journal) CrashTorn(garbage []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: crash on closed journal")
+	}
+	j.closed = true
+	j.w = nil // drop the buffer: un-synced records vanish
+	path := j.f.Name()
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	if len(garbage) > 0 {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(garbage); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}
+
+// WriteSnapshot condenses history: the caller provides the records that
+// recreate the current state (typically far fewer than the log holds), and
+// the journal atomically installs them as a snapshot, rotates to a fresh
+// segment, and deletes every older segment and snapshot. Replay afterwards
+// sees the snapshot records followed by whatever is appended next.
+func (j *Journal) WriteSnapshot(recs []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: snapshot on closed journal")
+	}
+	// Seal the current segment; the snapshot replaces it and everything
+	// before it.
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("journal: close segment: %w", err)
+	}
+	sealed := j.seq
+	base := sealed + 1
+
+	var buf []byte
+	for _, rec := range recs {
+		b, err := encode(rec)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, b...)
+	}
+	tmp := filepath.Join(j.dir, snapName(base)+".tmp")
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("journal: write snapshot: %w", err)
+	}
+	if f, err := os.OpenFile(tmp, os.O_RDWR, 0); err == nil {
+		_ = f.Sync()
+		f.Close()
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, snapName(base))); err != nil {
+		return fmt.Errorf("journal: install snapshot: %w", err)
+	}
+	if err := j.openSegment(base); err != nil {
+		return err
+	}
+	// Compaction: everything the snapshot covers is garbage now.
+	if segs, err := listSeqs(j.dir, segPrefix, segSuffix); err == nil {
+		for _, s := range segs {
+			if s <= sealed {
+				_ = os.Remove(filepath.Join(j.dir, segName(s)))
+			}
+		}
+	}
+	if snaps, err := listSeqs(j.dir, snapPrefix, snapSuffix); err == nil {
+		for _, s := range snaps {
+			if s < base {
+				_ = os.Remove(filepath.Join(j.dir, snapName(s)))
+			}
+		}
+	}
+	return nil
+}
+
+// Replay reads a journal directory back: the newest snapshot (if any)
+// followed by the segments it does not cover, in sequence order. It returns
+// every record decoded before the first anomaly; the error is nil for a
+// clean read or a typed *CorruptRecordError describing where decoding
+// stopped. A missing or empty directory replays as no records. Replay
+// never panics on corrupt input.
+func Replay(dir string) ([]Record, error) {
+	snaps, err := listSeqs(dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	base := 0
+	if len(snaps) > 0 {
+		base = snaps[len(snaps)-1]
+		name := snapName(base)
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("journal: read snapshot: %w", err)
+		}
+		recs, cerr := decodeStream(b, name)
+		out = append(out, recs...)
+		if cerr != nil {
+			// A corrupt snapshot poisons everything after it; stop at
+			// the corruption point like any other record stream.
+			return out, cerr
+		}
+	}
+	segs, err := listSeqs(dir, segPrefix, segSuffix)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range segs {
+		if s < base {
+			continue
+		}
+		name := segName(s)
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("journal: read segment: %w", err)
+		}
+		recs, cerr := decodeStream(b, name)
+		out = append(out, recs...)
+		if cerr != nil {
+			return out, cerr
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,372 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testRecords(n int) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = Record{
+			Type: TypeSubmit, At: time.Duration(i) * time.Second, Handler: "h1",
+			Job: i + 1, Tool: "racon", User: "u", Dataset: "nfl",
+			Params: map[string]string{"scale": "0.01"},
+		}
+	}
+	return out
+}
+
+func appendAll(t *testing.T, j *Journal, recs []Record) {
+	t.Helper()
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(10)
+	appendAll(t, j, recs)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(dir)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i].Job != recs[i].Job || got[i].At != recs[i].At || got[i].Params["scale"] != "0.01" {
+			t.Fatalf("record %d mismatch: %+v", i, got[i])
+		}
+	}
+}
+
+func TestReplayMissingDir(t *testing.T) {
+	recs, err := Replay(filepath.Join(t.TempDir(), "nonexistent"))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("missing dir: recs=%d err=%v, want empty, nil", len(recs), err)
+	}
+}
+
+// TestSegmentRotation drives enough records through a tiny segment limit
+// that many segments are produced, and checks order is preserved across the
+// interleaved segment boundaries.
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 256, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(40)
+	appendAll(t, j, recs)
+	if st := j.Stats(); st.Rotations < 5 {
+		t.Fatalf("expected many rotations with a 256-byte segment limit, got %d", st.Rotations)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(dir)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i].Job != i+1 {
+			t.Fatalf("order broken at %d: job %d", i, got[i].Job)
+		}
+	}
+}
+
+// TestReopenAppends checks that reopening a journal picks a fresh segment
+// and the combined history replays in order.
+func TestReopenAppends(t *testing.T) {
+	dir := t.TempDir()
+	j1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j1, testRecords(3))
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(Record{Type: TypeComplete, Job: 99, State: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[3].Job != 99 {
+		t.Fatalf("want 4 records ending in job 99, got %d: %+v", len(got), got)
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, testRecords(30))
+	condensed := []Record{
+		{Type: TypeSubmit, Job: 7, Tool: "racon"},
+		{Type: TypeComplete, Job: 7, State: "ok"},
+	}
+	if err := j.WriteSnapshot(condensed); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: TypeSubmit, Job: 31, Tool: "bonito"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Old segments must be gone.
+	segs, err := listSeqs(dir, segPrefix, segSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("compaction left %d segments, want 1: %v", len(segs), segs)
+	}
+	got, err := Replay(dir)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3 (2 snapshot + 1 tail)", len(got))
+	}
+	if got[0].Job != 7 || got[2].Job != 31 {
+		t.Fatalf("snapshot/tail order wrong: %+v", got)
+	}
+}
+
+// TestCrashDropsBufferedRecords checks the durability contract: with
+// DurableSubmits, submits survive a crash while buffered non-durable
+// records since the last sync are lost.
+func TestCrashDropsBufferedRecords(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SyncEvery: 1000, DurableSubmits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: TypeSubmit, Job: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: TypeStart, Job: 1, Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: TypeComplete, Job: 1, State: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(dir)
+	if err != nil {
+		t.Fatalf("replay after crash: %v", err)
+	}
+	if len(got) != 1 || got[0].Type != TypeSubmit {
+		t.Fatalf("want only the durable submit to survive, got %d records: %+v", len(got), got)
+	}
+}
+
+func TestCrashTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(5)
+	appendAll(t, j, recs)
+	// Half a header's worth of garbage: a torn in-flight write.
+	if err := j.CrashTorn([]byte{0x42, 0x00, 0x13}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(dir)
+	var cerr *CorruptRecordError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("want CorruptRecordError for torn tail, got %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("torn tail must not poison the prefix: got %d records, want %d", len(got), len(recs))
+	}
+}
+
+// corrupt applies a mutation to the bytes of the journal's only segment.
+func corruptSegment(t *testing.T, dir string, mutate func([]byte) []byte) {
+	t.Helper()
+	segs, err := listSeqs(dir, segPrefix, segSuffix)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments to corrupt: %v", err)
+	}
+	path := filepath.Join(dir, segName(segs[0]))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(b), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptionTable covers the corruption classes replay must survive:
+// truncated tails, bit-flipped CRCs and payloads, oversized length
+// prefixes. In every case replay returns the prefix before the corruption
+// point and a typed *CorruptRecordError — and never panics.
+func TestCorruptionTable(t *testing.T) {
+	const n = 6
+	build := func(t *testing.T) (string, []int64) {
+		dir := t.TempDir()
+		j, err := Open(dir, Options{SyncEvery: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets := []int64{0}
+		for _, r := range testRecords(n) {
+			if err := j.Append(r); err != nil {
+				t.Fatal(err)
+			}
+			offsets = append(offsets, j.Stats().Bytes)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir, offsets
+	}
+
+	cases := []struct {
+		name string
+		// mutate corrupts the segment given per-record offsets; returns
+		// how many records must still replay.
+		mutate func([]byte, []int64) ([]byte, int)
+	}{
+		{"truncated mid-payload", func(b []byte, off []int64) ([]byte, int) {
+			return b[:off[4]+headerSize+2], 4 // record 5 torn
+		}},
+		{"truncated mid-header", func(b []byte, off []int64) ([]byte, int) {
+			return b[:off[5]+3], 5 // record 6's header torn
+		}},
+		{"bit-flipped CRC", func(b []byte, off []int64) ([]byte, int) {
+			b[off[2]+5] ^= 0x10 // record 3's stored CRC
+			return b, 2
+		}},
+		{"bit-flipped payload", func(b []byte, off []int64) ([]byte, int) {
+			b[off[3]+headerSize+4] ^= 0x01 // record 4's payload
+			return b, 3
+		}},
+		{"oversized length prefix", func(b []byte, off []int64) ([]byte, int) {
+			binary.LittleEndian.PutUint32(b[off[1]:], uint32(MaxRecord+1))
+			return b, 1
+		}},
+		{"garbage payload bytes", func(b []byte, off []int64) ([]byte, int) {
+			// Rewrite record 2 as framed non-JSON garbage of the same length.
+			start := off[1] + headerSize
+			end := off[2]
+			for i := start; i < end; i++ {
+				b[i] = 0xFE
+			}
+			// Fix the CRC so the corruption is semantic, not checksum-level.
+			sum := crc32.ChecksumIEEE(b[start:end])
+			binary.LittleEndian.PutUint32(b[off[1]+4:], sum)
+			return b, 1
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, offsets := build(t)
+			var wantPrefix int
+			corruptSegment(t, dir, func(b []byte) []byte {
+				mutated, keep := tc.mutate(b, offsets)
+				wantPrefix = keep
+				return mutated
+			})
+			got, err := Replay(dir)
+			var cerr *CorruptRecordError
+			if !errors.As(err, &cerr) {
+				t.Fatalf("want CorruptRecordError, got %v", err)
+			}
+			if len(got) != wantPrefix {
+				t.Fatalf("recovered %d records before corruption, want %d (reason: %s)",
+					len(got), wantPrefix, cerr.Reason)
+			}
+			for i, r := range got {
+				if r.Job != i+1 {
+					t.Fatalf("prefix record %d corrupted: job %d", i, r.Job)
+				}
+			}
+		})
+	}
+}
+
+// TestCorruptMiddleSegment checks that corruption in an earlier segment
+// stops replay at that point: records before it (including earlier
+// segments) are recovered, later segments are not trusted.
+func TestCorruptMiddleSegment(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 200, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, testRecords(12))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSeqs(dir, segPrefix, segSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("need at least 3 segments, got %d", len(segs))
+	}
+	// Count the clean records of the segments before the middle one.
+	var before int
+	for _, s := range segs[:1] {
+		b, _ := os.ReadFile(filepath.Join(dir, segName(s)))
+		recs, _ := decodeStream(b, "")
+		before += len(recs)
+	}
+	mid := filepath.Join(dir, segName(segs[1]))
+	b, err := os.ReadFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[4] ^= 0xFF // flip the first record's CRC
+	if err := os.WriteFile(mid, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(dir)
+	var cerr *CorruptRecordError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("want CorruptRecordError, got %v", err)
+	}
+	if len(got) != before {
+		t.Fatalf("want %d records (everything before the corrupt segment), got %d", before, len(got))
+	}
+}

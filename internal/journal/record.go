@@ -1,0 +1,220 @@
+// Package journal is the durable job-state write-ahead log that makes the
+// dispatch substrate crash-safe. Every job state transition, quarantine
+// entry, scheduler queue mutation and handler heartbeat is appended as one
+// length-prefixed, CRC32-checksummed record; replaying the log rebuilds the
+// engine's state after a crash, and lease records let a standby handler
+// detect a dead peer and adopt its orphaned jobs.
+//
+// On-disk format. A journal is a directory of segment files
+// (wal-00000001.seg, wal-00000002.seg, ...) plus at most a few snapshot
+// files (snap-00000005.json). Each record is framed as
+//
+//	uint32 LE payload length | uint32 LE CRC32(payload) | payload (JSON)
+//
+// Records never span segments. A snapshot with base B condenses everything
+// that happened before segment B into one segment-formatted file; replay
+// loads the newest snapshot and then the segments with sequence >= B, so
+// compaction can delete everything older.
+//
+// Corruption. Appends are buffered and fsynced in batches, so a crash can
+// leave a torn record at the tail of the last segment (and fault injection
+// or disk rot can flip bits anywhere). Replay never panics on bad input: it
+// decodes the longest valid prefix and reports the first anomaly as a typed
+// *CorruptRecordError, and callers treat a tail anomaly as the expected
+// crash artifact — the prefix is the recovered history.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// Type discriminates journal records.
+type Type string
+
+// Record types, one per journaled transition.
+const (
+	// TypeSubmit records a job entering the system. Submits are the
+	// journal's durability points: with Options.DurableSubmits they are
+	// fsynced before Append returns, so an acknowledged job survives any
+	// later crash.
+	TypeSubmit Type = "submit"
+	// TypeMap records a destination-mapping decision (GYAN's dynamic rule).
+	TypeMap Type = "map"
+	// TypeSchedule records a GPU job parking in the batch scheduler's
+	// priority queue (a queue mutation: add).
+	TypeSchedule Type = "schedule"
+	// TypeQueue records the other scheduler queue mutations (QueueOp is
+	// "remove" or "grant").
+	TypeQueue Type = "queue"
+	// TypeStart records one launch epoch beginning execution.
+	TypeStart Type = "start"
+	// TypeAttempt records one classified dispatch failure — the retry
+	// epoch boundary. Devices carries the fault's culprit devices, which
+	// replay feeds back through the quarantine.
+	TypeAttempt Type = "attempt"
+	// TypePreempt records a scheduler eviction (the victim requeues).
+	TypePreempt Type = "preempt"
+	// TypeComplete records a terminal ok/error state.
+	TypeComplete Type = "complete"
+	// TypeDeadLetter records a job exhausting fault recovery.
+	TypeDeadLetter Type = "dead_letter"
+	// TypeQuarantine records a device entering quarantine (Until is the
+	// release deadline, -1 for forever).
+	TypeQuarantine Type = "quarantine"
+	// TypeLease is a handler heartbeat: the handler asserts ownership of
+	// its jobs until At+TTL.
+	TypeLease Type = "lease"
+	// TypeAdopt records a handler taking over a job whose owner's lease
+	// expired (From is the previous owner).
+	TypeAdopt Type = "adopt"
+	// TypeResubmit records an admin replaying a dead-lettered job as a
+	// fresh epoch (the failure log stays attached).
+	TypeResubmit Type = "resubmit"
+)
+
+// Record is one journal entry. It is a flat union over every record type;
+// unused fields are omitted from the encoding. All timestamps are virtual
+// time (offsets from the simulation epoch), which is what lets a replayed
+// history merge seamlessly with a resumed engine's timeline.
+type Record struct {
+	Type Type          `json:"t"`
+	At   time.Duration `json:"at"`
+	// Handler is the handler that wrote the record (job ownership flows
+	// from the submit record's handler, overridden by adopt records).
+	Handler string `json:"h,omitempty"`
+
+	// Job identity and submission parameters (TypeSubmit).
+	Job        int               `json:"job,omitempty"`
+	Tool       string            `json:"tool,omitempty"`
+	User       string            `json:"user,omitempty"`
+	Params     map[string]string `json:"params,omitempty"`
+	Dataset    string            `json:"dataset,omitempty"`
+	Runtime    string            `json:"runtime,omitempty"`
+	Priority   int               `json:"priority,omitempty"`
+	GPUs       int               `json:"gpus,omitempty"`
+	EstRuntime time.Duration     `json:"est_runtime,omitempty"`
+	Submitted  time.Duration     `json:"submitted,omitempty"`
+	Delay      time.Duration     `json:"delay,omitempty"`
+
+	// Placement (TypeMap, TypeStart).
+	Destination string `json:"dest,omitempty"`
+	GPUEnabled  bool   `json:"gpu,omitempty"`
+	Devices     []int  `json:"devices,omitempty"`
+
+	// Lifecycle detail (TypeStart, TypeAttempt, TypeComplete, ...).
+	Epoch   int    `json:"epoch,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Op      string `json:"op,omitempty"`
+	Class   string `json:"class,omitempty"`
+	Msg     string `json:"msg,omitempty"`
+	State   string `json:"state,omitempty"`
+	QueueOp string `json:"qop,omitempty"`
+
+	// Quarantine (TypeQuarantine) and lease (TypeLease) fields.
+	Device int           `json:"device,omitempty"`
+	Until  time.Duration `json:"until,omitempty"`
+	TTL    time.Duration `json:"ttl,omitempty"`
+
+	// From is the previous owner on TypeAdopt records.
+	From string `json:"from,omitempty"`
+}
+
+// headerSize is the per-record framing overhead: length + CRC32.
+const headerSize = 8
+
+// MaxRecord bounds one record's encoded payload. A corrupt length prefix
+// must not make replay allocate gigabytes, so anything larger is treated as
+// corruption.
+const MaxRecord = 1 << 20
+
+// CorruptRecordError reports the first undecodable record hit during
+// replay. Everything before Offset decoded cleanly and was returned to the
+// caller; nothing at or after it can be trusted.
+type CorruptRecordError struct {
+	// Segment names the file the corruption was found in ("" for
+	// ReplayBytes).
+	Segment string
+	// Offset is the byte offset of the corrupt record's header.
+	Offset int64
+	// Reason describes the anomaly (torn header, torn payload, CRC
+	// mismatch, oversized length, undecodable payload).
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *CorruptRecordError) Error() string {
+	where := e.Segment
+	if where == "" {
+		where = "journal"
+	}
+	return fmt.Sprintf("journal: corrupt record in %s at offset %d: %s", where, e.Offset, e.Reason)
+}
+
+// encode frames one record: header (length, CRC32 of payload) + payload.
+func encode(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode record: %w", err)
+	}
+	if len(payload) > MaxRecord {
+		return nil, fmt.Errorf("journal: record of %d bytes exceeds the %d-byte limit", len(payload), MaxRecord)
+	}
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[headerSize:], payload)
+	return buf, nil
+}
+
+// decodeStream decodes framed records from b until the end or the first
+// anomaly. It returns the records decoded before the anomaly and a nil or
+// typed *CorruptRecordError — never any other error, and never a panic.
+func decodeStream(b []byte, segment string) ([]Record, *CorruptRecordError) {
+	var out []Record
+	off := int64(0)
+	for int64(len(b)) > off {
+		rest := b[off:]
+		if len(rest) < headerSize {
+			return out, &CorruptRecordError{Segment: segment, Offset: off,
+				Reason: fmt.Sprintf("torn header: %d trailing byte(s)", len(rest))}
+		}
+		length := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if length > MaxRecord {
+			return out, &CorruptRecordError{Segment: segment, Offset: off,
+				Reason: fmt.Sprintf("record length %d exceeds the %d-byte limit", length, MaxRecord)}
+		}
+		if int64(len(rest)) < headerSize+int64(length) {
+			return out, &CorruptRecordError{Segment: segment, Offset: off,
+				Reason: fmt.Sprintf("torn payload: header promises %d bytes, %d remain", length, len(rest)-headerSize)}
+		}
+		payload := rest[headerSize : headerSize+int64(length)]
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return out, &CorruptRecordError{Segment: segment, Offset: off,
+				Reason: fmt.Sprintf("CRC mismatch: header %08x, payload %08x", sum, got)}
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return out, &CorruptRecordError{Segment: segment, Offset: off,
+				Reason: fmt.Sprintf("undecodable payload: %v", err)}
+		}
+		out = append(out, rec)
+		off += headerSize + int64(length)
+	}
+	return out, nil
+}
+
+// ReplayBytes decodes a single segment-formatted byte stream. It is the
+// fuzzing entry point: whatever the input, it returns the longest valid
+// record prefix and either nil or a *CorruptRecordError.
+func ReplayBytes(b []byte) ([]Record, error) {
+	recs, cerr := decodeStream(b, "")
+	if cerr != nil {
+		return recs, cerr
+	}
+	return recs, nil
+}

@@ -23,6 +23,54 @@ type FaultReport struct {
 	Quarantined []int
 	// QuarantineEntries counts how many times any device entered quarantine.
 	QuarantineEntries int
+	// Replayed counts the faults recovered from a journal replay — history
+	// that predates this engine's start and therefore never fired through
+	// the live fault plan.
+	Replayed int
+}
+
+// ReplayedFault is one fault event recovered from a journal replay. The
+// journal records attempts with their culprit devices; after a handler
+// restart these events predate the new engine's start, so they arrive here
+// as plain values rather than through the live fault plan.
+type ReplayedFault struct {
+	// At is the virtual time the original failure was recorded.
+	At time.Duration
+	// Op is the hook point that failed (probe, launch, exec, ...).
+	Op string
+	// Class is the failure's retry classification.
+	Class string
+	// Devices are the fault's culprit GPU minor IDs.
+	Devices []int
+}
+
+// AddReplayed folds journal-replayed fault history into the report. Events
+// may predate the engine's start (At earlier than any live event); they
+// count into the same totals and breakdowns so a post-recovery report
+// describes the whole workload, not just the post-restart slice.
+func (r *FaultReport) AddReplayed(evs []ReplayedFault) {
+	if r.ByOp == nil {
+		r.ByOp = make(map[string]int)
+	}
+	if r.ByClass == nil {
+		r.ByClass = make(map[string]int)
+	}
+	if r.ByDevice == nil {
+		r.ByDevice = make(map[int]int)
+	}
+	for _, e := range evs {
+		r.Total++
+		r.Replayed++
+		if e.Op != "" {
+			r.ByOp[e.Op]++
+		}
+		if e.Class != "" {
+			r.ByClass[e.Class]++
+		}
+		for _, d := range e.Devices {
+			r.ByDevice[d]++
+		}
+	}
 }
 
 // TallyFaults builds a FaultReport from a fault plan and (optionally) a

@@ -44,3 +44,38 @@ func TestTallyFaultsNilSafe(t *testing.T) {
 		t.Errorf("report = %+v", rep)
 	}
 }
+
+func TestAddReplayedMergesPreStartHistory(t *testing.T) {
+	plan := faults.NewPlan(1,
+		faults.Rule{Match: faults.Match{Op: faults.OpExec}, Fault: faults.Fault{Class: faults.Transient, Msg: "x"}},
+	)
+	plan.Check(20*time.Second, faults.Site{Op: faults.OpExec, Job: 9, Devices: []int{0}})
+
+	rep := TallyFaults(plan, nil, 20*time.Second)
+	// Replayed history predates the new engine's start (the live event above
+	// is at t=20s; these were journaled by the previous handler at t<10s).
+	rep.AddReplayed([]ReplayedFault{
+		{At: 2 * time.Second, Op: "exec", Class: "transient", Devices: []int{1}},
+		{At: 9 * time.Second, Op: "launch", Class: "permanent", Devices: []int{0, 1}},
+	})
+	if rep.Total != 3 || rep.Replayed != 2 {
+		t.Errorf("totals = %d replayed %d", rep.Total, rep.Replayed)
+	}
+	if rep.ByOp["exec"] != 2 || rep.ByOp["launch"] != 1 {
+		t.Errorf("by op = %v", rep.ByOp)
+	}
+	if rep.ByClass["transient"] != 2 || rep.ByClass["permanent"] != 1 {
+		t.Errorf("by class = %v", rep.ByClass)
+	}
+	if rep.ByDevice[0] != 2 || rep.ByDevice[1] != 2 {
+		t.Errorf("by device = %v", rep.ByDevice)
+	}
+}
+
+func TestAddReplayedOnZeroReport(t *testing.T) {
+	var rep FaultReport
+	rep.AddReplayed([]ReplayedFault{{Op: "probe", Class: "transient", Devices: []int{3}}})
+	if rep.Total != 1 || rep.Replayed != 1 || rep.ByOp["probe"] != 1 || rep.ByDevice[3] != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+}

@@ -221,6 +221,18 @@ func (s *Scheduler) RunningCount() int { return len(s.running) }
 // Usage returns a user's accumulated GPU-seconds.
 func (s *Scheduler) Usage(user string) float64 { return s.usage[user] }
 
+// RestoreUsage credits a user's fair-share account with GPU-seconds accrued
+// before this scheduler existed — crash recovery replays completed jobs'
+// runtimes through here so a restarted handler does not let a heavy user
+// start from a clean slate (and does not double-charge requeued work, which
+// is only charged when its new run releases).
+func (s *Scheduler) RestoreUsage(user string, gpuSeconds float64) {
+	if gpuSeconds <= 0 {
+		return
+	}
+	s.usage[user] += gpuSeconds
+}
+
 // Submit enqueues a request at virtual time now. Duplicate IDs (already
 // queued or running) are an error.
 func (s *Scheduler) Submit(req Request, now time.Duration) error {

@@ -1,0 +1,61 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gyan/internal/galaxy"
+)
+
+func TestAddRecoveryLanes(t *testing.T) {
+	rep := &galaxy.RecoveryReport{
+		Handler:      "h2",
+		Records:      42,
+		LastRecordAt: 8 * time.Second,
+		ResumedAt:    15 * time.Second,
+		Requeued:     3,
+		Adopted:      1,
+		Leases: map[string]galaxy.LeaseInfo{
+			"h1": {First: 0, Last: 7 * time.Second, Deadline: 12 * time.Second, Expired: true},
+			"h2": {First: 15 * time.Second, Last: 18 * time.Second, Deadline: 48 * time.Second, Expired: false},
+		},
+	}
+
+	var c Chart
+	// A post-restart job: recovery history predates this span and must pull
+	// the axis backwards rather than being clipped at the job's start.
+	c.AddJobs([]*galaxy.Job{{
+		ID: 3, ToolID: "racon", State: galaxy.StateOK,
+		Started: 15 * time.Second, Finished: 20 * time.Second,
+	}})
+	c.AddRecovery(rep, 20*time.Second)
+
+	out := c.Render(60)
+	for _, want := range []string{
+		"handler h1", "lease expired",
+		"handler h2", "lease live",
+		"recovery", "replayed 42 records: 3 requeued, 1 adopted, 0 orphaned",
+		"job 3 racon",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// The axis starts at the oldest replayed event (h1's first heartbeat at
+	// t=0), not at the post-restart job, and h2's live lease is clamped to
+	// the chart end instead of running to its 48s deadline.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	axis := lines[len(lines)-1]
+	if !strings.Contains(axis, "0.00s") || !strings.Contains(axis, "20.00s") {
+		t.Errorf("axis not extended across replayed history: %q", axis)
+	}
+}
+
+func TestAddRecoveryNilReport(t *testing.T) {
+	var c Chart
+	c.AddRecovery(nil, time.Second)
+	if out := c.Render(40); !strings.Contains(out, "no activity") {
+		t.Errorf("nil report rendered spans: %q", out)
+	}
+}
