@@ -82,13 +82,17 @@ func run(addr, policyName string, seed uint64, journalDir, handler string, lease
 	if journalDir != "" {
 		// Replay whatever a previous incarnation left behind before opening
 		// the journal for writing (Open starts a fresh segment, so the read
-		// must come first). A missing directory replays as empty.
+		// must come first). A missing directory replays as empty; a directory
+		// locked by a live handler refuses to open — that handler owns it.
 		recs, rerr := journal.Replay(journalDir)
 		j, err := journal.Open(journalDir, journal.Options{DurableSubmits: true})
 		if err != nil {
 			return err
 		}
-		gopts = append(gopts, galaxy.WithJournal(j, handler), galaxy.WithLeaseTTL(leaseTTL))
+		gopts = append(gopts,
+			galaxy.WithJournal(j, handler),
+			galaxy.WithLeaseTTL(leaseTTL),
+			galaxy.WithWallClock(time.Now))
 		g := galaxy.New(nil, gopts...)
 		if err := g.RegisterDefaultTools(); err != nil {
 			return err
@@ -98,6 +102,7 @@ func run(addr, policyName string, seed uint64, journalDir, handler string, lease
 				Datasets:     datasets,
 				RestartDelay: leaseTTL + time.Second,
 				AdoptExpired: true,
+				WallNow:      time.Now().UnixNano(),
 			})
 			if err != nil {
 				return err
@@ -108,8 +113,27 @@ func run(addr, policyName string, seed uint64, journalDir, handler string, lease
 			if rep.CorruptTail != "" {
 				log.Printf("journal had a torn tail (expected after a crash): %s", rep.CorruptTail)
 			}
+			// Compact the recovered state into a snapshot: this seals torn
+			// segments away so they are not re-reported on every restart,
+			// and bounds the next replay.
+			if err := g.SnapshotJournal(); err != nil {
+				log.Printf("journal compaction after recovery failed: %v", err)
+			}
 		}
-		log.Printf("journaling to %s as handler %q (lease TTL %v)", journalDir, handler, leaseTTL)
+		// Heartbeat on a wall-clock ticker so the lease trail keeps proving
+		// this handler alive through idle stretches (virtual time does not
+		// advance without work).
+		interval := leaseTTL / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		go func() {
+			for range time.Tick(interval) {
+				g.WriteLease()
+			}
+		}()
+		log.Printf("journaling to %s as handler %q (lease TTL %v, heartbeat every %v)",
+			journalDir, handler, leaseTTL, interval)
 		return serve(addr, policyName, g, datasets)
 	}
 

@@ -91,6 +91,7 @@ type Galaxy struct {
 	leaseTTL     time.Duration
 	lastLease    time.Duration
 	leaseWritten bool
+	wallNow      func() time.Time
 	journalErr   error
 	recovery     *RecoveryReport
 }

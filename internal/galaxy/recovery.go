@@ -18,16 +18,24 @@ import (
 // from the attempt records, and non-terminal jobs requeue as a new run epoch
 // with their original submission time, so seniority survives the restart.
 //
-// Ownership is lease-based. Each handler piggybacks heartbeat lease records
-// onto its journal writes (at least every leaseTTL/2 of activity); a job is
-// owned by the handler that journaled its submit record until an adopt
+// Ownership is lease-based, with two guards against split-brain. The
+// structural one is the journal directory's exclusive flock (journal.Open):
+// two live processes can never append to the same journal, and the kernel
+// releases a dead process's lock, so merely being able to open the journal
+// proves the previous owner is gone. The lease records layer failover
+// semantics on top: each handler piggybacks heartbeat leases onto its
+// journal writes (at least every leaseTTL/2 of activity) and, in
+// gyan-server, also on a wall-clock ticker (WithWallClock stamps each lease
+// with real time, since virtual time stands still on an idle server). A job
+// is owned by the handler that journaled its submit record until an adopt
 // record transfers it. During recovery a handler only requeues jobs it owns
 // — a foreign job is adopted (with an adopt record) only when its owner's
-// lease has expired and RecoverOptions.AdoptExpired is set, otherwise it is
-// left orphaned for its owner to resume. Because a requeued run is a fresh
-// epoch and completed epochs are journaled, a job is never double-executed:
-// the worst a crash costs is re-running work whose completion record was
-// still buffered.
+// lease has expired (judged in wall time when both sides have wall clocks)
+// and RecoverOptions.AdoptExpired is set, otherwise it is left orphaned for
+// its owner to resume. Because a requeued run is a fresh epoch and
+// completed epochs are journaled, a job is never double-executed: the worst
+// a crash costs is re-running work whose completion record was still
+// buffered.
 //
 // Known limits, accepted for the reproduction: workflow step chaining
 // (onDone hooks) is not journaled, a resubmit_destination pin does not
@@ -58,6 +66,17 @@ func WithLeaseTTL(d time.Duration) Option {
 			g.leaseTTL = d
 		}
 	}
+}
+
+// WithWallClock gives the handler a wall-clock source for lease records.
+// Virtual time stands still while a server is idle, so handler liveness
+// cannot be judged from virtual lease deadlines alone: with a wall clock
+// set, every heartbeat is also stamped with real time, and a recovering
+// standby that passes RecoverOptions.WallNow compares those stamps against
+// its own wall clock before declaring an owner dead. Deterministic
+// experiments leave it unset and rely on virtual-time lease math.
+func WithWallClock(now func() time.Time) Option {
+	return func(g *Galaxy) { g.wallNow = now }
 }
 
 // HandlerID returns this handler's name in the journal ("" when journaling
@@ -116,16 +135,22 @@ func (g *Galaxy) maybeHeartbeatLocked(now time.Duration) {
 	}
 	g.leaseWritten = true
 	g.lastLease = now
-	err := g.journal.Append(journal.Record{
+	rec := journal.Record{
 		Type: journal.TypeLease, At: now, Handler: g.handlerID, TTL: g.leaseTTL,
-	})
-	if err != nil && g.journalErr == nil {
+	}
+	if g.wallNow != nil {
+		rec.Wall = g.wallNow().UnixNano()
+	}
+	if err := g.journal.Append(rec); err != nil && g.journalErr == nil {
 		g.journalErr = err
 	}
 }
 
 // WriteLease forces a heartbeat at the current virtual time (a no-op
-// without a journal). Useful before a long quiet stretch.
+// without a journal) and flushes it to disk: a lease only proves liveness
+// once a peer can read it, so it must not sit in the group-commit buffer
+// across an idle stretch. gyan-server calls this on a wall-clock ticker;
+// it is also useful before a long quiet period.
 func (g *Galaxy) WriteLease() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -134,6 +159,9 @@ func (g *Galaxy) WriteLease() {
 	}
 	g.leaseWritten = false
 	g.maybeHeartbeatLocked(g.Engine.Clock().Now())
+	if err := g.journal.Sync(); err != nil && g.journalErr == nil {
+		g.journalErr = err
+	}
 }
 
 // LeaseInfo summarizes one handler's heartbeat trail in a replayed journal.
@@ -143,7 +171,13 @@ type LeaseInfo struct {
 	Last  time.Duration `json:"last"`
 	// Deadline is when the newest lease expires (Last + TTL).
 	Deadline time.Duration `json:"deadline"`
-	// Expired reports whether the deadline had passed at recovery time.
+	// WallLast and WallDeadline are the newest heartbeat's wall-clock stamp
+	// and expiry in unix nanoseconds (0 when the owner had no wall clock;
+	// see WithWallClock).
+	WallLast     int64 `json:"wall_last,omitempty"`
+	WallDeadline int64 `json:"wall_deadline,omitempty"`
+	// Expired reports whether the lease had lapsed at recovery time — in
+	// wall time when both sides carry wall clocks, else in virtual time.
 	Expired bool `json:"expired"`
 }
 
@@ -216,6 +250,13 @@ type RecoverOptions struct {
 	// has expired (writing adopt records). Without it, foreign jobs are
 	// left orphaned regardless of lease state.
 	AdoptExpired bool
+	// WallNow is the recovering handler's wall-clock time in unix
+	// nanoseconds. When both it and a lease's wall stamp are present, lease
+	// expiry is judged in real time — an owner that is idle in virtual time
+	// but still heartbeating on its wall-clock ticker is alive and keeps
+	// its jobs. Zero falls back to virtual-time expiry (deterministic
+	// experiments).
+	WallNow int64
 }
 
 // jobHistory is one job's folded record trail.
@@ -255,6 +296,13 @@ func (g *Galaxy) Recover(recs []journal.Record, replayErr error, opts RecoverOpt
 		if !errors.As(replayErr, &cerr) {
 			return nil, replayErr
 		}
+		if cerr.IsSnapshot() {
+			// A torn segment tail costs at most the record mid-write when
+			// the power went out; a corrupt snapshot truncates the
+			// compacted base and loses an unknown amount of acknowledged
+			// history. Refuse to build a silently incomplete world.
+			return nil, fmt.Errorf("galaxy: journal snapshot is corrupt (%v); refusing to recover from a truncated base — restore or move aside the journal directory", cerr)
+		}
 		rep.CorruptTail = cerr.Error()
 	}
 
@@ -275,6 +323,10 @@ func (g *Galaxy) Recover(recs []journal.Record, replayErr error, opts RecoverOpt
 			}
 			li.Last = rec.At
 			li.Deadline = rec.At + rec.TTL
+			if rec.Wall > 0 {
+				li.WallLast = rec.Wall
+				li.WallDeadline = rec.Wall + int64(rec.TTL)
+			}
 			rep.Leases[rec.Handler] = li
 			continue
 		}
@@ -315,6 +367,12 @@ func (g *Galaxy) Recover(recs []journal.Record, replayErr error, opts RecoverOpt
 	rep.ResumedAt = now
 	for id, li := range rep.Leases {
 		li.Expired = now >= li.Deadline
+		if opts.WallNow > 0 && li.WallLast > 0 {
+			// Real time trumps virtual time for liveness: an idle server's
+			// virtual clock stands still, so only the wall-clock heartbeat
+			// trail can distinguish "quiet" from "dead".
+			li.Expired = opts.WallNow >= li.WallDeadline
+		}
 		rep.Leases[id] = li
 	}
 

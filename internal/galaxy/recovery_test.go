@@ -1,6 +1,8 @@
 package galaxy
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -414,5 +416,110 @@ func TestSnapshotJournalSurvivesRecovery(t *testing.T) {
 	jobs := g2.Jobs()
 	if len(jobs) != 2 || jobs[0].ID != first.ID || jobs[1].ID != second.ID {
 		t.Fatalf("recovered job set = %+v", jobs)
+	}
+}
+
+// TestWallClockLeaseBlocksAdoption pins the idle-handler split-brain guard:
+// a handler that is quiet in virtual time but still heartbeating in wall
+// time must not have its jobs adopted, however large the virtual
+// RestartDelay. Only once the wall-clock trail goes stale is adoption legal.
+func TestWallClockLeaseBlocksAdoption(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir)
+	epoch := time.Unix(1000, 0)
+	g := testGalaxy(t, WithJournal(j, "h1"), WithLeaseTTL(10*time.Second),
+		WithWallClock(func() time.Time { return epoch }))
+	rs := smallReadSet(t)
+	if _, err := g.Submit("racon", fastParams(), rs, SubmitOptions{DatasetName: "nfl"}); err != nil {
+		t.Fatal(err)
+	}
+	g.Engine.RunUntil(0) // submit journaled, job still queued
+	g.WriteLease()       // the wall-clock ticker's heartbeat
+	if err := j.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	recs, rerr := replayDir(t, dir)
+	datasets := map[string]any{"nfl": rs}
+
+	// The virtual RestartDelay alone says the lease is long dead, but h1
+	// heartbeated 5 wall-seconds ago: it is alive, hands off its jobs.
+	early := testGalaxy(t, WithJournal(openTestJournal(t, t.TempDir()), "h2"),
+		WithLeaseTTL(10*time.Second))
+	rep, err := early.Recover(recs, rerr, RecoverOptions{
+		Datasets: datasets, RestartDelay: time.Hour, AdoptExpired: true,
+		WallNow: epoch.Add(5 * time.Second).UnixNano(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Adopted != 0 || rep.Orphaned != 1 {
+		t.Fatalf("wall-live lease: adopted=%d orphaned=%d, want 0/1", rep.Adopted, rep.Orphaned)
+	}
+	if li := rep.Leases["h1"]; li.Expired || li.WallLast == 0 {
+		t.Fatalf("h1 lease = %+v, want wall-stamped and live", li)
+	}
+
+	// 20 wall-seconds of silence outlives the 10 s TTL: h1 is dead, adopt.
+	late := testGalaxy(t, WithJournal(openTestJournal(t, t.TempDir()), "h2"),
+		WithLeaseTTL(10*time.Second))
+	rep, err = late.Recover(recs, rerr, RecoverOptions{
+		Datasets: datasets, RestartDelay: time.Hour, AdoptExpired: true,
+		WallNow: epoch.Add(20 * time.Second).UnixNano(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Adopted != 1 || rep.Orphaned != 0 {
+		t.Fatalf("wall-expired lease: adopted=%d orphaned=%d, want 1/0", rep.Adopted, rep.Orphaned)
+	}
+	late.Run()
+	if got := late.Jobs()[0]; got.State != StateOK {
+		t.Fatalf("adopted job finished %s: %s", got.State, got.Info)
+	}
+}
+
+// TestRecoverRefusesCorruptSnapshot checks that a corrupt snapshot — the
+// compacted base, not a routine torn tail — aborts recovery instead of
+// silently building an incomplete world.
+func TestRecoverRefusesCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir)
+	g := testGalaxy(t, WithJournal(j, "h1"))
+	rs := smallReadSet(t)
+	if _, err := g.Submit("racon", fastParams(), rs, SubmitOptions{DatasetName: "nfl"}); err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+	if err := g.SnapshotJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.json"))
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("want one snapshot, got %v (%v)", snaps, err)
+	}
+	b, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[4] ^= 0xFF // flip the first record's CRC
+	if err := os.WriteFile(snaps[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, rerr := journal.Replay(dir)
+	var cerr *journal.CorruptRecordError
+	if !asCorrupt(rerr, &cerr) || !cerr.IsSnapshot() {
+		t.Fatalf("want snapshot CorruptRecordError from replay, got %v", rerr)
+	}
+	g2 := testGalaxy(t, WithJournal(openTestJournal(t, t.TempDir()), "h2"))
+	if _, err := g2.Recover(recs, rerr, RecoverOptions{
+		Datasets: map[string]any{"nfl": rs}, RestartDelay: time.Second,
+	}); err == nil {
+		t.Fatal("recovery from a corrupt snapshot must be refused")
+	} else if !strings.Contains(err.Error(), "snapshot") {
+		t.Fatalf("refusal should name the snapshot: %v", err)
 	}
 }

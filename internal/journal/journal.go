@@ -52,6 +52,7 @@ type Journal struct {
 	mu      sync.Mutex
 	f       *os.File
 	w       *bufio.Writer
+	lock    *os.File // held flock on the directory's LOCK file
 	seq     int
 	size    int64
 	pending int // appends since the last fsync
@@ -106,6 +107,13 @@ func listSeqs(dir, prefix, suffix string) ([]int, error) {
 // segments are never written to again: appends go to a fresh segment after
 // the highest existing sequence, so a torn tail from a previous crash stays
 // isolated in its own file.
+//
+// Open takes an exclusive flock(2) on the directory's LOCK file and holds
+// it until Close (or Crash, which models process death). A second live
+// process opening the same directory gets ErrLocked — the structural guard
+// against two handlers appending to, and both claiming ownership of, one
+// journal. The kernel releases the lock when the holder dies, so a standby
+// can tell a crashed owner (Open succeeds) from a live one (ErrLocked).
 func Open(dir string, opts Options) (*Journal, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = 1 << 20
@@ -116,19 +124,26 @@ func Open(dir string, opts Options) (*Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: create %s: %w", dir, err)
 	}
+	lock, err := acquireLock(dir)
+	if err != nil {
+		return nil, err
+	}
 	seq := 0
 	if segs, err := listSeqs(dir, segPrefix, segSuffix); err != nil {
+		releaseLock(lock)
 		return nil, err
 	} else if len(segs) > 0 {
 		seq = segs[len(segs)-1]
 	}
 	if snaps, err := listSeqs(dir, snapPrefix, snapSuffix); err != nil {
+		releaseLock(lock)
 		return nil, err
 	} else if len(snaps) > 0 && snaps[len(snaps)-1] > seq {
 		seq = snaps[len(snaps)-1]
 	}
-	j := &Journal{dir: dir, opts: opts, seq: seq}
+	j := &Journal{dir: dir, opts: opts, seq: seq, lock: lock}
 	if err := j.openSegment(seq + 1); err != nil {
+		releaseLock(lock)
 		return nil, err
 	}
 	return j, nil
@@ -230,7 +245,7 @@ func (j *Journal) Sync() error {
 	return j.syncLocked()
 }
 
-// Close syncs and closes the journal.
+// Close syncs and closes the journal, releasing the directory lock.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -238,10 +253,17 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
-	if err := j.syncLocked(); err != nil {
-		return err
+	serr := j.syncLocked()
+	var cerr error
+	if j.f != nil {
+		cerr = j.f.Close()
 	}
-	return j.f.Close()
+	releaseLock(j.lock)
+	j.lock = nil
+	if serr != nil {
+		return serr
+	}
+	return cerr
 }
 
 // Crash abandons the journal the way a killed process would: buffered
@@ -262,6 +284,8 @@ func (j *Journal) CrashTorn(garbage []byte) error {
 	}
 	j.closed = true
 	j.w = nil // drop the buffer: un-synced records vanish
+	releaseLock(j.lock) // the kernel would drop a dead process's flock
+	j.lock = nil
 	path := j.f.Name()
 	if err := j.f.Close(); err != nil {
 		return err
@@ -286,6 +310,16 @@ func (j *Journal) CrashTorn(garbage []byte) error {
 // segment, and deletes every older segment and snapshot. Replay afterwards
 // sees the snapshot records followed by whatever is appended next.
 func (j *Journal) WriteSnapshot(recs []Record) error {
+	// Encode before touching the log so an encoding error leaves the
+	// journal fully intact.
+	var buf []byte
+	for _, rec := range recs {
+		b, err := encode(rec)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, b...)
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
@@ -299,30 +333,43 @@ func (j *Journal) WriteSnapshot(recs []Record) error {
 	if err := j.f.Close(); err != nil {
 		return fmt.Errorf("journal: close segment: %w", err)
 	}
+	j.f, j.w = nil, nil
 	sealed := j.seq
 	base := sealed + 1
 
-	var buf []byte
-	for _, rec := range recs {
-		b, err := encode(rec)
-		if err != nil {
-			return err
+	// From here on the old segment is sealed: whatever happens, Append must
+	// end up with either a live segment to write to or a latched journal
+	// that errors loudly — never a buffer draining into a closed file.
+	install := func() error {
+		tmp := filepath.Join(j.dir, snapName(base)+".tmp")
+		if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+			_ = os.Remove(tmp)
+			return fmt.Errorf("journal: write snapshot: %w", err)
 		}
-		buf = append(buf, b...)
+		if f, err := os.OpenFile(tmp, os.O_RDWR, 0); err == nil {
+			_ = f.Sync()
+			f.Close()
+		}
+		if err := os.Rename(tmp, filepath.Join(j.dir, snapName(base))); err != nil {
+			_ = os.Remove(tmp)
+			return fmt.Errorf("journal: install snapshot: %w", err)
+		}
+		return nil
 	}
-	tmp := filepath.Join(j.dir, snapName(base)+".tmp")
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return fmt.Errorf("journal: write snapshot: %w", err)
-	}
-	if f, err := os.OpenFile(tmp, os.O_RDWR, 0); err == nil {
-		_ = f.Sync()
-		f.Close()
-	}
-	if err := os.Rename(tmp, filepath.Join(j.dir, snapName(base))); err != nil {
-		return fmt.Errorf("journal: install snapshot: %w", err)
-	}
+	ierr := install()
 	if err := j.openSegment(base); err != nil {
+		j.closed = true
+		releaseLock(j.lock)
+		j.lock = nil
+		if ierr != nil {
+			return ierr
+		}
 		return err
+	}
+	if ierr != nil {
+		// Snapshot failed but the journal is appendable again; the sealed
+		// segments stay on disk, so no history was lost.
+		return ierr
 	}
 	// Compaction: everything the snapshot covers is garbage now.
 	if segs, err := listSeqs(j.dir, segPrefix, segSuffix); err == nil {
@@ -343,11 +390,21 @@ func (j *Journal) WriteSnapshot(recs []Record) error {
 }
 
 // Replay reads a journal directory back: the newest snapshot (if any)
-// followed by the segments it does not cover, in sequence order. It returns
-// every record decoded before the first anomaly; the error is nil for a
-// clean read or a typed *CorruptRecordError describing where decoding
-// stopped. A missing or empty directory replays as no records. Replay
-// never panics on corrupt input.
+// followed by the segments it does not cover, in sequence order. A missing
+// or empty directory replays as no records, and Replay never panics on
+// corrupt input.
+//
+// Corruption is handled per layer. A corrupt record inside a segment ends
+// only that segment: it is the torn tail a crashed writer leaves behind,
+// and because every process incarnation appends to its own fresh segment
+// (Open never reopens an old file), any later segment was written after
+// the crash and is still trusted — replay skips to it and keeps going.
+// The first such anomaly is reported as a typed *CorruptRecordError
+// alongside the recovered records so callers can surface it and compact
+// the torn segment away. A corrupt snapshot, by contrast, destroys the
+// compacted base that gives the following segments meaning: replay stops
+// there and returns an error with IsSnapshot() true, which callers must
+// treat as data loss, not as a routine crash artifact.
 func Replay(dir string) ([]Record, error) {
 	snaps, err := listSeqs(dir, snapPrefix, snapSuffix)
 	if err != nil {
@@ -365,8 +422,6 @@ func Replay(dir string) ([]Record, error) {
 		recs, cerr := decodeStream(b, name)
 		out = append(out, recs...)
 		if cerr != nil {
-			// A corrupt snapshot poisons everything after it; stop at
-			// the corruption point like any other record stream.
 			return out, cerr
 		}
 	}
@@ -374,6 +429,7 @@ func Replay(dir string) ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	var firstCorrupt *CorruptRecordError
 	for _, s := range segs {
 		if s < base {
 			continue
@@ -385,9 +441,12 @@ func Replay(dir string) ([]Record, error) {
 		}
 		recs, cerr := decodeStream(b, name)
 		out = append(out, recs...)
-		if cerr != nil {
-			return out, cerr
+		if cerr != nil && firstCorrupt == nil {
+			firstCorrupt = cerr
 		}
+	}
+	if firstCorrupt != nil {
+		return out, firstCorrupt
 	}
 	return out, nil
 }

@@ -325,9 +325,9 @@ func TestCorruptionTable(t *testing.T) {
 	}
 }
 
-// TestCorruptMiddleSegment checks that corruption in an earlier segment
-// stops replay at that point: records before it (including earlier
-// segments) are recovered, later segments are not trusted.
+// TestCorruptMiddleSegment checks that corruption inside a middle segment
+// loses only that segment's tail: everything before the corruption point
+// and every later segment still replays, with the anomaly reported.
 func TestCorruptMiddleSegment(t *testing.T) {
 	dir := t.TempDir()
 	j, err := Open(dir, Options{SegmentBytes: 200, SyncEvery: 1})
@@ -345,12 +345,12 @@ func TestCorruptMiddleSegment(t *testing.T) {
 	if len(segs) < 3 {
 		t.Fatalf("need at least 3 segments, got %d", len(segs))
 	}
-	// Count the clean records of the segments before the middle one.
-	var before int
-	for _, s := range segs[:1] {
-		b, _ := os.ReadFile(filepath.Join(dir, segName(s)))
+	// Everything except the corrupted middle segment must survive.
+	var midCount int
+	{
+		b, _ := os.ReadFile(filepath.Join(dir, segName(segs[1])))
 		recs, _ := decodeStream(b, "")
-		before += len(recs)
+		midCount = len(recs)
 	}
 	mid := filepath.Join(dir, segName(segs[1]))
 	b, err := os.ReadFile(mid)
@@ -366,7 +366,176 @@ func TestCorruptMiddleSegment(t *testing.T) {
 	if !errors.As(err, &cerr) {
 		t.Fatalf("want CorruptRecordError, got %v", err)
 	}
-	if len(got) != before {
-		t.Fatalf("want %d records (everything before the corrupt segment), got %d", before, len(got))
+	if cerr.Segment != segName(segs[1]) {
+		t.Fatalf("anomaly reported in %q, want %q", cerr.Segment, segName(segs[1]))
+	}
+	if cerr.IsSnapshot() {
+		t.Fatal("segment corruption must not classify as snapshot corruption")
+	}
+	if want := 12 - midCount; len(got) != want {
+		t.Fatalf("want %d records (all but the corrupt segment's), got %d", want, len(got))
+	}
+	// The later segments' records must be present, in order.
+	last := got[len(got)-1]
+	if last.Job != 12 {
+		t.Fatalf("newest record lost: last job %d, want 12", last.Job)
+	}
+}
+
+// TestTornTailDoesNotPoisonLaterSegments pins the acknowledged-job loss
+// scenario: incarnation 1 crashes with a torn tail in wal-N, incarnation 2
+// recovers and appends durable submits to wal-N+1, and a third restart must
+// replay BOTH the pre-crash prefix and everything incarnation 2 wrote —
+// the torn tail in a sealed segment must never swallow later segments.
+func TestTornTailDoesNotPoisonLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	j1, err := Open(dir, Options{SyncEvery: 1, DurableSubmits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j1, testRecords(3))
+	if err := j1.CrashTorn([]byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation 2: recovery succeeded, new acknowledged jobs land in the
+	// next segment.
+	j2, err := Open(dir, Options{SyncEvery: 1, DurableSubmits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(Record{Type: TypeSubmit, Job: 100, Tool: "bonito"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(Record{Type: TypeComplete, Job: 100, State: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation 3: replay must surface the torn tail AND return every
+	// record both incarnations persisted.
+	got, err := Replay(dir)
+	var cerr *CorruptRecordError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("want the torn tail reported as CorruptRecordError, got %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("want 5 records (3 pre-crash + 2 post-recovery), got %d", len(got))
+	}
+	if got[3].Job != 100 || got[4].Type != TypeComplete {
+		t.Fatalf("post-recovery records lost or reordered: %+v", got[3:])
+	}
+}
+
+// TestOpenLocksDirectory checks the split-brain guard: a second Open of a
+// live journal directory fails with LockedError, and the lock is released
+// by Close and by Crash (modeling process death).
+func TestOpenLocksDirectory(t *testing.T) {
+	dir := t.TempDir()
+	j1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second Open of a live journal must fail")
+	} else {
+		var lerr *LockedError
+		if !errors.As(err, &lerr) {
+			t.Fatalf("want LockedError, got %v", err)
+		}
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open after Close must succeed: %v", err)
+	}
+	if err := j2.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open after Crash must succeed (kernel drops a dead process's lock): %v", err)
+	}
+	if err := j3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteSnapshotFailureKeepsJournalAppendable forces the snapshot
+// install to fail (its tmp path is occupied by a directory) and checks the
+// journal recovers a writable segment: later appends succeed, nothing is
+// silently dropped, and the full history still replays.
+func TestWriteSnapshotFailureKeepsJournalAppendable(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, testRecords(4))
+	// Occupy the snapshot's tmp path with a non-empty directory so both
+	// WriteFile and Rename fail.
+	base := j.Stats().Segment + 1
+	tmp := filepath.Join(dir, snapName(base)+".tmp")
+	if err := os.MkdirAll(filepath.Join(tmp, "x"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WriteSnapshot([]Record{{Type: TypeSubmit, Job: 1}}); err == nil {
+		t.Fatal("snapshot install should have failed")
+	}
+	// The journal must still accept and persist appends.
+	if err := j.Append(Record{Type: TypeSubmit, Job: 50, Tool: "racon"}); err != nil {
+		t.Fatalf("append after failed snapshot: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(dir)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(got) != 5 || got[4].Job != 50 {
+		t.Fatalf("want the 4 originals plus job 50, got %d records: %+v", len(got), got)
+	}
+}
+
+// TestCorruptSnapshotIsFlagged checks that snapshot corruption is
+// distinguishable from segment-tail corruption via IsSnapshot.
+func TestCorruptSnapshotIsFlagged(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, testRecords(6))
+	if err := j.WriteSnapshot(testRecords(6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := listSeqs(dir, snapPrefix, snapSuffix)
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("want one snapshot, got %v (%v)", snaps, err)
+	}
+	path := filepath.Join(dir, snapName(snaps[0]))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[4] ^= 0xFF // flip the first record's CRC
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := Replay(dir)
+	var cerr *CorruptRecordError
+	if !errors.As(rerr, &cerr) {
+		t.Fatalf("want CorruptRecordError, got %v", rerr)
+	}
+	if !cerr.IsSnapshot() {
+		t.Fatalf("corruption in %q must classify as snapshot corruption", cerr.Segment)
 	}
 }

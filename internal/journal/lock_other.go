@@ -1,0 +1,12 @@
+//go:build !unix
+
+package journal
+
+import "os"
+
+// Platforms without flock(2) get no inter-process exclusion; the journal
+// still works, but split-brain protection falls back to the lease records
+// alone.
+func acquireLock(dir string) (*os.File, error) { return nil, nil }
+
+func releaseLock(f *os.File) {}

@@ -18,10 +18,14 @@
 //
 // Corruption. Appends are buffered and fsynced in batches, so a crash can
 // leave a torn record at the tail of the last segment (and fault injection
-// or disk rot can flip bits anywhere). Replay never panics on bad input: it
-// decodes the longest valid prefix and reports the first anomaly as a typed
-// *CorruptRecordError, and callers treat a tail anomaly as the expected
-// crash artifact — the prefix is the recovered history.
+// or disk rot can flip bits anywhere). Replay never panics on bad input: a
+// corrupt record ends only its own segment — each process incarnation
+// appends to a fresh segment, so a torn tail is always sealed inside the
+// crashed incarnation's file and later segments stay trustworthy — and the
+// first anomaly is reported as a typed *CorruptRecordError alongside
+// everything that was recovered. Snapshot corruption is different: it
+// destroys the compacted base, so replay stops and callers must treat it
+// as data loss (see CorruptRecordError.IsSnapshot).
 package journal
 
 import (
@@ -29,6 +33,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"strings"
 	"time"
 )
 
@@ -114,10 +119,15 @@ type Record struct {
 	State   string `json:"state,omitempty"`
 	QueueOp string `json:"qop,omitempty"`
 
-	// Quarantine (TypeQuarantine) and lease (TypeLease) fields.
+	// Quarantine (TypeQuarantine) and lease (TypeLease) fields. Wall is the
+	// writer's wall-clock time in unix nanoseconds (0 when the handler has
+	// no wall-clock source): virtual time stands still on an idle server,
+	// so handler liveness is asserted in real time while everything else
+	// stays on the virtual clock.
 	Device int           `json:"device,omitempty"`
 	Until  time.Duration `json:"until,omitempty"`
 	TTL    time.Duration `json:"ttl,omitempty"`
+	Wall   int64         `json:"wall,omitempty"`
 
 	// From is the previous owner on TypeAdopt records.
 	From string `json:"from,omitempty"`
@@ -132,8 +142,10 @@ const headerSize = 8
 const MaxRecord = 1 << 20
 
 // CorruptRecordError reports the first undecodable record hit during
-// replay. Everything before Offset decoded cleanly and was returned to the
-// caller; nothing at or after it can be trusted.
+// replay. Within Segment, everything before Offset decoded cleanly and
+// nothing at or after it can be trusted; records from later segments are
+// unaffected and were still returned by Replay (unless the corruption was
+// in a snapshot, which ends replay entirely).
 type CorruptRecordError struct {
 	// Segment names the file the corruption was found in ("" for
 	// ReplayBytes).
@@ -152,6 +164,27 @@ func (e *CorruptRecordError) Error() string {
 		where = "journal"
 	}
 	return fmt.Sprintf("journal: corrupt record in %s at offset %d: %s", where, e.Offset, e.Reason)
+}
+
+// IsSnapshot reports whether the corruption was found in a snapshot file
+// rather than a WAL segment. A segment-tail anomaly is the expected
+// artifact of a crashed writer and costs at most the torn record; snapshot
+// corruption truncates the compacted base and loses an unknown amount of
+// acknowledged history, so recovery must not shrug it off.
+func (e *CorruptRecordError) IsSnapshot() bool {
+	return strings.HasPrefix(e.Segment, snapPrefix)
+}
+
+// LockedError reports that another live process holds the journal
+// directory's exclusive lock (see Open).
+type LockedError struct {
+	// Dir is the contended journal directory.
+	Dir string
+}
+
+// Error implements the error interface.
+func (e *LockedError) Error() string {
+	return fmt.Sprintf("%s is locked by another live handler", e.Dir)
 }
 
 // encode frames one record: header (length, CRC32 of payload) + payload.
