@@ -10,7 +10,7 @@ FUZZ_TARGETS ?= ./internal/toolxml:FuzzParseTool \
                 ./internal/journal:FuzzReplay
 FUZZTIME     ?= 10s
 
-.PHONY: check build vet test test-race test-crash fuzz-short bench
+.PHONY: check build vet test test-race test-crash fuzz-short bench bench-dispatch
 
 check: build vet test-race
 
@@ -49,3 +49,13 @@ fuzz-short:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-dispatch measures the submit hot path (legacy global lock vs the
+# lock-split engine with group-commit journaling), writes the numbers to
+# BENCH_dispatch.json, and fails if jobs/sec at 16 concurrent submitters
+# fell more than 20% below the committed baseline.
+bench-dispatch:
+	$(GO) run ./cmd/gyanbench -experiment dispatch-throughput -quick \
+		-out BENCH_dispatch.json \
+		-baseline BENCH_dispatch.baseline.json \
+		-baseline-metric jobs_per_sec_c16_journal

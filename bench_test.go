@@ -8,10 +8,13 @@ package gyan
 
 import (
 	"testing"
+	"time"
 
 	"gyan/internal/bioseq"
 	"gyan/internal/experiments"
+	"gyan/internal/galaxy"
 	"gyan/internal/gpu"
+	"gyan/internal/journal"
 	"gyan/internal/sim"
 	"gyan/internal/smi"
 	"gyan/internal/tools/bonito"
@@ -116,6 +119,54 @@ func BenchmarkAblations(b *testing.B) {
 	} {
 		b.Run(tc.id, func(b *testing.B) { runExperiment(b, tc.id, tc.metric) })
 	}
+}
+
+// BenchmarkSubmitDispatch measures the submit hot path under parallel
+// submitters (GOMAXPROCS of them via b.RunParallel): the lock-split engine
+// journal-free, and with durable group-commit journaling. Dispatch is parked
+// behind a long delay so only the path this repo restructured is on the
+// clock. Run with -benchtime and -cpu to sweep contention; pair with
+// gyanbench -mutexprofile to see where the remaining serialization lives.
+func BenchmarkSubmitDispatch(b *testing.B) {
+	rs, err := workload.GenerateLongReads(workload.LongReadConfig{
+		Name: "bench-dispatch", Seed: 42, RefLen: 2500, ReadLen: 350, Coverage: 8,
+		SubRate: 0.02, InsRate: 0.05, DelRate: 0.04, BackboneErrorRate: 0.05,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	submitAll := func(b *testing.B, g *galaxy.Galaxy) {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := g.Submit("racon", map[string]string{"scale": "0.001"}, rs,
+					galaxy.SubmitOptions{Delay: time.Hour}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	}
+	b.Run("journal-free", func(b *testing.B) {
+		g := galaxy.New(nil)
+		if err := g.RegisterDefaultTools(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		submitAll(b, g)
+	})
+	b.Run("group-commit", func(b *testing.B) {
+		j, err := journal.Open(b.TempDir(), journal.Options{DurableSubmits: true, GroupCommit: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		g := galaxy.New(nil, galaxy.WithJournal(j, "bench"))
+		if err := g.RegisterDefaultTools(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		submitAll(b, g)
+	})
 }
 
 // --- Micro-benchmarks of the substrates -----------------------------------

@@ -85,7 +85,9 @@ func run(addr, policyName string, seed uint64, journalDir, handler string, lease
 		// must come first). A missing directory replays as empty; a directory
 		// locked by a live handler refuses to open — that handler owns it.
 		recs, rerr := journal.Replay(journalDir)
-		j, err := journal.Open(journalDir, journal.Options{DurableSubmits: true})
+		// GroupCommit batches concurrent durable submits into shared fsyncs;
+		// the ack still waits for its batch to reach disk.
+		j, err := journal.Open(journalDir, journal.Options{DurableSubmits: true, GroupCommit: true})
 		if err != nil {
 			return err
 		}

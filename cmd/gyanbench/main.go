@@ -14,6 +14,13 @@
 // carrying its metrics map — for sched-backfill that includes the scheduler
 // counters (mean/P99 queue wait, backfill and preemption counts) per
 // dispatch mode.
+//
+// CI extras:
+//
+//	gyanbench -out BENCH.json          # also write the JSON results to a file
+//	gyanbench -baseline BASE.json -baseline-metric jobs_per_sec_c16_journal
+//	                                   # exit 1 if the metric regressed >20%
+//	gyanbench -mutexprofile mutex.out  # pprof mutex contention profile
 package main
 
 import (
@@ -21,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"gyan/internal/experiments"
@@ -42,8 +51,17 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 		parallel   = flag.Bool("parallel", false, "run experiments concurrently (each has its own simulated cluster)")
 		asJSON     = flag.Bool("json", false, "emit results as JSON (one array of {id, caption, metrics})")
+		outFile    = flag.String("out", "", "also write the JSON results array to this file")
+		baseline   = flag.String("baseline", "", "baseline JSON results file for the regression gate")
+		baseMetric = flag.String("baseline-metric", "", "metric the gate compares against -baseline (higher is better)")
+		baseTol    = flag.Float64("baseline-tolerance", 0.20, "max allowed relative regression before the gate fails")
+		mutexProf  = flag.String("mutexprofile", "", "write a pprof mutex contention profile to this file")
 	)
 	flag.Parse()
+
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -92,30 +110,109 @@ func main() {
 		}
 	}
 
-	if *asJSON {
-		out := make([]jsonResult, len(ids))
-		for i := range ids {
-			res := results[i].res
-			out[i] = jsonResult{ID: res.ID, Caption: res.Caption, Metrics: res.Metrics}
+	jr := make([]jsonResult, len(ids))
+	for i := range ids {
+		res := results[i].res
+		jr[i] = jsonResult{ID: res.ID, Caption: res.Caption, Metrics: res.Metrics}
+	}
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err == nil {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			err = enc.Encode(jr)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gyanbench: -out: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := enc.Encode(jr); err != nil {
 			fmt.Fprintf(os.Stderr, "gyanbench: %v\n", err)
 			os.Exit(1)
 		}
-		return
+	} else {
+		for i := range ids {
+			res := results[i].res
+			fmt.Printf("######## %s — %s\n\n", res.ID, res.Caption)
+			for _, tb := range res.Tables {
+				fmt.Println(tb)
+			}
+			for _, txt := range res.Text {
+				fmt.Println(txt)
+				fmt.Println()
+			}
+		}
 	}
 
-	for i := range ids {
-		res := results[i].res
-		fmt.Printf("######## %s — %s\n\n", res.ID, res.Caption)
-		for _, tb := range res.Tables {
-			fmt.Println(tb)
+	if *mutexProf != "" {
+		f, err := os.Create(*mutexProf)
+		if err == nil {
+			err = pprof.Lookup("mutex").WriteTo(f, 0)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 		}
-		for _, txt := range res.Text {
-			fmt.Println(txt)
-			fmt.Println()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gyanbench: -mutexprofile: %v\n", err)
+			os.Exit(1)
 		}
 	}
+
+	if *baseline != "" {
+		if err := gateAgainstBaseline(jr, *baseline, *baseMetric, *baseTol); err != nil {
+			fmt.Fprintf(os.Stderr, "gyanbench: regression gate: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// findMetric scans a results array for a metric by name.
+func findMetric(results []jsonResult, name string) (float64, bool) {
+	for _, r := range results {
+		if v, ok := r.Metrics[name]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// gateAgainstBaseline fails when a higher-is-better metric fell more than
+// tol below the committed baseline value.
+func gateAgainstBaseline(current []jsonResult, baselinePath, metric string, tol float64) error {
+	if metric == "" {
+		return fmt.Errorf("-baseline requires -baseline-metric")
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base []jsonResult
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	want, ok := findMetric(base, metric)
+	if !ok {
+		return fmt.Errorf("metric %q not in baseline %s", metric, baselinePath)
+	}
+	got, ok := findMetric(current, metric)
+	if !ok {
+		return fmt.Errorf("metric %q not in this run (did the experiment run?)", metric)
+	}
+	floor := want * (1 - tol)
+	if got < floor {
+		return fmt.Errorf("%s = %.1f, below the %.0f%% floor of the baseline %.1f (floor %.1f)",
+			metric, got, tol*100, want, floor)
+	}
+	fmt.Fprintf(os.Stderr, "gyanbench: gate ok: %s = %.1f vs baseline %.1f (floor %.1f)\n",
+		metric, got, want, floor)
+	return nil
 }

@@ -215,8 +215,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		out := make([]jobJSON, 0, len(s.g.Jobs()))
-		for _, j := range s.g.Jobs() {
+		jobs := s.g.Jobs() // one snapshot: consistent, and half the clone work
+		out := make([]jobJSON, 0, len(jobs))
+		for _, j := range jobs {
 			out = append(out, toJobJSON(j))
 		}
 		writeJSON(w, http.StatusOK, out)

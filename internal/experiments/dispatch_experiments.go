@@ -1,0 +1,201 @@
+package experiments
+
+// The dispatch-throughput experiment measures the submit hot path itself:
+// how many jobs per second the engine accepts, and what a submitter waits
+// for an acknowledgement, as the number of concurrent submitters grows.
+// Three modes bracket the design space:
+//
+//   - legacy:    one global mutex serializes the whole submit path and the
+//     durable journal append (fsync inline, one per submit) rides inside
+//     the critical section — the pre-lock-split engine reproduced on
+//     today's harness.
+//   - nojournal: the lock-split engine with journaling disabled — the
+//     upper bound the concurrency work can reach.
+//   - journal:   the lock-split engine with group-commit journaling —
+//     durable submits batch into shared fsyncs, so N concurrent
+//     submitters pay ~1 fsync instead of N.
+//
+// Timing covers the submit phase only (first Submit call to last
+// acknowledgement); job execution is parked behind a long dispatch delay so
+// the measurement isolates the path this PR restructured.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gyan/internal/galaxy"
+	"gyan/internal/journal"
+	"gyan/internal/report"
+	"gyan/internal/workload"
+)
+
+func init() {
+	register("dispatch-throughput",
+		"Submit-path jobs/sec and P99 latency: legacy global lock vs lock-split engine with group-commit journaling",
+		runDispatchThroughput)
+}
+
+// dispatchLevels are the concurrent-submitter counts the sweep covers.
+var dispatchLevels = []int{1, 4, 16, 64}
+
+// dispatchScale sizes the sweep: jobs submitted per (mode, concurrency)
+// cell and trials per cell (best-of, to shed scheduler noise).
+func dispatchScale(opt Options) (jobs, trials int) {
+	if opt.Quick {
+		return 96, 2
+	}
+	return 256, 3
+}
+
+// dispatchCell is one measured (mode, concurrency) point.
+type dispatchCell struct {
+	jobsPerSec float64
+	p99        time.Duration
+	syncs      int
+}
+
+// runDispatchCell submits nJobs jobs from conc goroutines and times the
+// submit phase. The returned P99 is over per-submit acknowledgement
+// latencies.
+func runDispatchCell(mode string, conc, nJobs int, rs *workload.ReadSet) (dispatchCell, error) {
+	var cell dispatchCell
+	var gopts []galaxy.Option
+	var j *journal.Journal
+	if mode != "nojournal" {
+		dir, err := os.MkdirTemp("", "gyan-dispatch-*")
+		if err != nil {
+			return cell, err
+		}
+		defer os.RemoveAll(dir)
+		jopts := journal.Options{DurableSubmits: true}
+		if mode == "journal" {
+			jopts.GroupCommit = true
+		}
+		if j, err = journal.Open(dir, jopts); err != nil {
+			return cell, err
+		}
+		gopts = append(gopts, galaxy.WithJournal(j, "bench"))
+	}
+	g := galaxy.New(nil, gopts...)
+	if err := g.RegisterDefaultTools(); err != nil {
+		return cell, err
+	}
+
+	// The legacy mode wraps Submit in one process-wide mutex, so the
+	// durable append's inline fsync is serialized inside the critical
+	// section exactly as the pre-lock-split engine serialized it under
+	// the engine lock.
+	var legacyMu sync.Mutex
+	lat := make([]time.Duration, nJobs)
+	var next atomic.Int64
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nJobs {
+					return
+				}
+				t0 := time.Now()
+				if mode == "legacy" {
+					legacyMu.Lock()
+				}
+				_, err := g.Submit("racon", map[string]string{"scale": "0.001"}, rs,
+					galaxy.SubmitOptions{Delay: time.Hour})
+				if mode == "legacy" {
+					legacyMu.Unlock()
+				}
+				lat[i] = time.Since(t0)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if errp := firstErr.Load(); errp != nil {
+		return cell, *errp
+	}
+	if j != nil {
+		cell.syncs = j.Stats().Syncs
+		if err := j.Close(); err != nil {
+			return cell, err
+		}
+	}
+	sort.Slice(lat, func(i, k int) bool { return lat[i] < lat[k] })
+	cell.p99 = lat[(99*nJobs+99)/100-1]
+	cell.jobsPerSec = float64(nJobs) / elapsed.Seconds()
+	return cell, nil
+}
+
+func runDispatchThroughput(opt Options) (*Result, error) {
+	rs, err := nflReadSet(opt)
+	if err != nil {
+		return nil, err
+	}
+	res := newResult("dispatch-throughput",
+		"Submit-path jobs/sec and P99 latency: legacy global lock vs lock-split engine with group-commit journaling")
+	nJobs, nTrials := dispatchScale(opt)
+	modes := []string{"legacy", "nojournal", "journal"}
+
+	cells := map[string]dispatchCell{}
+	for _, mode := range modes {
+		for _, conc := range dispatchLevels {
+			best := dispatchCell{}
+			for trial := 0; trial < nTrials; trial++ {
+				cell, err := runDispatchCell(mode, conc, nJobs, rs)
+				if err != nil {
+					return nil, fmt.Errorf("dispatch %s c=%d: %w", mode, conc, err)
+				}
+				if best.jobsPerSec == 0 || cell.jobsPerSec > best.jobsPerSec {
+					best = cell
+				}
+			}
+			cells[fmt.Sprintf("%s_c%d", mode, conc)] = best
+			res.Metrics[fmt.Sprintf("jobs_per_sec_c%d_%s", conc, mode)] = best.jobsPerSec
+			res.Metrics[fmt.Sprintf("p99_us_c%d_%s", conc, mode)] =
+				float64(best.p99.Nanoseconds()) / 1e3
+		}
+	}
+
+	legacy16 := cells["legacy_c16"]
+	journal16 := cells["journal_c16"]
+	speedup := journal16.jobsPerSec / legacy16.jobsPerSec
+	res.Metrics["speedup_c16"] = speedup
+
+	tb := report.NewTable(
+		fmt.Sprintf("%d durable submits per cell, best of %d; submit phase only", nJobs, nTrials),
+		"submitters", "legacy jobs/s", "lock-split jobs/s", "lock-split+journal jobs/s",
+		"legacy P99", "journal P99")
+	for _, conc := range dispatchLevels {
+		l := cells[fmt.Sprintf("legacy_c%d", conc)]
+		n := cells[fmt.Sprintf("nojournal_c%d", conc)]
+		g := cells[fmt.Sprintf("journal_c%d", conc)]
+		tb.AddRow(fmt.Sprintf("%d", conc),
+			fmt.Sprintf("%.0f", l.jobsPerSec),
+			fmt.Sprintf("%.0f", n.jobsPerSec),
+			fmt.Sprintf("%.0f", g.jobsPerSec),
+			l.p99.Round(time.Microsecond).String(),
+			g.p99.Round(time.Microsecond).String())
+	}
+	res.Tables = append(res.Tables, tb)
+
+	res.Text = append(res.Text, fmt.Sprintf(
+		"At 16 concurrent submitters the lock-split engine with group-commit journaling accepts %.0f jobs/s "+
+			"against the legacy global-lock engine's %.0f (%.1fx): the legacy path pays one serialized fsync per "+
+			"durable submit (%d fsyncs for %d jobs), while group commit shares each fsync across every submitter "+
+			"staged behind it (%d fsyncs). The journal-free column bounds what the concurrency work alone buys.",
+		journal16.jobsPerSec, legacy16.jobsPerSec, speedup,
+		legacy16.syncs, nJobs, journal16.syncs))
+	return res, nil
+}

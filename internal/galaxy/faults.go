@@ -95,7 +95,7 @@ func (g *Galaxy) DeadLetters() []*Job {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	var out []*Job
-	for _, j := range g.jobs {
+	for _, j := range g.jobs.all() {
 		if j.State == StateDeadLetter {
 			out = append(out, j)
 		}
@@ -107,18 +107,16 @@ func (g *Galaxy) DeadLetters() []*Job {
 // job's behalf. The probe itself is a fault-injection site (OpProbe), and
 // quarantined devices are hidden from the result so the mapper cannot place
 // work on a blacklisted GPU.
+//
+// The per-job fault check runs before the cache is consulted: a survey hit
+// must not let a job skip its own injected probe fault. Only the
+// query+parse round trip behind the fault gate is shared (see smi.Cache).
 func (g *Galaxy) surveyLocked(job *Job, now time.Duration) (smi.Usage, error) {
-	doc, err := smi.QueryWith(g.Cluster, now, func(at time.Duration) error {
-		site := faults.Site{Op: faults.OpProbe, Job: job.ID, Tool: job.ToolID, Attempt: job.Attempt()}
-		if f, fired := g.faultPlan.Check(at, site); fired {
-			return faults.NewError(site, f)
-		}
-		return nil
-	})
-	if err != nil {
-		return smi.Usage{}, err
+	site := faults.Site{Op: faults.OpProbe, Job: job.ID, Tool: job.ToolID, Attempt: job.Attempt()}
+	if f, fired := g.faultPlan.Check(now, site); fired {
+		return smi.Usage{}, faults.NewError(site, f)
 	}
-	survey, err := smi.UsageFromXML(doc)
+	survey, err := g.surveyCache.Usage(g.Cluster, now)
 	if err != nil {
 		return smi.Usage{}, err
 	}
@@ -133,6 +131,7 @@ func (g *Galaxy) abortRunLocked(job *Job, now time.Duration) func() {
 	for _, s := range job.sessions {
 		s.Abort(now)
 	}
+	g.surveyCache.Invalidate()
 	job.sessions = nil
 	job.run++
 	rel := job.release

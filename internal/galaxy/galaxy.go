@@ -3,6 +3,7 @@ package galaxy
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gyan/internal/container"
@@ -15,6 +16,7 @@ import (
 	"gyan/internal/monitor"
 	"gyan/internal/sched"
 	"gyan/internal/sim"
+	"gyan/internal/smi"
 	"gyan/internal/toolxml"
 	"strings"
 )
@@ -36,16 +38,37 @@ type Galaxy struct {
 	// profiler to its device streams.
 	Profiler func(*Job) gpu.Profiler
 
-	// mu guards all mutable job-queue state below. Engine callbacks run on
-	// the driving goroutine but Submit/Kill/Jobs may be called from others
-	// (e.g. HTTP handlers racing a draining engine). Lock order is always
-	// g.mu before the engine's internal lock; callbacks scheduled while
-	// holding g.mu run later, lock-free of the caller.
+	// mu guards the dispatch machinery below: destination/user queues, the
+	// batch scheduler's bookkeeping, fault-recovery state, and mutation of
+	// individual job fields (engine callbacks run under it). It is no longer
+	// on the submit hot path: Submit allocates IDs atomically, publishes jobs
+	// through the striped table, and journals without taking g.mu. Lock
+	// order: g.mu before any stripe lock or leaf lock (toolsMu, leaseMu, the
+	// engine's internal lock); never the reverse. See DESIGN.md §10.
 	mu sync.Mutex
 
-	tools  map[string]*ToolBinding
-	jobs   []*Job
-	nextID int
+	// toolsMu guards the tool registry — a leaf read-mostly lock so Submit
+	// can resolve bindings without touching g.mu.
+	toolsMu sync.RWMutex
+	tools   map[string]*ToolBinding
+
+	// jobs is the striped job table (stripemap.go); nextID allocates job IDs
+	// lock-free. jobsEpoch counts job-state mutations and jobsSnap caches the
+	// immutable clone slice Jobs() serves — readers never block writers.
+	jobs      jobTable
+	nextID    atomic.Int64
+	jobsEpoch atomic.Uint64
+	jobsSnap  atomic.Pointer[jobsSnapshot]
+
+	// snapGate quiesces lock-free submitters while SnapshotJournal condenses
+	// history: Submit read-holds it across insert+journal, the snapshot
+	// write-holds it so no record can slip into a segment that compaction is
+	// about to delete. Uncontended outside snapshots.
+	snapGate sync.RWMutex
+
+	// surveyCache deduplicates nvidia-smi surveys taken at the same virtual
+	// instant (see internal/smi); invalidated whenever device state changes.
+	surveyCache *smi.Cache
 
 	// Destination scheduling: per-destination running counts and wait
 	// queues, honoring each destination's "slots" limit (step 3 of the
@@ -85,16 +108,26 @@ type Galaxy struct {
 	// state transition; handlerID names this handler in lease and ownership
 	// records; leaseTTL is how long a heartbeat asserts ownership. lastLease
 	// tracks the newest heartbeat so writes piggyback fresh leases onto the
-	// activity stream; journalErr latches the first append failure.
-	journal      *journal.Journal
-	handlerID    string
-	leaseTTL     time.Duration
+	// activity stream; journalErr latches the first append failure. The
+	// journal/handlerID/leaseTTL/wallNow configuration is fixed at build
+	// time; the mutable lease/error state is guarded by leaseMu (a leaf
+	// lock) because lock-free submitters journal without holding g.mu.
+	journal   *journal.Journal
+	handlerID string
+	leaseTTL  time.Duration
+	wallNow   func() time.Time
+
+	leaseMu      sync.Mutex
 	lastLease    time.Duration
 	leaseWritten bool
-	wallNow      func() time.Time
 	journalErr   error
-	recovery     *RecoveryReport
+
+	recovery *RecoveryReport
 }
+
+// bumpJobs invalidates the cached Jobs() snapshot. Called after any job-state
+// mutation; journaled transitions bump implicitly via logJournal.
+func (g *Galaxy) bumpJobs() { g.jobsEpoch.Add(1) }
 
 // pendingStart is a job parked behind a saturated destination.
 type pendingStart struct {
@@ -121,6 +154,14 @@ func WithUserQuota(n int) Option {
 	return func(g *Galaxy) { g.UserQuota = n }
 }
 
+// WithSurveyTTL lets concurrent mapping decisions within the given window
+// share one nvidia-smi survey parse instead of each re-querying and
+// re-parsing the XML. The default window is zero: only surveys taken at the
+// same virtual instant are shared, which cannot change placement decisions.
+func WithSurveyTTL(ttl time.Duration) Option {
+	return func(g *Galaxy) { g.surveyCache = smi.NewCache(ttl) }
+}
+
 // New builds a Galaxy instance over the cluster. A nil cluster builds the
 // paper's 2-GPU testbed.
 func New(cluster *gpu.Cluster, opts ...Option) *Galaxy {
@@ -141,6 +182,7 @@ func New(cluster *gpu.Cluster, opts ...Option) *Galaxy {
 		userWaiting: make(map[string][]*pendingStart),
 		schedJobs:   make(map[int]*schedEntry),
 		retryRNG:    newRetryRNG(),
+		surveyCache: smi.NewCache(0),
 	}
 	for _, opt := range opts {
 		opt(g)
@@ -157,6 +199,8 @@ func (g *Galaxy) RegisterTool(b *ToolBinding) error {
 	if b == nil || b.XML == nil || b.Exec == nil {
 		return fmt.Errorf("galaxy: incomplete tool binding")
 	}
+	g.toolsMu.Lock()
+	defer g.toolsMu.Unlock()
 	if _, dup := g.tools[b.XML.ID]; dup {
 		return fmt.Errorf("galaxy: tool %q already registered", b.XML.ID)
 	}
@@ -198,7 +242,7 @@ func (g *Galaxy) RegisterDefaultTools() error {
 	}); err != nil {
 		return err
 	}
-	statsXML, err := toolxml.Parse(toolxml.CPUOnlyToolXML)
+	statsXML, err := toolxml.ParseCached(toolxml.CPUOnlyToolXML)
 	if err != nil {
 		return err
 	}
@@ -210,18 +254,52 @@ func (g *Galaxy) RegisterDefaultTools() error {
 
 // Tool returns a registered binding.
 func (g *Galaxy) Tool(id string) (*ToolBinding, error) {
+	g.toolsMu.RLock()
 	b, ok := g.tools[id]
+	g.toolsMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("galaxy: tool %q not installed", id)
 	}
 	return b, nil
 }
 
-// Jobs returns a snapshot of all jobs in submission order.
+// Jobs returns a snapshot of all jobs in submission order. Results are deep
+// copies served from an atomically-swapped immutable master snapshot: the
+// master is rebuilt (under g.mu) only when job state actually changed since
+// the last call, so steady-state polling by monitor/timeline/API readers
+// never touches the engine lock and never stalls the dispatch path. Each
+// call gets its own clones — mutating them affects neither live state nor
+// other readers.
 func (g *Galaxy) Jobs() []*Job {
+	if s := g.jobsSnap.Load(); s != nil && s.epoch == g.jobsEpoch.Load() {
+		return cloneJobs(s.jobs)
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return append([]*Job(nil), g.jobs...)
+	// Re-check under g.mu: a concurrent rebuild may have published already.
+	// The epoch is read before cloning — a mutation that lands mid-clone
+	// bumps past e, so the (possibly too-fresh, never stale) snapshot is
+	// rebuilt on the next call rather than served forever.
+	e := g.jobsEpoch.Load()
+	if s := g.jobsSnap.Load(); s != nil && s.epoch == e {
+		return cloneJobs(s.jobs)
+	}
+	live := g.jobs.all()
+	masters := make([]*Job, len(live))
+	for i, j := range live {
+		masters[i] = j.clone()
+	}
+	g.jobsSnap.Store(&jobsSnapshot{epoch: e, jobs: masters})
+	return cloneJobs(masters)
+}
+
+// cloneJobs copies a master snapshot for one caller.
+func cloneJobs(jobs []*Job) []*Job {
+	out := make([]*Job, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.clone()
+	}
+	return out
 }
 
 // SubmitOptions refine a submission.
@@ -264,15 +342,25 @@ const maxResubmits = 3
 // Submit queues a tool execution and schedules its start on the engine.
 // The returned job is filled in as lifecycle events run; call
 // Engine.Run (or g.Run) to drive it to completion.
+//
+// Submit is the dispatch hot path and deliberately never takes g.mu: the
+// tool lookup is a registry read-lock, the job ID is an atomic increment,
+// publication goes through a striped table, and the journal append — for
+// DurableSubmits, including the wait for the fsync covering it — happens on
+// the journal's group-commit path, so N concurrent submitters share batched
+// writes instead of serializing on the engine lock.
 func (g *Galaxy) Submit(toolID string, params map[string]string, dataset any, opts SubmitOptions) (*Job, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.submitLocked(toolID, params, dataset, opts)
+	// Read-held across publish+journal so SnapshotJournal can quiesce
+	// submissions while it condenses history (see recovery.go).
+	g.snapGate.RLock()
+	defer g.snapGate.RUnlock()
+	return g.submitJob(toolID, params, dataset, opts)
 }
 
-// submitLocked is Submit with g.mu held, for callers already inside the lock
-// (workflow step chaining fires from a completion hook under the lock).
-func (g *Galaxy) submitLocked(toolID string, params map[string]string, dataset any, opts SubmitOptions) (*Job, error) {
+// submitJob is the gate-free submit body. Callers hold either snapGate.RLock
+// (public Submit) or g.mu (workflow step chaining fires from a completion
+// hook under the engine lock, which SnapshotJournal also excludes).
+func (g *Galaxy) submitJob(toolID string, params map[string]string, dataset any, opts SubmitOptions) (*Job, error) {
 	binding, err := g.Tool(toolID)
 	if err != nil {
 		return nil, err
@@ -282,9 +370,8 @@ func (g *Galaxy) submitLocked(toolID string, params map[string]string, dataset a
 			return nil, fmt.Errorf("galaxy: tool %q has no %s container", toolID, opts.Runtime)
 		}
 	}
-	g.nextID++
 	job := &Job{
-		ID:        g.nextID,
+		ID:        int(g.nextID.Add(1)),
 		ToolID:    toolID,
 		Params:    params,
 		Dataset:   dataset,
@@ -301,8 +388,10 @@ func (g *Galaxy) submitLocked(toolID string, params map[string]string, dataset a
 		Priority: opts.Priority, GPUs: opts.GPUs, EstRuntime: opts.EstRuntime,
 		Submitted: job.Submitted, Delay: opts.Delay,
 	}
+	// Publish before journaling: the insert is the job's release barrier,
+	// and the logJournal epoch bump after it invalidates cached snapshots.
+	g.jobs.insert(job)
 	g.logJournal(job.submit)
-	g.jobs = append(g.jobs, job)
 	g.Engine.After(opts.Delay, func(now time.Duration) {
 		g.startJob(job, binding, opts, now)
 	})
@@ -344,6 +433,7 @@ func (g *Galaxy) startJobLocked(job *Job, binding *ToolBinding, opts SubmitOptio
 			job.Info = fmt.Sprintf("queued: user %q at quota (%d concurrent jobs)", job.User, g.UserQuota)
 			g.userWaiting[job.User] = append(g.userWaiting[job.User],
 				&pendingStart{job: job, binding: binding, opts: opts})
+			g.bumpJobs() // parking is not journaled; invalidate snapshots explicitly
 			return
 		}
 		g.userRunning[job.User]++
@@ -420,6 +510,7 @@ func (g *Galaxy) startJobLocked(job *Job, binding *ToolBinding, opts SubmitOptio
 			decision.Destination.ID, slots)
 		g.waiting[decision.Destination.ID] = append(g.waiting[decision.Destination.ID],
 			&pendingStart{job: job, binding: binding, opts: opts})
+		g.bumpJobs() // parking is not journaled; invalidate snapshots explicitly
 		release = nil
 		releaseUser()
 		return
@@ -550,6 +641,9 @@ func (g *Galaxy) launchLocked(job *Job, binding *ToolBinding, opts SubmitOptions
 		return
 	}
 	res, err := binding.Exec(req)
+	// The executor opened (or failed to open) device sessions either way:
+	// any same-instant survey cache is stale now.
+	g.surveyCache.Invalidate()
 	if err != nil {
 		// Galaxy resubmission: a destination may name a fallback for
 		// failed jobs (e.g. device OOM on the GPU destination reroutes
@@ -562,6 +656,7 @@ func (g *Galaxy) launchLocked(job *Job, binding *ToolBinding, opts SubmitOptions
 			job.Resubmitted++
 			job.State = StateQueued
 			job.Info = fmt.Sprintf("resubmitting to %q after failure: %v", dest, err)
+			g.bumpJobs() // reroute is not journaled; invalidate snapshots explicitly
 			release()
 			release = nil
 			retry := opts
@@ -588,6 +683,7 @@ func (g *Galaxy) launchLocked(job *Job, binding *ToolBinding, opts SubmitOptions
 		for _, s := range job.sessions {
 			s.Close()
 		}
+		g.surveyCache.Invalidate()
 		job.sessions = nil
 		job.release = nil
 		job.finish(StateOK, fin)
@@ -611,6 +707,18 @@ func (g *Galaxy) Kill(job *Job) {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	// Jobs() hands out immutable clones; resolve the live job by ID so a
+	// kill through a snapshot still lands. Foreign job values (an ID this
+	// instance never issued, or a clone that doesn't match what the ID
+	// resolves to) are ignored.
+	live := g.jobs.get(job.ID)
+	if live == nil {
+		return
+	}
+	if live != job && (live.ToolID != job.ToolID || live.Submitted != job.Submitted) {
+		return
+	}
+	job = live
 	if job.Done() || job.killed {
 		return
 	}
@@ -619,6 +727,7 @@ func (g *Galaxy) Kill(job *Job) {
 	for _, s := range job.sessions {
 		s.Abort(now)
 	}
+	g.surveyCache.Invalidate()
 	job.sessions = nil
 	job.Info = "killed by user"
 	job.finish(StateError, now)

@@ -111,6 +111,24 @@ type Job struct {
 	owner string
 }
 
+// clone returns a deep-enough copy of the job for snapshot readers: every
+// public field is safe to read and the mutable slices (Devices, Failures,
+// ContainerCommand) are copied so an in-flight relaunch can't swap them out
+// underneath the caller. Engine-internal fields (sessions, completion hooks,
+// slot releases) are nilled — a clone is an observation, not a live job.
+// Params, Dataset and Result are shared: the engine treats them as immutable
+// once set.
+func (j *Job) clone() *Job {
+	c := *j
+	c.Devices = append([]int(nil), j.Devices...)
+	c.Failures = append([]Failure(nil), j.Failures...)
+	c.ContainerCommand = append([]string(nil), j.ContainerCommand...)
+	c.sessions = nil
+	c.onDone = nil
+	c.release = nil
+	return &c
+}
+
 // finish moves the job to a terminal state and fires the completion hook.
 func (j *Job) finish(state JobState, at time.Duration) {
 	j.State = state

@@ -98,9 +98,18 @@ func (g *Galaxy) JournalStats() (journal.Stats, bool) {
 // JournalError returns the first journal append failure, if any. Append
 // errors never fail the job path — durability degrades, dispatch does not.
 func (g *Galaxy) JournalError() error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.leaseMu.Lock()
+	defer g.leaseMu.Unlock()
 	return g.journalErr
+}
+
+// latchJournalErr records the first append failure.
+func (g *Galaxy) latchJournalErr(err error) {
+	g.leaseMu.Lock()
+	if g.journalErr == nil {
+		g.journalErr = err
+	}
+	g.leaseMu.Unlock()
 }
 
 // LastRecovery returns the report of the Recover call that built this
@@ -111,38 +120,52 @@ func (g *Galaxy) LastRecovery() *RecoveryReport {
 	return g.recovery
 }
 
-// logJournal appends one record with g.mu held, stamping the handler and
-// piggybacking a heartbeat lease when the last one is older than half the
-// TTL. A nil journal makes it a no-op; append errors are latched, not
-// propagated — the dispatch path never fails on durability.
+// logJournal appends one record, stamping the handler and piggybacking a
+// heartbeat lease when the last one is older than half the TTL. It requires
+// no lock of its own: lease state hides behind leaseMu and the journal
+// serializes internally — lock-free submitters and g.mu-holding engine
+// callbacks both land here. Every call also bumps the jobs epoch, since a
+// journaled transition is by definition a job-state mutation (the nil-journal
+// case still bumps: snapshots must invalidate with journaling off). Append
+// errors are latched, not propagated — the dispatch path never fails on
+// durability.
 func (g *Galaxy) logJournal(rec journal.Record) {
+	g.bumpJobs()
 	if g.journal == nil {
 		return
 	}
 	if rec.Handler == "" {
 		rec.Handler = g.handlerID
 	}
-	g.maybeHeartbeatLocked(rec.At)
-	if err := g.journal.Append(rec); err != nil && g.journalErr == nil {
-		g.journalErr = err
+	g.maybeHeartbeat(rec.At)
+	if err := g.journal.Append(rec); err != nil {
+		g.latchJournalErr(err)
 	}
 }
 
-// maybeHeartbeatLocked writes a lease record if the newest one is stale.
-func (g *Galaxy) maybeHeartbeatLocked(now time.Duration) {
+// maybeHeartbeat writes a lease record if the newest one is stale. The
+// staleness check-and-claim runs under leaseMu so concurrent writers emit one
+// lease, not one each; the append itself happens outside the lock. With
+// concurrent producers the lease may interleave slightly out of At order with
+// their activity records — replay folds leases by handler, not by position,
+// so the skew is harmless.
+func (g *Galaxy) maybeHeartbeat(now time.Duration) {
+	g.leaseMu.Lock()
 	if g.leaseWritten && now < g.lastLease+g.leaseTTL/2 {
+		g.leaseMu.Unlock()
 		return
 	}
 	g.leaseWritten = true
 	g.lastLease = now
+	g.leaseMu.Unlock()
 	rec := journal.Record{
 		Type: journal.TypeLease, At: now, Handler: g.handlerID, TTL: g.leaseTTL,
 	}
 	if g.wallNow != nil {
 		rec.Wall = g.wallNow().UnixNano()
 	}
-	if err := g.journal.Append(rec); err != nil && g.journalErr == nil {
-		g.journalErr = err
+	if err := g.journal.Append(rec); err != nil {
+		g.latchJournalErr(err)
 	}
 }
 
@@ -152,15 +175,15 @@ func (g *Galaxy) maybeHeartbeatLocked(now time.Duration) {
 // across an idle stretch. gyan-server calls this on a wall-clock ticker;
 // it is also useful before a long quiet period.
 func (g *Galaxy) WriteLease() {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	if g.journal == nil {
 		return
 	}
+	g.leaseMu.Lock()
 	g.leaseWritten = false
-	g.maybeHeartbeatLocked(g.Engine.Clock().Now())
-	if err := g.journal.Sync(); err != nil && g.journalErr == nil {
-		g.journalErr = err
+	g.leaseMu.Unlock()
+	g.maybeHeartbeat(g.Engine.Clock().Now())
+	if err := g.journal.Sync(); err != nil {
+		g.latchJournalErr(err)
 	}
 }
 
@@ -283,8 +306,9 @@ type jobHistory struct {
 func (g *Galaxy) Recover(recs []journal.Record, replayErr error, opts RecoverOptions) (*RecoveryReport, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if len(g.jobs) > 0 || g.nextID != 0 {
-		return nil, fmt.Errorf("galaxy: recover requires a fresh instance (have %d jobs)", len(g.jobs))
+	defer g.bumpJobs() // materialized jobs must invalidate cached snapshots
+	if g.jobs.size() > 0 || g.nextID.Load() != 0 {
+		return nil, fmt.Errorf("galaxy: recover requires a fresh instance (have %d jobs)", g.jobs.size())
 	}
 	rep := &RecoveryReport{
 		Handler: g.handlerID,
@@ -394,8 +418,8 @@ func (g *Galaxy) Recover(recs []journal.Record, replayErr error, opts RecoverOpt
 	sort.Ints(order)
 	for _, id := range order {
 		h := hist[id]
-		if id > g.nextID {
-			g.nextID = id
+		if int64(id) > g.nextID.Load() {
+			g.nextID.Store(int64(id))
 		}
 		job := g.materializeLocked(id, h, opts)
 		rj := RecoveredJob{ID: id, Tool: job.ToolID, Owner: h.owner}
@@ -427,7 +451,7 @@ func (g *Galaxy) Recover(recs []journal.Record, replayErr error, opts RecoverOpt
 			}
 			rj.Action = "kept"
 			rj.State = job.State
-			g.jobs = append(g.jobs, job)
+			g.jobs.insert(job)
 			rep.Jobs = append(rep.Jobs, rj)
 			continue
 		}
@@ -451,7 +475,7 @@ func (g *Galaxy) Recover(recs []journal.Record, replayErr error, opts RecoverOpt
 				rep.Orphaned++
 				rj.Action = "orphaned"
 				rj.State = job.State
-				g.jobs = append(g.jobs, job)
+				g.jobs.insert(job)
 				rep.Jobs = append(rep.Jobs, rj)
 				continue
 			}
@@ -471,7 +495,7 @@ func (g *Galaxy) Recover(recs []journal.Record, replayErr error, opts RecoverOpt
 			rep.Failed++
 			rj.Action = "failed"
 			rj.State = job.State
-			g.jobs = append(g.jobs, job)
+			g.jobs.insert(job)
 			rep.Jobs = append(rep.Jobs, rj)
 			continue
 		}
@@ -495,7 +519,7 @@ func (g *Galaxy) Recover(recs []journal.Record, replayErr error, opts RecoverOpt
 			rj.Action = "requeued"
 		}
 		rj.State = job.State
-		g.jobs = append(g.jobs, job)
+		g.jobs.insert(job)
 		rep.Jobs = append(rep.Jobs, rj)
 
 		sub := job.submit
@@ -513,8 +537,10 @@ func (g *Galaxy) Recover(recs []journal.Record, replayErr error, opts RecoverOpt
 
 	// Assert this handler's ownership of whatever it just rebuilt.
 	if g.journal != nil {
+		g.leaseMu.Lock()
 		g.leaseWritten = false
-		g.maybeHeartbeatLocked(now)
+		g.leaseMu.Unlock()
+		g.maybeHeartbeat(now)
 	}
 	g.recovery = rep
 	return rep, nil
@@ -598,13 +624,7 @@ func classFromString(s string) faults.Class {
 func (g *Galaxy) ResubmitDeadLetter(id int) (*Job, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	var job *Job
-	for _, j := range g.jobs {
-		if j.ID == id {
-			job = j
-			break
-		}
-	}
+	job := g.jobs.get(id)
 	if job == nil {
 		return nil, fmt.Errorf("galaxy: no job %d", id)
 	}
@@ -642,7 +662,15 @@ func (g *Galaxy) ResubmitDeadLetter(id int) (*Job, error) {
 // re-emitted as the minimal record stream that would rebuild it, installed
 // as a snapshot, and every older segment is deleted. Call it during quiet
 // periods to bound replay time and disk use.
+//
+// It write-holds snapGate in addition to g.mu: lock-free submitters journal
+// without g.mu, and a submit record staged after the state scan but before
+// the snapshot installs would land in a segment compaction deletes — an
+// acknowledged job silently erased. The gate quiesces them for the duration;
+// everything else that journals runs under g.mu.
 func (g *Galaxy) SnapshotJournal() error {
+	g.snapGate.Lock()
+	defer g.snapGate.Unlock()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.journal == nil {
@@ -652,7 +680,7 @@ func (g *Galaxy) SnapshotJournal() error {
 	recs := []journal.Record{{
 		Type: journal.TypeLease, At: now, Handler: g.handlerID, TTL: g.leaseTTL,
 	}}
-	for _, j := range g.jobs {
+	for _, j := range g.jobs.all() {
 		sub := j.submit
 		if sub.Type == "" {
 			// Job predates journaling (journal attached mid-flight);

@@ -10,7 +10,6 @@ import (
 	"gyan/internal/journal"
 	"gyan/internal/monitor"
 	"gyan/internal/sched"
-	"gyan/internal/smi"
 	"gyan/internal/toolxml"
 )
 
@@ -139,11 +138,7 @@ func (g *Galaxy) schedCycle(now time.Duration) {
 	if g.sched == nil {
 		return
 	}
-	doc, err := smi.Query(g.Cluster, now)
-	if err != nil {
-		return
-	}
-	survey, err := smi.UsageFromXML(doc)
+	survey, err := g.surveyCache.Usage(g.Cluster, now)
 	if err != nil {
 		return
 	}
@@ -197,6 +192,7 @@ func (g *Galaxy) preemptLocked(p sched.Preempt, now time.Duration) {
 	for _, s := range job.sessions {
 		s.Abort(now)
 	}
+	g.surveyCache.Invalidate()
 	job.sessions = nil
 	job.run++ // the scheduled completion event now stands down
 	job.release = nil

@@ -1,0 +1,176 @@
+package galaxy
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Snapshot read-path tests. Jobs() serves immutable clones from an
+// atomically-swapped cache; these pin the contract the /api and monitor
+// consumers rely on: no torn reads under the race detector, submission-order
+// results, clone isolation from live state, and kill-through-a-clone.
+
+// TestJobsSnapshotUnderConcurrency hammers Jobs() from reader goroutines
+// while submissions arrive, kills land and completions run. Run with -race:
+// the point is that lock-free readers never observe an in-flight mutation.
+func TestJobsSnapshotUnderConcurrency(t *testing.T) {
+	g := testGalaxy(t)
+	rs := smallReadSet(t)
+	const n = 16
+	jobs := make([]*Job, n)
+	var submits sync.WaitGroup
+	var stop atomic.Bool
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for !stop.Load() {
+				snap := g.Jobs()
+				for i, j := range snap {
+					// Read every mutable field a consumer might touch.
+					_ = j.State
+					_ = j.Info
+					_ = j.Devices
+					_ = j.Failures
+					_ = j.WallTime()
+					if i > 0 && snap[i-1].ID >= j.ID {
+						t.Errorf("snapshot out of submission order: %d before %d", snap[i-1].ID, j.ID)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		submits.Add(1)
+		go func(i int) {
+			defer submits.Done()
+			j, err := g.Submit("seqstats", nil, rs, SubmitOptions{
+				User:  fmt.Sprintf("user%d", i%3),
+				Delay: time.Duration(i) * time.Millisecond,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			jobs[i] = j
+		}(i)
+	}
+	submits.Wait()
+	var kills sync.WaitGroup
+	kills.Add(1)
+	go func() {
+		defer kills.Done()
+		for _, j := range jobs[:n/4] {
+			g.Kill(j)
+		}
+	}()
+	g.Run()
+	kills.Wait()
+	g.Run() // drain redispatch events a late kill may have scheduled
+	stop.Store(true)
+	readers.Wait()
+
+	final := g.Jobs()
+	if len(final) != n {
+		t.Fatalf("final snapshot has %d jobs, want %d", len(final), n)
+	}
+	for _, j := range final[n/4:] {
+		if !j.Done() {
+			t.Errorf("job %d not terminal in final snapshot: %s", j.ID, j.State)
+		}
+	}
+}
+
+// TestJobsSnapshotIsolation checks the clones are deep enough: mutating a
+// snapshot cannot reach live engine state, and a later snapshot reflects
+// live progress, not the mutation.
+func TestJobsSnapshotIsolation(t *testing.T) {
+	g := testGalaxy(t)
+	rs := smallReadSet(t)
+	if _, err := g.Submit("racon", fastParams(), rs, SubmitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+
+	snap := g.Jobs()
+	if len(snap) != 1 || snap[0].State != StateOK {
+		t.Fatalf("want one completed job, got %+v", snap)
+	}
+	// Deface the clone every way a careless caller could.
+	snap[0].State = StateError
+	snap[0].Info = "defaced"
+	if len(snap[0].Devices) > 0 {
+		snap[0].Devices[0] = 99
+	}
+	snap[0].Failures = append(snap[0].Failures, Failure{Msg: "fake"})
+
+	again := g.Jobs()
+	if again[0].State != StateOK || again[0].Info == "defaced" {
+		t.Fatalf("snapshot mutation leaked into live state: %+v", again[0])
+	}
+	if len(again[0].Devices) > 0 && again[0].Devices[0] == 99 {
+		t.Fatal("snapshot Devices share backing memory with live job")
+	}
+	if len(again[0].Failures) != 0 {
+		t.Fatalf("snapshot Failures leaked into live state: %+v", again[0].Failures)
+	}
+}
+
+// TestKillThroughSnapshot verifies Kill resolves the live job behind a
+// clone — the /api DELETE handler kills what Jobs() handed out.
+func TestKillThroughSnapshot(t *testing.T) {
+	g := testGalaxy(t)
+	rs := smallReadSet(t)
+	if _, err := g.Submit("racon", fastParams(), rs, SubmitOptions{Delay: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	snap := g.Jobs()
+	if len(snap) != 1 {
+		t.Fatalf("want 1 job, got %d", len(snap))
+	}
+	g.Kill(snap[0])
+	g.Run()
+	final := g.Jobs()
+	if final[0].State != StateError || final[0].Info != "killed by user" {
+		t.Fatalf("kill through a snapshot clone did not land: %s (%s)", final[0].State, final[0].Info)
+	}
+	// A job value this instance never issued must be ignored.
+	g.Kill(&Job{ID: 999})
+	g.Kill(&Job{ID: 1, ToolID: "other-tool"})
+	if got := g.Jobs()[0]; got.Info != "killed by user" {
+		t.Fatalf("foreign kill mutated state: %+v", got)
+	}
+}
+
+// TestJobsSnapshotCaching pins the fast path: with no mutations between
+// calls, Jobs() serves clones of the same cached master (no rebuild, no
+// engine lock), and any mutation invalidates it.
+func TestJobsSnapshotCaching(t *testing.T) {
+	g := testGalaxy(t)
+	rs := smallReadSet(t)
+	if _, err := g.Submit("seqstats", nil, rs, SubmitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+	g.Jobs()
+	master := g.jobsSnap.Load()
+	g.Jobs()
+	if g.jobsSnap.Load() != master {
+		t.Fatal("idle snapshot rebuilt: cache not serving repeat readers")
+	}
+	if _, err := g.Submit("seqstats", nil, rs, SubmitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Jobs()
+	if len(c) != 2 {
+		t.Fatalf("snapshot after submit has %d jobs, want 2", len(c))
+	}
+	if g.jobsSnap.Load() == master {
+		t.Fatal("submit did not invalidate the cached snapshot")
+	}
+}

@@ -81,14 +81,15 @@ func (g *Galaxy) SubmitWorkflow(name string, steps []WorkflowStep) (*Workflow, e
 
 // submitStep submits step i with g.mu held: SubmitWorkflow locks around the
 // first step, and stepDone fires from a completion hook already under the
-// lock.
+// lock. It uses the gate-free submit body — holding g.mu already excludes
+// SnapshotJournal, and taking snapGate here would invert the lock order.
 func (w *Workflow) submitStep(i int, dataset any) error {
 	step := w.steps[i]
 	opts := step.Options
 	if i > 0 {
 		opts.Delay = 0
 	}
-	job, err := w.g.submitLocked(step.ToolID, step.Params, dataset, opts)
+	job, err := w.g.submitJob(step.ToolID, step.Params, dataset, opts)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,320 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Group commit moves the fsync off the caller's critical path. With
+// Options.GroupCommit set, Append no longer writes under the journal's file
+// lock: the encoded record is staged into one of a small set of bounded
+// per-stripe rings (striped by job ID, so concurrent submitters rarely
+// contend on the same ring) and a dedicated flusher goroutine drains every
+// stripe, writes the whole batch in one pass, and issues a single fsync for
+// however many durable records the batch carried.
+//
+// The durability contract is unchanged: a DurableSubmits submit or adopt
+// record does not return from Append until the batch holding it has been
+// fsynced — the caller blocks on a commit-notify channel instead of doing
+// the fsync itself, so N concurrent submitters share one fsync where they
+// used to pay N.
+//
+// Ordering is total, not merely per-stripe: every staged entry takes a
+// ticket from a global sequence counter *while holding its stripe lock*, and
+// the flusher sorts each drained batch by ticket before writing. Because
+// drains are serialized (flushMu) and a drain holds each stripe lock while
+// emptying it, any entry a drain does not see was staged after the drain
+// swept its stripe and necessarily carries a higher ticket than everything
+// the drain took — so batch N's highest ticket is below batch N+1's lowest,
+// and the on-disk order equals ticket order. Per-job order follows a
+// fortiori, which is what Replay's last-record-wins folding relies on.
+//
+// Crash semantics match the inline path: records staged but not yet flushed
+// are exactly the "buffered" records Crash drops, and durable waiters parked
+// on those entries are unblocked with an error (in a real crash the process
+// dies and nobody is acknowledged).
+
+// gcStripes is the number of staging rings. A small power of two: stripes
+// only exist to keep concurrent producers off one mutex, not to partition
+// the data.
+const gcStripes = 16
+
+// defaultGCRing bounds each stripe's staged-entry count. A full stripe
+// blocks its producers (backpressure) until the flusher drains it, so a
+// stalled disk surfaces as slow appends rather than unbounded memory.
+const defaultGCRing = 1024
+
+// errGCCrashed unblocks durable waiters whose batch was dropped by Crash.
+var errGCCrashed = errors.New("journal: crashed before group commit reached disk")
+
+// errGCClosed rejects appends once the committer shut down.
+var errGCClosed = errors.New("journal: append to closed journal")
+
+// gcEntry is one staged record.
+type gcEntry struct {
+	seq     uint64
+	buf     []byte
+	durable bool
+	// done receives the batch's write+fsync outcome; nil for non-durable
+	// entries, which return as soon as they are staged.
+	done chan error
+}
+
+// gcStripe is one bounded staging ring.
+type gcStripe struct {
+	mu      sync.Mutex
+	notFull *sync.Cond // signaled when the flusher drains the stripe
+	entries []gcEntry
+}
+
+// committer owns the group-commit machinery of one journal.
+type committer struct {
+	j    *Journal
+	ring int
+
+	seq     atomic.Uint64
+	stripes [gcStripes]gcStripe
+
+	// flushMu serializes drains: the flusher's periodic flush, the explicit
+	// drains from Sync/Close/WriteSnapshot, and Crash's drop all exclude
+	// each other, which is what makes the ticket-order argument airtight.
+	flushMu sync.Mutex
+
+	// closed flips once (Close or Crash); closeErr is what late appenders
+	// get. Guarded by every stripe observing it under its own lock after a
+	// broadcast — see close/crash.
+	stateMu  sync.Mutex
+	closed   bool
+	closeErr error
+
+	kick chan struct{} // buffered(1): wake the flusher
+	quit chan struct{} // closed to stop the flusher
+	exit chan struct{} // closed by the flusher on return
+
+	// holdFlush, when non-nil, parks the flusher before each drain until
+	// the channel is closed — the deterministic window tests use to crash
+	// a journal with records staged but not yet flushed.
+	holdFlush chan struct{}
+}
+
+func newCommitter(j *Journal, ring int) *committer {
+	if ring <= 0 {
+		ring = defaultGCRing
+	}
+	c := &committer{
+		j:    j,
+		ring: ring,
+		kick: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+		exit: make(chan struct{}),
+	}
+	for i := range c.stripes {
+		c.stripes[i].notFull = sync.NewCond(&c.stripes[i].mu)
+	}
+	go c.run()
+	return c
+}
+
+// setHoldFlush installs (or clears) the test-only flusher gate.
+func (c *committer) setHoldFlush(ch chan struct{}) {
+	c.stateMu.Lock()
+	c.holdFlush = ch
+	c.stateMu.Unlock()
+}
+
+func (c *committer) holdGate() chan struct{} {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.holdFlush
+}
+
+func (c *committer) terminalErr() error {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	if c.closed {
+		return c.closeErr
+	}
+	return nil
+}
+
+// append stages one encoded record. key selects the stripe (the record's
+// job ID; lease records share stripe 0). Durable entries block until their
+// batch is on disk.
+func (c *committer) append(buf []byte, durable bool, key int) error {
+	s := &c.stripes[uint(key)%gcStripes]
+	s.mu.Lock()
+	for len(s.entries) >= c.ring {
+		if err := c.terminalErr(); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.notFull.Wait()
+	}
+	if err := c.terminalErr(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	// The ticket is taken under the stripe lock: a drain holding this lock
+	// has either already taken this entry or will observe it with a ticket
+	// above everything the drain swept — never in between.
+	e := gcEntry{seq: c.seq.Add(1), buf: buf, durable: durable}
+	if durable {
+		e.done = make(chan error, 1)
+	}
+	s.entries = append(s.entries, e)
+	s.mu.Unlock()
+
+	select {
+	case c.kick <- struct{}{}:
+	default: // a wake-up is already pending
+	}
+	if durable {
+		return <-e.done
+	}
+	return nil
+}
+
+// run is the flusher goroutine: drain on every kick, final drain on quit.
+func (c *committer) run() {
+	defer close(c.exit)
+	for {
+		select {
+		case <-c.kick:
+			if gate := c.holdGate(); gate != nil {
+				select {
+				case <-gate:
+				case <-c.quit:
+					// Same as the main quit branch: one final drain. After a
+					// crash the rings are already empty (crash dropped them
+					// under flushMu before closing quit), so this flushes
+					// nothing; after a close it is the staged tail.
+					c.flush()
+					return
+				}
+			}
+			c.flush()
+		case <-c.quit:
+			c.flush()
+			return
+		}
+	}
+}
+
+// take empties every stripe and returns the union, waking blocked producers.
+func (c *committer) take() []gcEntry {
+	var out []gcEntry
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		if len(s.entries) > 0 {
+			out = append(out, s.entries...)
+			s.entries = nil
+			s.notFull.Broadcast()
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// flush drains all stripes and writes the batch in ticket order with one
+// trailing fsync decision. Waiters are notified with the batch's outcome.
+func (c *committer) flush() error {
+	c.flushMu.Lock()
+	defer c.flushMu.Unlock()
+	batch := c.take()
+	if len(batch) == 0 {
+		return nil
+	}
+	sort.Slice(batch, func(i, k int) bool { return batch[i].seq < batch[k].seq })
+	err := c.j.writeBatch(batch)
+	for _, e := range batch {
+		if e.done != nil {
+			e.done <- err
+		}
+	}
+	return err
+}
+
+// close drains whatever is staged and stops the flusher. Later appends get
+// errGCClosed.
+func (c *committer) close() error {
+	c.stateMu.Lock()
+	if c.closed {
+		c.stateMu.Unlock()
+		<-c.exit
+		return nil
+	}
+	c.closed = true
+	c.closeErr = errGCClosed
+	c.stateMu.Unlock()
+	c.wakeProducers()
+	close(c.quit) // the flusher's final flush drains the staged tail
+	<-c.exit
+	return nil
+}
+
+// crash drops everything staged — the group-commit buffer is exactly what a
+// killed process loses — and unblocks durable waiters with an error.
+func (c *committer) crash() {
+	c.stateMu.Lock()
+	if c.closed {
+		c.stateMu.Unlock()
+		return
+	}
+	c.closed = true
+	c.closeErr = fmt.Errorf("journal: crash on closed journal")
+	c.stateMu.Unlock()
+	c.wakeProducers()
+	// Excluding the flusher via flushMu means any in-flight batch finishes
+	// its write first (it was handed to the OS before the "power cut");
+	// everything still staged after that is dropped on the floor.
+	c.flushMu.Lock()
+	dropped := c.take()
+	for _, e := range dropped {
+		if e.done != nil {
+			e.done <- errGCCrashed
+		}
+	}
+	c.flushMu.Unlock()
+	close(c.quit)
+	<-c.exit
+}
+
+// wakeProducers unparks every producer blocked on a full stripe so it can
+// observe the terminal state.
+func (c *committer) wakeProducers() {
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		s.notFull.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// writeBatch appends a drained batch under the journal's file lock: every
+// record is written (rotating segments as needed), then a single fsync
+// covers the whole batch if it carried durable records or the SyncEvery
+// budget filled up.
+func (j *Journal) writeBatch(batch []gcEntry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errGCClosed
+	}
+	durable := false
+	for _, e := range batch {
+		if err := j.writeEncodedLocked(e.buf); err != nil {
+			return err
+		}
+		if e.durable {
+			durable = true
+		}
+	}
+	if durable || (j.opts.SyncEvery > 0 && j.pending >= j.opts.SyncEvery) {
+		return j.syncLocked()
+	}
+	return nil
+}

@@ -26,6 +26,16 @@ type Options struct {
 	// of the stream keeps the batched policy — a lost start or complete
 	// record only costs a re-execution, never a job.
 	DurableSubmits bool
+	// GroupCommit moves writes and fsyncs off the appender's path: records
+	// are staged into bounded per-stripe rings and a dedicated flusher
+	// goroutine batches them into single write+fsync passes. The
+	// DurableSubmits contract is preserved — a durable Append still blocks
+	// until its batch's fsync — but concurrent submitters share one fsync
+	// instead of serializing on one each. See groupcommit.go.
+	GroupCommit bool
+	// GroupCommitRing bounds each staging stripe (backpressure); zero
+	// defaults to 1024 entries.
+	GroupCommitRing int
 }
 
 // Stats counts a journal's write-side activity, for the overhead benchmark
@@ -58,6 +68,12 @@ type Journal struct {
 	pending int // appends since the last fsync
 	stats   Stats
 	closed  bool
+
+	// gc is the group-commit machinery (nil unless Options.GroupCommit).
+	// It lives outside j.mu: Append stages records through it without
+	// touching the file, and its flusher goroutine calls back into
+	// writeBatch under j.mu.
+	gc *committer
 }
 
 const (
@@ -146,6 +162,9 @@ func Open(dir string, opts Options) (*Journal, error) {
 		releaseLock(lock)
 		return nil, err
 	}
+	if opts.GroupCommit {
+		j.gc = newCommitter(j, opts.GroupCommitRing)
+	}
 	return j, nil
 }
 
@@ -204,18 +223,9 @@ func (j *Journal) rotateLocked() error {
 	return j.openSegment(j.seq + 1)
 }
 
-// Append writes one record. Depending on the options and the record type
-// the write may be buffered (group commit) or fsynced before returning.
-func (j *Journal) Append(rec Record) error {
-	buf, err := encode(rec)
-	if err != nil {
-		return err
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.closed {
-		return fmt.Errorf("journal: append to closed journal")
-	}
+// writeEncodedLocked writes one already-encoded record with j.mu held:
+// segment rotation, buffered write and counter updates, no fsync decision.
+func (j *Journal) writeEncodedLocked(buf []byte) error {
 	if j.size > 0 && j.size+int64(len(buf)) > j.opts.SegmentBytes {
 		if err := j.rotateLocked(); err != nil {
 			return err
@@ -228,15 +238,44 @@ func (j *Journal) Append(rec Record) error {
 	j.stats.Appends++
 	j.stats.Bytes += int64(len(buf))
 	j.pending++
+	return nil
+}
+
+// Append writes one record. Depending on the options and the record type
+// the write may be buffered (group commit) or fsynced before returning. In
+// GroupCommit mode the record is staged for the flusher goroutine instead;
+// a durable record still blocks until its batch reaches disk.
+func (j *Journal) Append(rec Record) error {
+	buf, err := encode(rec)
+	if err != nil {
+		return err
+	}
 	durable := j.opts.DurableSubmits && (rec.Type == TypeSubmit || rec.Type == TypeAdopt)
+	if j.gc != nil {
+		return j.gc.append(buf, durable, rec.Job)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: append to closed journal")
+	}
+	if err := j.writeEncodedLocked(buf); err != nil {
+		return err
+	}
 	if durable || (j.opts.SyncEvery > 0 && j.pending >= j.opts.SyncEvery) {
 		return j.syncLocked()
 	}
 	return nil
 }
 
-// Sync forces buffered records to stable storage.
+// Sync forces buffered (and, in GroupCommit mode, staged) records to
+// stable storage.
 func (j *Journal) Sync() error {
+	if j.gc != nil {
+		if err := j.gc.flush(); err != nil {
+			return err
+		}
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
@@ -245,8 +284,12 @@ func (j *Journal) Sync() error {
 	return j.syncLocked()
 }
 
-// Close syncs and closes the journal, releasing the directory lock.
+// Close syncs and closes the journal, releasing the directory lock. In
+// GroupCommit mode the staged tail is drained first and the flusher stops.
 func (j *Journal) Close() error {
+	if j.gc != nil {
+		_ = j.gc.close() // final flush runs inside; write errors surface via syncLocked below
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
@@ -277,6 +320,11 @@ func (j *Journal) Crash() error { return j.CrashTorn(nil) }
 // modeling a record that made it partially to disk before the power went
 // out. Replay must detect and discard the torn tail.
 func (j *Journal) CrashTorn(garbage []byte) error {
+	if j.gc != nil {
+		// Staged-but-unflushed records are exactly what a killed process
+		// loses; durable waiters parked on them are unblocked with an error.
+		j.gc.crash()
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
@@ -310,6 +358,14 @@ func (j *Journal) CrashTorn(garbage []byte) error {
 // segment, and deletes every older segment and snapshot. Replay afterwards
 // sees the snapshot records followed by whatever is appended next.
 func (j *Journal) WriteSnapshot(recs []Record) error {
+	// Drain the group-commit stage first: the snapshot must supersede every
+	// record appended before it, including staged ones. Records staged
+	// after this drain simply land in the fresh post-snapshot segment.
+	if j.gc != nil {
+		if err := j.gc.flush(); err != nil {
+			return err
+		}
+	}
 	// Encode before touching the log so an encoding error leaves the
 	// journal fully intact.
 	var buf []byte

@@ -1,0 +1,93 @@
+package smi
+
+import (
+	"sync"
+	"time"
+
+	"gyan/internal/gpu"
+)
+
+// Cache deduplicates survey round trips. Every mapping decision used to run
+// the full nvidia-smi pipeline — render the `-q -x` XML report, parse it
+// back, fold it into a Usage — even when a burst of decisions landed at the
+// same virtual instant and saw identical device state. The cache keeps the
+// last parsed Usage and serves it to surveys within the TTL window; the
+// owner invalidates it whenever device state changes (sessions opened,
+// closed, aborted), so a hit can never observe a stale allocation.
+//
+// A TTL of zero is the conservative default: only surveys taken at exactly
+// the same virtual instant share a parse, which cannot change any placement
+// decision — device state is a function of virtual time and invalidation
+// covers same-instant mutations. A positive TTL trades staleness (up to one
+// window) for fewer parses under heavy survey load.
+type Cache struct {
+	mu    sync.Mutex
+	ttl   time.Duration
+	at    time.Duration
+	valid bool
+	usage Usage
+
+	hits, misses int
+}
+
+// NewCache builds a survey cache with the given sharing window; zero means
+// same-instant sharing only.
+func NewCache(ttl time.Duration) *Cache {
+	return &Cache{ttl: ttl}
+}
+
+// Usage returns the cluster's usage survey at now, serving a cached parse
+// when one taken at (or, with a positive TTL, shortly before) now is still
+// valid. A miss pays the full Query+UsageFromXML round trip, exactly what
+// callers did before the cache existed.
+func (c *Cache) Usage(cluster *gpu.Cluster, now time.Duration) (Usage, error) {
+	c.mu.Lock()
+	if c.valid && now >= c.at {
+		fresh := now == c.at
+		if c.ttl > 0 {
+			fresh = now-c.at <= c.ttl
+		}
+		if fresh {
+			c.hits++
+			u := c.usage
+			c.mu.Unlock()
+			return u, nil
+		}
+	}
+	c.mu.Unlock()
+
+	doc, err := Query(cluster, now)
+	if err != nil {
+		return Usage{}, err
+	}
+	u, err := UsageFromXML(doc)
+	if err != nil {
+		return Usage{}, err
+	}
+
+	c.mu.Lock()
+	c.misses++
+	// Keep the newest survey: a concurrent miss at a later instant wins.
+	if !c.valid || now >= c.at {
+		c.at = now
+		c.usage = u
+		c.valid = true
+	}
+	c.mu.Unlock()
+	return u, nil
+}
+
+// Invalidate drops the cached survey. Call after any device-state mutation
+// (session open/close/abort) so later same-instant surveys re-query.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	c.valid = false
+	c.mu.Unlock()
+}
+
+// Stats returns the cache's hit and miss counts.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -51,20 +51,11 @@ const RaconToolXML = `<tool id="racon" name="Racon" version="1.4.20">
 </tool>
 `
 
-// RaconGPUTool returns the parsed, macro-expanded racon wrapper.
+// RaconGPUTool returns the parsed, macro-expanded racon wrapper. The parse
+// and expansion run once per process (see ParseCached); every call gets an
+// independent clone.
 func RaconGPUTool() (*Tool, error) {
-	t, err := Parse(RaconToolXML)
-	if err != nil {
-		return nil, err
-	}
-	macros, err := ParseMacros(RaconMacrosXML)
-	if err != nil {
-		return nil, err
-	}
-	if err := t.ExpandMacros(map[string]*MacroFile{"macros.xml": macros}); err != nil {
-		return nil, err
-	}
-	return t, nil
+	return ExpandedTool(RaconToolXML, map[string]string{"macros.xml": RaconMacrosXML})
 }
 
 // BonitoToolXML is the wrapper for the Bonito basecaller (pip package
@@ -93,8 +84,8 @@ const BonitoToolXML = `<tool id="bonito" name="Bonito basecaller" version="0.3.2
 </tool>
 `
 
-// BonitoTool returns the parsed bonito wrapper.
-func BonitoTool() (*Tool, error) { return Parse(BonitoToolXML) }
+// BonitoTool returns the parsed bonito wrapper (cached; see ParseCached).
+func BonitoTool() (*Tool, error) { return ParseCached(BonitoToolXML) }
 
 // PaswasToolXML is the wrapper for the pyPaSWAS-style Smith-Waterman
 // aligner — the GPU-capable tool the paper's introduction cites as its
@@ -123,8 +114,8 @@ const PaswasToolXML = `<tool id="pypaswas" name="pyPaSWAS" version="3.0">
 </tool>
 `
 
-// PaswasTool returns the parsed pypaswas wrapper.
-func PaswasTool() (*Tool, error) { return Parse(PaswasToolXML) }
+// PaswasTool returns the parsed pypaswas wrapper (cached; see ParseCached).
+func PaswasTool() (*Tool, error) { return ParseCached(PaswasToolXML) }
 
 // CPUOnlyToolXML is a plain tool with no GPU requirement, used to verify
 // that GYAN leaves CPU tools on CPU destinations.
