@@ -10,7 +10,7 @@ FUZZ_TARGETS ?= ./internal/toolxml:FuzzParseTool \
                 ./internal/journal:FuzzReplay
 FUZZTIME     ?= 10s
 
-.PHONY: check build vet test test-race test-crash fuzz-short bench bench-dispatch
+.PHONY: check build vet test test-race test-crash fuzz-short bench bench-dispatch obs-smoke
 
 check: build vet test-race
 
@@ -46,6 +46,12 @@ fuzz-short:
 		echo "fuzzing $$pkg $$f for $(FUZZTIME)"; \
 		$(GO) test $$pkg -run='^$$' -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) || exit 1; \
 	done
+
+# obs-smoke boots a real gyan-server, pushes one job through, and fails if
+# /metrics or /api/trace/{id} answer non-200 or empty — the end-to-end check
+# that the observability surface is wired, not just unit-tested.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

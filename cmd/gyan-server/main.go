@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"gyan/internal/api"
@@ -38,14 +39,15 @@ func main() {
 		journalDir = flag.String("journal", "", "job-state journal directory (empty disables durability)")
 		handler    = flag.String("handler", "main", "handler ID stamped on journal records and leases")
 		leaseTTL   = flag.Duration("lease-ttl", galaxy.DefaultLeaseTTL, "heartbeat lease TTL; a standby may adopt this handler's jobs after it expires")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, mutex profiles)")
 	)
 	flag.Parse()
-	if err := run(*addr, *policy, *seed, *journalDir, *handler, *leaseTTL); err != nil {
+	if err := run(*addr, *policy, *seed, *journalDir, *handler, *leaseTTL, *pprofOn); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, policyName string, seed uint64, journalDir, handler string, leaseTTL time.Duration) error {
+func run(addr, policyName string, seed uint64, journalDir, handler string, leaseTTL time.Duration, pprofOn bool) error {
 	var pol core.Policy
 	switch policyName {
 	case "pid":
@@ -136,21 +138,36 @@ func run(addr, policyName string, seed uint64, journalDir, handler string, lease
 		}()
 		log.Printf("journaling to %s as handler %q (lease TTL %v, heartbeat every %v)",
 			journalDir, handler, leaseTTL, interval)
-		return serve(addr, policyName, g, datasets)
+		return serve(addr, policyName, g, datasets, pprofOn)
 	}
 
 	g := galaxy.New(nil, gopts...)
 	if err := g.RegisterDefaultTools(); err != nil {
 		return err
 	}
-	return serve(addr, policyName, g, datasets)
+	return serve(addr, policyName, g, datasets, pprofOn)
 }
 
-func serve(addr, policyName string, g *galaxy.Galaxy, datasets map[string]any) error {
+func serve(addr, policyName string, g *galaxy.Galaxy, datasets map[string]any, pprofOn bool) error {
 	s := api.NewServer(g)
 	for name, ds := range datasets {
 		s.RegisterDataset(name, ds)
 	}
+	handler := s.Handler()
+	if pprofOn {
+		// The API handler is a bare ServeMux, not http.DefaultServeMux, so
+		// the pprof routes are mounted explicitly rather than via the
+		// package's init side effect.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
 	log.Printf("gyan-server listening on %s (policy=%s)", addr, policyName)
-	return http.ListenAndServe(addr, s.Handler())
+	return http.ListenAndServe(addr, handler)
 }

@@ -13,7 +13,13 @@
 // With -json the tables are suppressed and each experiment emits one object
 // carrying its metrics map — for sched-backfill that includes the scheduler
 // counters (mean/P99 queue wait, backfill and preemption counts) per
-// dispatch mode.
+// dispatch mode. Experiments that drive a full engine also snapshot its
+// internal/obs registry, so the JSON carries histogram tails rather than
+// single numbers: dispatch-throughput reports P50/P95/P99 acknowledgement
+// latency and the group-commit fsync-batch P95 per cell, chaos-dispatch
+// reports per-policy queue-wait and sojourn tails plus retry counts, and
+// crash-recovery cross-checks the recovery report against the standby
+// observer's resubmit/adoption counters.
 //
 // CI extras:
 //

@@ -10,6 +10,7 @@
 package api
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -38,11 +39,13 @@ type Server struct {
 // NewServer wraps g. Datasets submitted by name must be registered with
 // RegisterDataset first.
 func NewServer(g *galaxy.Galaxy) *Server {
-	return &Server{
+	s := &Server{
 		g:        g,
 		mon:      monitor.New(g.Cluster),
 		datasets: make(map[string]any),
 	}
+	s.installGPUGauges()
+	return s
 }
 
 // RegisterDataset makes a dataset submittable by name.
@@ -66,13 +69,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/history", s.handleHistory)
 	mux.HandleFunc("/api/workflows", s.handleWorkflows)
 	mux.HandleFunc("/api/recovery", s.handleRecovery)
+	mux.HandleFunc("/api/trace/", s.handleTraceByPath)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
+// writeJSON encodes v into a buffer before touching the response: an
+// encoder failure mid-body would otherwise leave a 200 status on truncated
+// JSON, which clients cannot distinguish from a good response.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\"error\":%q}\n", "encode response: "+err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
@@ -253,19 +268,30 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleJob routes /api/jobs/{id} and its sub-resources. The id segment is
+// parsed first, on its own, so a bad sub-resource can never masquerade as a
+// bad job id: /api/jobs/3/bogus is a 404 on "bogus", not a 400 on "3/bogus".
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/api/jobs/")
-	if idText, ok := strings.CutSuffix(rest, "/resubmit"); ok {
-		s.handleResubmit(w, r, idText)
+	idText, sub, hasSub := strings.Cut(rest, "/")
+	id, err := strconv.Atoi(idText)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad job id %q", idText)
+		return
+	}
+	if hasSub {
+		switch sub {
+		case "resubmit":
+			s.handleResubmit(w, r, id)
+		case "trace":
+			s.handleTrace(w, r, id)
+		default:
+			writeErr(w, http.StatusNotFound, "no such job sub-resource %q", sub)
+		}
 		return
 	}
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	id, err := strconv.Atoi(rest)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad job id %q", rest)
 		return
 	}
 	s.mu.Lock()
@@ -282,14 +308,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // handleResubmit is the POST /api/jobs/{id}/resubmit admin endpoint: a
 // dead-lettered job re-enters dispatch as a fresh run epoch with a reset
 // retry budget, its failure log retained for post-mortem.
-func (s *Server) handleResubmit(w http.ResponseWriter, r *http.Request, idText string) {
+func (s *Server) handleResubmit(w http.ResponseWriter, r *http.Request, id int) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	id, err := strconv.Atoi(idText)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad job id %q", idText)
 		return
 	}
 	s.mu.Lock()

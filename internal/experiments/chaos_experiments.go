@@ -144,6 +144,14 @@ func runChaosDispatch(opt Options) (*Result, error) {
 		res.Metrics["mean_sojourn_"+mode.key] = meanSojourn.Seconds()
 		res.Metrics["faults_"+mode.key] = float64(plan.Fired())
 		res.Metrics["quarantined_"+mode.key] = float64(quarantined)
+		// The obs snapshot turns the single mean above into distribution
+		// tails: the queue-wait and sojourn a victim pays under each policy,
+		// plus the retry bill, straight from the engine's own registry.
+		snap := g.Observer().Reg.Snapshot()
+		res.Metrics["retries_"+mode.key] = snap[`gyan_job_attempts_total{class="transient"}`]
+		res.Metrics["queue_wait_p95_s_"+mode.key] = snap["gyan_submit_to_start_seconds_p95"]
+		res.Metrics["sojourn_p95_s_"+mode.key] = snap["gyan_submit_to_complete_seconds_p95"]
+		res.Metrics["sojourn_p50_s_"+mode.key] = snap["gyan_submit_to_complete_seconds_p50"]
 	}
 	res.Tables = append(res.Tables, tb)
 	res.Text = append(res.Text,

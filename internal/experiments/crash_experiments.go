@@ -281,6 +281,14 @@ func runCrashRecovery(opt Options) (*Result, error) {
 	res.Metrics["makespan_baseline"] = baseEnd.Seconds()
 	res.Metrics["makespan_recovered"] = recEnd.Seconds()
 	res.Metrics["resumed_at"] = rep.ResumedAt.Seconds()
+	// h2's observer watched the failover from the inside; its counters must
+	// agree with the recovery report, and they carry the fsync-batch tail the
+	// report has no place for.
+	snapB := gB.Observer().Reg.Snapshot()
+	res.Metrics["obs_resubmits"] = snapB["gyan_resubmits_total"]
+	res.Metrics["obs_adoptions"] = snapB["gyan_adoptions_total"]
+	res.Metrics["obs_completed_ok"] = snapB[`gyan_jobs_completed_total{state="ok"}`]
+	res.Metrics["obs_fsync_batch_p95"] = snapB["gyan_journal_fsync_batch_records_p95"]
 
 	var ch timeline.Chart
 	ch.AddRecovery(rep, recEnd)
@@ -318,6 +326,9 @@ func runJournalOverhead(opt Options) (*Result, error) {
 	res := newResult("journal-overhead", "Wall-clock throughput with the job-state journal off vs on")
 	nJobs, nTrials := overheadScale(opt)
 
+	// batchP95 is the group-commit batch-size tail from the engine observer's
+	// fsync histogram (last journaled trial, like stats).
+	var batchP95 float64
 	run := func(withJournal bool) (time.Duration, journal.Stats, error) {
 		best := time.Duration(0)
 		var stats journal.Stats
@@ -352,6 +363,7 @@ func runJournalOverhead(opt Options) (*Result, error) {
 			elapsed := time.Since(wallStart)
 			if j != nil {
 				stats = j.Stats()
+				batchP95 = g.Observer().Reg.Snapshot()["gyan_journal_fsync_batch_records_p95"]
 				if err := j.Close(); err != nil {
 					return 0, stats, err
 				}
@@ -393,6 +405,7 @@ func runJournalOverhead(opt Options) (*Result, error) {
 	res.Metrics["journal_appends"] = float64(stats.Appends)
 	res.Metrics["journal_syncs"] = float64(stats.Syncs)
 	res.Metrics["journal_bytes"] = float64(stats.Bytes)
+	res.Metrics["fsync_batch_p95"] = batchP95
 
 	res.Text = append(res.Text, fmt.Sprintf(
 		"Journaling appends %d records (%d bytes) across %d fsync batches for the %d-job run and costs %.1f%% wall clock. "+

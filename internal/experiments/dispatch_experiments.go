@@ -29,6 +29,7 @@ import (
 
 	"gyan/internal/galaxy"
 	"gyan/internal/journal"
+	"gyan/internal/obs"
 	"gyan/internal/report"
 	"gyan/internal/workload"
 )
@@ -51,11 +52,15 @@ func dispatchScale(opt Options) (jobs, trials int) {
 	return 256, 3
 }
 
-// dispatchCell is one measured (mode, concurrency) point.
+// dispatchCell is one measured (mode, concurrency) point. p99 is exact
+// (full sort); p50/p95 come from an obs histogram so the BENCH JSON carries
+// the same bucketed tails /metrics exposes, and fsyncBatchP95 is the
+// group-commit batch-size tail mirrored from the engine's observer.
 type dispatchCell struct {
-	jobsPerSec float64
-	p99        time.Duration
-	syncs      int
+	jobsPerSec    float64
+	p50, p95, p99 time.Duration
+	syncs         int
+	fsyncBatchP95 float64
 }
 
 // runDispatchCell submits nJobs jobs from conc goroutines and times the
@@ -128,10 +133,20 @@ func runDispatchCell(mode string, conc, nJobs int, rs *workload.ReadSet) (dispat
 	}
 	if j != nil {
 		cell.syncs = j.Stats().Syncs
+		// The engine's observer watched every durable append's fsync via the
+		// journal hook; its batch-size histogram is the group-commit story in
+		// one number.
+		cell.fsyncBatchP95 = g.Observer().Reg.Snapshot()["gyan_journal_fsync_batch_records_p95"]
 		if err := j.Close(); err != nil {
 			return cell, err
 		}
 	}
+	ackHist := obs.NewHistogram(obs.DefLatencyBuckets())
+	for _, d := range lat {
+		ackHist.ObserveDuration(d)
+	}
+	cell.p50 = time.Duration(ackHist.Quantile(0.50) * float64(time.Second))
+	cell.p95 = time.Duration(ackHist.Quantile(0.95) * float64(time.Second))
 	sort.Slice(lat, func(i, k int) bool { return lat[i] < lat[k] })
 	cell.p99 = lat[(99*nJobs+99)/100-1]
 	cell.jobsPerSec = float64(nJobs) / elapsed.Seconds()
@@ -163,8 +178,15 @@ func runDispatchThroughput(opt Options) (*Result, error) {
 			}
 			cells[fmt.Sprintf("%s_c%d", mode, conc)] = best
 			res.Metrics[fmt.Sprintf("jobs_per_sec_c%d_%s", conc, mode)] = best.jobsPerSec
+			res.Metrics[fmt.Sprintf("p50_us_c%d_%s", conc, mode)] =
+				float64(best.p50.Nanoseconds()) / 1e3
+			res.Metrics[fmt.Sprintf("p95_us_c%d_%s", conc, mode)] =
+				float64(best.p95.Nanoseconds()) / 1e3
 			res.Metrics[fmt.Sprintf("p99_us_c%d_%s", conc, mode)] =
 				float64(best.p99.Nanoseconds()) / 1e3
+			if mode != "nojournal" {
+				res.Metrics[fmt.Sprintf("fsync_batch_p95_c%d_%s", conc, mode)] = best.fsyncBatchP95
+			}
 		}
 	}
 

@@ -14,6 +14,7 @@ import (
 	"gyan/internal/jobconf"
 	"gyan/internal/journal"
 	"gyan/internal/monitor"
+	"gyan/internal/obs"
 	"gyan/internal/sched"
 	"gyan/internal/sim"
 	"gyan/internal/smi"
@@ -69,6 +70,12 @@ type Galaxy struct {
 	// surveyCache deduplicates nvidia-smi surveys taken at the same virtual
 	// instant (see internal/smi); invalidated whenever device state changes.
 	surveyCache *smi.Cache
+
+	// obsv receives every journaled job-state transition (metrics + traces,
+	// see internal/obs). It is always non-nil — observability is on even
+	// with journaling off — and its Transition method is lock-free, so the
+	// call rides the submit hot path at one struct dispatch per record.
+	obsv *obs.Observer
 
 	// Destination scheduling: per-destination running counts and wait
 	// queues, honoring each destination's "slots" limit (step 3 of the
@@ -162,6 +169,12 @@ func WithSurveyTTL(ttl time.Duration) Option {
 	return func(g *Galaxy) { g.surveyCache = smi.NewCache(ttl) }
 }
 
+// WithObserver replaces the default observability sink — tests use it to
+// share one registry across engines, or to pre-seed families.
+func WithObserver(o *obs.Observer) Option {
+	return func(g *Galaxy) { g.obsv = o }
+}
+
 // New builds a Galaxy instance over the cluster. A nil cluster builds the
 // paper's 2-GPU testbed.
 func New(cluster *gpu.Cluster, opts ...Option) *Galaxy {
@@ -183,6 +196,7 @@ func New(cluster *gpu.Cluster, opts ...Option) *Galaxy {
 		schedJobs:   make(map[int]*schedEntry),
 		retryRNG:    newRetryRNG(),
 		surveyCache: smi.NewCache(0),
+		obsv:        obs.NewObserver(),
 	}
 	for _, opt := range opts {
 		opt(g)
@@ -190,6 +204,10 @@ func New(cluster *gpu.Cluster, opts ...Option) *Galaxy {
 	if g.sched != nil && g.faultPlan != nil {
 		g.installStartGate()
 	}
+	if g.journal != nil {
+		g.journal.SetSyncObserver(g.obsv.ObserveFsync)
+	}
+	g.installObsScrape()
 	return g
 }
 

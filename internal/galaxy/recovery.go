@@ -131,6 +131,9 @@ func (g *Galaxy) LastRecovery() *RecoveryReport {
 // durability.
 func (g *Galaxy) logJournal(rec journal.Record) {
 	g.bumpJobs()
+	if g.obsv != nil {
+		g.obsv.Transition(rec)
+	}
 	if g.journal == nil {
 		return
 	}

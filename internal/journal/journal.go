@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Options tune a journal's durability/throughput trade-off.
@@ -68,6 +69,13 @@ type Journal struct {
 	pending int // appends since the last fsync
 	stats   Stats
 	closed  bool
+
+	// onSync, when set, observes each fsync that made appended records
+	// durable: the batch size (appends since the previous fsync) and how
+	// long the disk took. Guarded by j.mu like the rest of the write side;
+	// the callback runs with j.mu held and must not call back into the
+	// journal.
+	onSync func(records int, took time.Duration)
 
 	// gc is the group-commit machinery (nil unless Options.GroupCommit).
 	// It lives outside j.mu: Append stages records through it without
@@ -202,13 +210,27 @@ func (j *Journal) syncLocked() error {
 		}
 	}
 	if j.f != nil {
+		batch := j.pending
+		t0 := time.Now()
 		if err := j.f.Sync(); err != nil {
 			return fmt.Errorf("journal: fsync: %w", err)
 		}
 		j.stats.Syncs++
+		if j.onSync != nil && batch > 0 {
+			j.onSync(batch, time.Since(t0))
+		}
 	}
 	j.pending = 0
 	return nil
+}
+
+// SetSyncObserver installs (or, with nil, removes) the fsync observer. The
+// engine wires its metrics registry here so every fsync reports its batch
+// size and wall-clock duration; see syncLocked for the callback contract.
+func (j *Journal) SetSyncObserver(fn func(records int, took time.Duration)) {
+	j.mu.Lock()
+	j.onSync = fn
+	j.mu.Unlock()
 }
 
 // rotateLocked seals the current segment and opens the next one.

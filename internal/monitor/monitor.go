@@ -110,6 +110,20 @@ func (m *Monitor) Samples() []Sample {
 	return out
 }
 
+// LastByDevice returns each device's most recent sample, keyed by minor ID —
+// the scrape-time view a metrics gauge wants (current state, not history).
+// Devices never sampled are absent.
+func (m *Monitor) LastByDevice() map[int]Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]Sample)
+	for _, s := range m.samples {
+		// Samples are chronological; the last write per device wins.
+		out[s.Device] = s
+	}
+	return out
+}
+
 // DeviceStats is the per-device aggregate of the post-processing step.
 type DeviceStats struct {
 	Device                    int

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"time"
+
+	"gyan/internal/journal"
+)
+
+// Observer is the bridge between the engine's journal seam and the metrics
+// registry: every job-state transition the engine journals (or would
+// journal — the observer runs even with durability disabled) is fed through
+// Transition, which bumps the relevant counters, observes latency
+// histograms, and appends one event to the job's trace. The fsync side of
+// the journal reports through ObserveFsync.
+//
+// Transition must never call back into the engine: it runs inside the
+// dispatch hot path, under whatever locks the caller holds.
+type Observer struct {
+	Reg    *Registry
+	Traces *Tracer
+
+	// Hot-path series, resolved once at construction.
+	submitted   CounterVec // by tool
+	completed   CounterVec // by state (ok | error | dead_letter)
+	mapped      CounterVec // by destination
+	attempts    CounterVec // by fault class
+	preemptions *Counter
+	quarantines *Counter
+	parked      *Counter
+	grants      *Counter
+	resubmits   *Counter
+	adoptions   *Counter
+
+	submitToStart    *Histogram
+	submitToComplete *Histogram
+	fsyncBatch       *Histogram
+	fsyncSeconds     *Histogram
+}
+
+// NewObserver builds an observer with a fresh registry and tracer and the
+// standard gyan_ metric families pre-registered.
+func NewObserver() *Observer {
+	r := NewRegistry()
+	o := &Observer{
+		Reg:    r,
+		Traces: NewTracer(0),
+
+		submitted: r.CounterVec("gyan_jobs_submitted_total",
+			"Jobs accepted by Submit, by tool.", "tool"),
+		completed: r.CounterVec("gyan_jobs_completed_total",
+			"Jobs reaching a terminal state, by state (ok, error, dead_letter).", "state"),
+		mapped: r.CounterVec("gyan_map_decisions_total",
+			"Destination-mapping decisions, by destination.", "destination"),
+		attempts: r.CounterVec("gyan_job_attempts_total",
+			"Classified dispatch failures (retry epoch boundaries), by fault class.", "class"),
+		preemptions: r.Counter("gyan_preemptions_total",
+			"Scheduler evictions; the victim requeues."),
+		quarantines: r.Counter("gyan_quarantine_total",
+			"Devices entering quarantine."),
+		parked: r.Counter("gyan_sched_parked_total",
+			"GPU jobs parked in the batch scheduler's priority queue."),
+		grants: r.Counter("gyan_sched_grants_total",
+			"Scheduler queue grants (parked jobs granted devices)."),
+		resubmits: r.Counter("gyan_resubmits_total",
+			"Dead-lettered jobs replayed as fresh epochs."),
+		adoptions: r.Counter("gyan_adoptions_total",
+			"Jobs adopted from a handler whose lease expired."),
+
+		submitToStart: r.Histogram("gyan_submit_to_start_seconds",
+			"Virtual-time latency from submit to first execution start.",
+			DefLatencyBuckets()),
+		submitToComplete: r.Histogram("gyan_submit_to_complete_seconds",
+			"Virtual-time latency from submit to successful completion.",
+			DefLatencyBuckets()),
+		fsyncBatch: r.Histogram("gyan_journal_fsync_batch_records",
+			"Records made durable per journal fsync (group-commit batch size).",
+			DefBatchBuckets()),
+		fsyncSeconds: r.Histogram("gyan_journal_fsync_seconds",
+			"Wall-clock duration of journal fsyncs.",
+			[]float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}),
+	}
+	return o
+}
+
+// Transition records one journaled job-state transition. It is the single
+// instrumentation point for the whole lifecycle: the engine calls it from
+// the same seam that feeds the WAL, so metrics and traces cannot drift from
+// what the journal says happened.
+func (o *Observer) Transition(rec journal.Record) {
+	switch rec.Type {
+	case journal.TypeSubmit:
+		o.submitted.With(rec.Tool).Inc()
+		o.Traces.Begin(rec.Job, rec.Tool)
+		o.Traces.Record(rec.Job, Event{Name: "submit", At: rec.At})
+
+	case journal.TypeMap:
+		o.mapped.With(rec.Destination).Inc()
+		o.Traces.Record(rec.Job, Event{Name: "map", At: rec.At, Detail: rec.Destination})
+
+	case journal.TypeSchedule:
+		o.parked.Inc()
+		o.Traces.Record(rec.Job, Event{Name: "schedule", At: rec.At, Detail: rec.QueueOp})
+
+	case journal.TypeQueue:
+		if rec.QueueOp == "grant" {
+			o.grants.Inc()
+		}
+		o.Traces.Record(rec.Job, Event{Name: "queue", At: rec.At, Detail: rec.QueueOp})
+
+	case journal.TypeStart:
+		// Start records carry the launch epoch, not a retry attempt.
+		meta, ok := o.Traces.Record(rec.Job,
+			Event{Name: "start", At: rec.At, Attempt: rec.Epoch, Detail: rec.Destination})
+		if ok && meta.Starts == 1 && rec.At >= meta.Submitted {
+			o.submitToStart.ObserveDuration(rec.At - meta.Submitted)
+		}
+
+	case journal.TypeAttempt:
+		o.attempts.With(rec.Class).Inc()
+		o.Traces.Record(rec.Job,
+			Event{Name: "attempt_fail", At: rec.At, Attempt: rec.Attempt, Detail: rec.Class})
+
+	case journal.TypePreempt:
+		o.preemptions.Inc()
+		o.Traces.Record(rec.Job, Event{Name: "preempt", At: rec.At, Attempt: rec.Attempt})
+
+	case journal.TypeComplete:
+		o.completed.With(rec.State).Inc()
+		meta, ok := o.Traces.Record(rec.Job,
+			Event{Name: "complete", At: rec.At, Detail: rec.State})
+		if ok && rec.State == "ok" && rec.At >= meta.Submitted {
+			o.submitToComplete.ObserveDuration(rec.At - meta.Submitted)
+		}
+
+	case journal.TypeDeadLetter:
+		o.completed.With("dead_letter").Inc()
+		o.Traces.Record(rec.Job, Event{Name: "dead_letter", At: rec.At, Detail: rec.Msg})
+
+	case journal.TypeQuarantine:
+		o.quarantines.Inc()
+
+	case journal.TypeResubmit:
+		o.resubmits.Inc()
+		o.Traces.Record(rec.Job, Event{Name: "resubmit", At: rec.At})
+
+	case journal.TypeAdopt:
+		o.adoptions.Inc()
+		o.Traces.Record(rec.Job, Event{Name: "adopt", At: rec.At, Detail: rec.From})
+	}
+	// TypeLease is a handler heartbeat, not a job transition: no metric.
+}
+
+// ObserveFsync records one journal fsync: how many appended records it made
+// durable and how long the disk took. Wired into journal.SetSyncObserver.
+func (o *Observer) ObserveFsync(records int, took time.Duration) {
+	o.fsyncBatch.Observe(float64(records))
+	o.fsyncSeconds.ObserveDuration(took)
+}

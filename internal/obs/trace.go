@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// An Event is one step in a job's lifecycle trace. At is the virtual-time
+// offset of the transition (the same clock the journal stamps), Attempt the
+// execution attempt it belongs to, and Detail a low-cardinality annotation
+// (destination, fault class, dead-letter reason).
+type Event struct {
+	Name    string        `json:"name"`
+	At      time.Duration `json:"at"`
+	Attempt int           `json:"attempt,omitempty"`
+	Detail  string        `json:"detail,omitempty"`
+}
+
+// A Segment is a derived span between two trace events — queue wait, run
+// time, retry backoff — computed at dump time rather than stored.
+type Segment struct {
+	Name string        `json:"name"`
+	From time.Duration `json:"from"`
+	Dur  time.Duration `json:"dur"`
+}
+
+// A Trace is the full recorded lifecycle of one job.
+type Trace struct {
+	Job      int       `json:"job"`
+	Tool     string    `json:"tool"`
+	Events   []Event   `json:"events"`
+	Segments []Segment `json:"segments,omitempty"`
+}
+
+// Meta summarizes what the tracer already knew about a job when an event
+// was recorded; the observer uses it to derive latency observations
+// (submit→start is only meaningful on the first start) without a second
+// lookup.
+type Meta struct {
+	Submitted time.Duration // virtual submit time
+	Starts    int           // start events recorded so far, including this one
+}
+
+// traceShard is one stripe of the tracer's job map. order is insertion
+// order; only eviction deletes, so the front is always the shard's live
+// oldest trace and eviction is O(1) instead of a map scan.
+type traceShard struct {
+	mu     sync.Mutex
+	traces map[int]*Trace
+	order  []int
+}
+
+// Tracer records bounded per-job lifecycle traces. Storage is striped to
+// keep recording off any global lock, and bounded: when more than maxJobs
+// jobs are live, the oldest trace in the inserting shard is evicted, so a
+// long-running server's trace memory stays O(maxJobs) regardless of how
+// many jobs it has dispatched.
+type Tracer struct {
+	shards [16]traceShard
+	max    int // per-shard bound
+}
+
+// defaultTraceJobs bounds how many job traces are retained.
+const defaultTraceJobs = 4096
+
+// NewTracer builds a tracer retaining roughly maxJobs most-recent traces
+// (0 means the default of 4096).
+func NewTracer(maxJobs int) *Tracer {
+	if maxJobs <= 0 {
+		maxJobs = defaultTraceJobs
+	}
+	t := &Tracer{}
+	t.max = (maxJobs + len(t.shards) - 1) / len(t.shards)
+	for i := range t.shards {
+		t.shards[i].traces = make(map[int]*Trace)
+	}
+	return t
+}
+
+func (t *Tracer) shard(job int) *traceShard {
+	return &t.shards[uint(job)%uint(len(t.shards))]
+}
+
+// Begin opens a trace for a job. Tool is recorded once; the submit event
+// itself arrives through Record like every other transition.
+func (t *Tracer) Begin(job int, tool string) {
+	s := t.shard(job)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.traces[job]; ok {
+		return
+	}
+	if len(s.traces) >= t.max {
+		// Evict the shard's insertion-order oldest (IDs are monotonic, so
+		// that is also the smallest ID).
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.traces, oldest)
+	}
+	s.traces[job] = &Trace{Job: job, Tool: tool}
+	s.order = append(s.order, job)
+}
+
+// Record appends an event to a job's trace and reports what the tracer
+// already knew (see Meta). The bool is false when the job has no live trace
+// (evicted, or recording started mid-lifecycle).
+func (t *Tracer) Record(job int, ev Event) (Meta, bool) {
+	s := t.shard(job)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr, ok := s.traces[job]
+	if !ok {
+		return Meta{}, false
+	}
+	tr.Events = append(tr.Events, ev)
+	var m Meta
+	for _, e := range tr.Events {
+		switch e.Name {
+		case "submit":
+			m.Submitted = e.At
+		case "start":
+			m.Starts++
+		}
+	}
+	return m, true
+}
+
+// Get returns a copy of a job's trace with derived segments filled in, or
+// false if the job is unknown (never traced, or evicted).
+func (t *Tracer) Get(job int) (Trace, bool) {
+	s := t.shard(job)
+	s.mu.Lock()
+	tr, ok := s.traces[job]
+	if !ok {
+		s.mu.Unlock()
+		return Trace{}, false
+	}
+	cp := Trace{Job: tr.Job, Tool: tr.Tool, Events: append([]Event(nil), tr.Events...)}
+	s.mu.Unlock()
+	cp.Segments = deriveSegments(cp.Events)
+	return cp, true
+}
+
+// Len reports how many traces are currently retained.
+func (t *Tracer) Len() int {
+	n := 0
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		n += len(t.shards[i].traces)
+		t.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// deriveSegments turns the event stream into spans:
+//
+//	queue_wait:    submit → first start
+//	run:           each start → the next attempt-fail / complete / preempt
+//	retry_backoff: each attempt-fail → the following start
+func deriveSegments(events []Event) []Segment {
+	evs := append([]Event(nil), events...)
+	sort.SliceStable(evs, func(i, k int) bool { return evs[i].At < evs[k].At })
+	var segs []Segment
+	var submitAt time.Duration
+	haveSubmit := false
+	var openStart time.Duration
+	haveStart := false
+	var failAt time.Duration
+	haveFail := false
+	firstStart := true
+	for _, e := range evs {
+		switch e.Name {
+		case "submit":
+			submitAt, haveSubmit = e.At, true
+		case "start":
+			if firstStart && haveSubmit {
+				segs = append(segs, Segment{Name: "queue_wait", From: submitAt, Dur: e.At - submitAt})
+				firstStart = false
+			}
+			if haveFail {
+				segs = append(segs, Segment{Name: "retry_backoff", From: failAt, Dur: e.At - failAt})
+				haveFail = false
+			}
+			openStart, haveStart = e.At, true
+		case "attempt_fail", "complete", "dead_letter", "preempt":
+			if haveStart {
+				segs = append(segs, Segment{Name: "run", From: openStart, Dur: e.At - openStart})
+				haveStart = false
+			}
+			if e.Name == "attempt_fail" {
+				failAt, haveFail = e.At, true
+			}
+		}
+	}
+	return segs
+}

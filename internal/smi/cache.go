@@ -27,7 +27,19 @@ type Cache struct {
 	valid bool
 	usage Usage
 
-	hits, misses int
+	// gen counts invalidations. A miss snapshots it before releasing the
+	// lock for the Query/UsageFromXML round trip and only installs its
+	// result if no Invalidate landed in between — otherwise the survey was
+	// taken against pre-mutation device state and caching it as valid
+	// would serve exactly the staleness the contract rules out.
+	gen uint64
+
+	hits, misses, invalidations int
+
+	// testHookAfterParse, when set, runs between the unlocked parse and the
+	// re-lock that installs the result — the window the generation counter
+	// protects. Tests use it to interleave an Invalidate deterministically.
+	testHookAfterParse func()
 }
 
 // NewCache builds a survey cache with the given sharing window; zero means
@@ -54,6 +66,8 @@ func (c *Cache) Usage(cluster *gpu.Cluster, now time.Duration) (Usage, error) {
 			return u, nil
 		}
 	}
+	gen := c.gen
+	hook := c.testHookAfterParse
 	c.mu.Unlock()
 
 	doc, err := Query(cluster, now)
@@ -64,11 +78,17 @@ func (c *Cache) Usage(cluster *gpu.Cluster, now time.Duration) (Usage, error) {
 	if err != nil {
 		return Usage{}, err
 	}
+	if hook != nil {
+		hook()
+	}
 
 	c.mu.Lock()
 	c.misses++
 	// Keep the newest survey: a concurrent miss at a later instant wins.
-	if !c.valid || now >= c.at {
+	// Never install across an invalidation: the parse ran unlocked, so an
+	// Invalidate in that window means this survey predates a device-state
+	// mutation and must not be served to anyone else.
+	if c.gen == gen && (!c.valid || now >= c.at) {
 		c.at = now
 		c.usage = u
 		c.valid = true
@@ -78,16 +98,19 @@ func (c *Cache) Usage(cluster *gpu.Cluster, now time.Duration) (Usage, error) {
 }
 
 // Invalidate drops the cached survey. Call after any device-state mutation
-// (session open/close/abort) so later same-instant surveys re-query.
+// (session open/close/abort) so later same-instant surveys re-query. It
+// also bars any in-flight miss from installing its pre-mutation result.
 func (c *Cache) Invalidate() {
 	c.mu.Lock()
 	c.valid = false
+	c.gen++
+	c.invalidations++
 	c.mu.Unlock()
 }
 
-// Stats returns the cache's hit and miss counts.
-func (c *Cache) Stats() (hits, misses int) {
+// Stats returns the cache's hit, miss and invalidation counts.
+func (c *Cache) Stats() (hits, misses, invalidations int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits, c.misses, c.invalidations
 }

@@ -1,0 +1,117 @@
+package smi
+
+import (
+	"testing"
+	"time"
+
+	"gyan/internal/gpu"
+)
+
+// occupyGPU attaches a memory-holding process to the given device so the
+// next survey classifies it busy.
+func occupyGPU(t *testing.T, c *gpu.Cluster, minor int) {
+	t.Helper()
+	d, err := c.Device(minor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.NewStream(c.NextPID(), "/usr/bin/racon_gpu", 0, nil)
+	if err := s.Malloc(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheLostInvalidation pins the generation-counter fix: an Invalidate
+// that lands while a miss is off doing the unlocked Query/UsageFromXML round
+// trip must not be overwritten when that miss installs its pre-mutation
+// survey. Without the fix, the second same-instant Usage call hits the
+// stale entry and reports the mutated device as still available.
+func TestCacheLostInvalidation(t *testing.T) {
+	cluster := gpu.NewPaperTestbed(nil)
+	cache := NewCache(0)
+	now := 5 * time.Second
+
+	// While the first miss is parsing (lock dropped), device state mutates
+	// and the owner invalidates — exactly the session-open path.
+	cache.testHookAfterParse = func() {
+		occupyGPU(t, cluster, 1)
+		cache.Invalidate()
+	}
+	first, err := cache.Usage(cluster, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Available(1) {
+		t.Fatalf("first survey should predate the mutation; got available=%v", first.AvailableGPUs)
+	}
+	cache.testHookAfterParse = nil
+
+	// Same virtual instant: a hit would serve the pre-mutation survey the
+	// invalidation was supposed to kill.
+	second, err := cache.Usage(cluster, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Available(1) {
+		t.Fatalf("lost invalidation: survey taken before the device-state mutation was served after Invalidate; available=%v",
+			second.AvailableGPUs)
+	}
+	if len(second.ProcsByGPU[1]) == 0 {
+		t.Fatalf("post-invalidation survey should see the new process on GPU 1")
+	}
+
+	hits, misses, invalidations := cache.Stats()
+	if hits != 0 || misses != 2 || invalidations != 1 {
+		t.Fatalf("stats = %d hits, %d misses, %d invalidations; want 0, 2, 1", hits, misses, invalidations)
+	}
+}
+
+// TestCacheInstallAfterInvalidation checks the fix does not wedge the cache:
+// after a barred install, the next survey re-queries, installs, and later
+// same-instant surveys hit again.
+func TestCacheInstallAfterInvalidation(t *testing.T) {
+	cluster := gpu.NewPaperTestbed(nil)
+	cache := NewCache(0)
+	now := time.Second
+
+	cache.testHookAfterParse = func() { cache.Invalidate() }
+	if _, err := cache.Usage(cluster, now); err != nil {
+		t.Fatal(err)
+	}
+	cache.testHookAfterParse = nil
+
+	if _, err := cache.Usage(cluster, now); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Usage(cluster, now); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := cache.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("stats = %d hits, %d misses; want 1 hit (third call), 2 misses", hits, misses)
+	}
+}
+
+// TestCacheHitServesSameInstant pins the baseline contract: two surveys at
+// the same instant with no intervening mutation share one parse.
+func TestCacheHitServesSameInstant(t *testing.T) {
+	cluster := gpu.NewPaperTestbed(nil)
+	cache := NewCache(0)
+	now := 2 * time.Second
+
+	a, err := cache.Usage(cluster, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cache.Usage(cluster, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.AllGPUs) != len(b.AllGPUs) {
+		t.Fatalf("hit returned a different survey")
+	}
+	hits, misses, _ := cache.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+}
