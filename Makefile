@@ -7,10 +7,11 @@ GO ?= go
 # under fuzz-short.
 FUZZ_TARGETS ?= ./internal/toolxml:FuzzParseTool \
                 ./internal/toolxml:FuzzExpandMacros \
-                ./internal/journal:FuzzReplay
+                ./internal/journal:FuzzReplay \
+                ./internal/workflow:FuzzBuildDAG
 FUZZTIME     ?= 10s
 
-.PHONY: check build vet test test-race test-crash fuzz-short bench bench-dispatch obs-smoke
+.PHONY: check build vet test test-race test-crash test-workflow fuzz-short bench bench-dispatch obs-smoke
 
 check: build vet test-race
 
@@ -36,6 +37,17 @@ test-race:
 test-crash:
 	$(GO) test ./internal/experiments -run 'TestCrashRecovery' -v
 	$(GO) test ./internal/galaxy -run 'TestCrashMidWorkload|TestLeaseExpiry' -v
+
+# test-workflow exercises the DAG engine end to end: graph validation and
+# scheduling in internal/workflow, the galaxy-level DAG surface (fan-out,
+# fan-in, failure policies, locality placement, fair-share), the
+# crash-mid-workflow recovery scenario (exactly-once resume through the
+# journal), and the locality-aware-beats-blind regression on the genomics
+# pipeline experiment.
+test-workflow:
+	$(GO) test ./internal/workflow -v
+	$(GO) test ./internal/galaxy -run 'TestDAG|TestWorkflow|TestCrashMidWorkflow|TestRecoverRestoresFinishedWorkflow' -v
+	$(GO) test ./internal/experiments -run 'TestGenomicsPipelineLocalityWins' -v
 
 # fuzz-short gives each native fuzzer a small deterministic budget — a smoke
 # pass over the seed corpus plus a few seconds of mutation, cheap enough for

@@ -101,6 +101,9 @@ func run(addr, policyName string, seed uint64, journalDir, handler string, lease
 		if err := g.RegisterDefaultTools(); err != nil {
 			return err
 		}
+		if err := g.RegisterGenomicsTools(); err != nil {
+			return err
+		}
 		if len(recs) > 0 || rerr != nil {
 			rep, err := g.Recover(recs, rerr, galaxy.RecoverOptions{
 				Datasets:     datasets,
@@ -143,6 +146,9 @@ func run(addr, policyName string, seed uint64, journalDir, handler string, lease
 
 	g := galaxy.New(nil, gopts...)
 	if err := g.RegisterDefaultTools(); err != nil {
+		return err
+	}
+	if err := g.RegisterGenomicsTools(); err != nil {
 		return err
 	}
 	return serve(addr, policyName, g, datasets, pprofOn)

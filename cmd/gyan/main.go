@@ -66,6 +66,9 @@ func run() error {
 	if err := g.RegisterDefaultTools(); err != nil {
 		return err
 	}
+	if err := g.RegisterGenomicsTools(); err != nil {
+		return err
+	}
 
 	params := map[string]string{
 		"threads": fmt.Sprint(*threads),

@@ -68,6 +68,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/faults", s.handleFaults)
 	mux.HandleFunc("/api/history", s.handleHistory)
 	mux.HandleFunc("/api/workflows", s.handleWorkflows)
+	mux.HandleFunc("/api/workflows/", s.handleWorkflow)
 	mux.HandleFunc("/api/recovery", s.handleRecovery)
 	mux.HandleFunc("/api/trace/", s.handleTraceByPath)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -532,8 +533,18 @@ type workflowResponse struct {
 }
 
 func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		statuses := []galaxy.WorkflowStatus{}
+		for _, wr := range s.g.Workflows() {
+			statuses = append(statuses, wr.Status())
+		}
+		writeJSON(w, http.StatusOK, statuses)
+		return
+	}
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		writeErr(w, http.StatusMethodNotAllowed, "GET or POST only")
 		return
 	}
 	var req workflowRequest
@@ -588,6 +599,42 @@ func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusUnprocessableEntity
 	}
 	writeJSON(w, status, resp)
+}
+
+// handleWorkflow serves one workflow: GET /api/workflows/{id} returns its
+// status snapshot, GET /api/workflows/{id}/trace the span tree of its
+// member jobs. Unknown sub-resources are 404, matching /api/jobs/{id}.
+func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/workflows/")
+	idText, sub, hasSub := strings.Cut(rest, "/")
+	id, err := strconv.Atoi(idText)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad workflow id %q", idText)
+		return
+	}
+	if hasSub && sub != "trace" {
+		writeErr(w, http.StatusNotFound, "no such workflow sub-resource %q", sub)
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wr := s.g.WorkflowByID(id)
+	if wr == nil {
+		writeErr(w, http.StatusNotFound, "no workflow %d", id)
+		return
+	}
+	if hasSub {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"workflow": id,
+			"steps":    s.g.Observer().Traces.WorkflowSpans(id),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, wr.Status())
 }
 
 // chainBackbone is the iterated-polishing transform: the previous step's

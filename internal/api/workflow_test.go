@@ -1,0 +1,123 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+)
+
+// submitTestWorkflow posts the standard two-step chain; the server runs it
+// to completion synchronously.
+func submitTestWorkflow(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{
+		"name": "two-round",
+		"steps": []map[string]any{
+			{"tool": "racon", "dataset": "alzheimers_nfl",
+				"params": map[string]string{"scale": "0.001"}},
+			{"tool": "racon", "chain_backbone": true,
+				"params": map[string]string{"scale": "0.001"}},
+		},
+	})
+	resp, err := http.Post(ts.URL+"/api/workflows", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("workflow submit status %d", resp.StatusCode)
+	}
+}
+
+func TestWorkflowListAndDetailEndpoints(t *testing.T) {
+	ts := testServer(t)
+
+	// Empty engine: an empty JSON array, not null.
+	resp, body := get(t, ts, "/api/workflows")
+	if resp.StatusCode != http.StatusOK || string(bytes.TrimSpace(body)) != "[]" {
+		t.Fatalf("empty list: status %d body %s", resp.StatusCode, body)
+	}
+
+	submitTestWorkflow(t, ts)
+
+	resp, body = get(t, ts, "/api/workflows")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status %d", resp.StatusCode)
+	}
+	var list []map[string]any
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0]["state"] != "ok" || list[0]["name"] != "two-round" {
+		t.Fatalf("list = %s", body)
+	}
+	id := int(list[0]["id"].(float64))
+
+	resp, body = get(t, ts, "/api/workflows/"+strconv.Itoa(id))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detail status %d", resp.StatusCode)
+	}
+	var detail map[string]any
+	if err := json.Unmarshal(body, &detail); err != nil {
+		t.Fatal(err)
+	}
+	steps := detail["steps"].([]any)
+	if len(steps) != 2 {
+		t.Fatalf("detail has %d steps: %s", len(steps), body)
+	}
+	for _, raw := range steps {
+		st := raw.(map[string]any)
+		if st["state"] != "done" || st["job"] == nil {
+			t.Fatalf("step = %v", st)
+		}
+	}
+}
+
+func TestWorkflowTraceEndpointReturnsSpanTree(t *testing.T) {
+	ts := testServer(t)
+	submitTestWorkflow(t, ts)
+	resp, body := get(t, ts, "/api/workflows/1/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d: %s", resp.StatusCode, body)
+	}
+	var tree struct {
+		Workflow int `json:"workflow"`
+		Steps    []struct {
+			Job      int    `json:"job"`
+			Step     string `json:"step"`
+			Workflow int    `json:"workflow"`
+			Events   []any  `json:"events"`
+			Segments []any  `json:"segments"`
+		} `json:"steps"`
+	}
+	if err := json.Unmarshal(body, &tree); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Workflow != 1 || len(tree.Steps) != 2 {
+		t.Fatalf("trace tree = %s", body)
+	}
+	for _, st := range tree.Steps {
+		if st.Workflow != 1 || st.Step == "" || len(st.Events) == 0 || len(st.Segments) == 0 {
+			t.Fatalf("span = %+v", st)
+		}
+	}
+}
+
+func TestWorkflowEndpointNotFoundCases(t *testing.T) {
+	ts := testServer(t)
+	submitTestWorkflow(t, ts)
+	for path, want := range map[string]int{
+		"/api/workflows/99":        http.StatusNotFound, // unknown workflow
+		"/api/workflows/1/nope":    http.StatusNotFound, // unknown sub-resource
+		"/api/workflows/1/trace/x": http.StatusNotFound, // over-deep path
+		"/api/workflows/abc":       http.StatusBadRequest,
+	} {
+		resp, body := get(t, ts, path)
+		if resp.StatusCode != want {
+			t.Errorf("%s: status %d (want %d): %s", path, resp.StatusCode, want, body)
+		}
+	}
+}

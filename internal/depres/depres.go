@@ -219,5 +219,9 @@ func Bioconda() *Channel {
 	must(Package{Name: "pypaswas", Version: "3.0", SizeBytes: 5 << 20,
 		Requires: []Dep{{Name: "python", Spec: "3.*"}}})
 	must(Package{Name: "seqstats", Version: "1.0", SizeBytes: 1 << 20})
+	must(Package{Name: "bwa-mem2", Version: "2.2.1", SizeBytes: 12 << 20,
+		Requires: []Dep{{Name: "zlib"}}})
+	must(Package{Name: "gatk4", Version: "4.2.0", SizeBytes: 250 << 20,
+		Requires: []Dep{{Name: "python", Spec: "3.*"}}})
 	return c
 }

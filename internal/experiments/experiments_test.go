@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"case1", "case2", "case3", "case4", "chaos-dispatch", "crash-recovery",
 		"dispatch-throughput",
 		"fig10", "fig11", "fig3", "fig4", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "journal-overhead", "polish", "related-pypaswas",
+		"fig8", "fig9", "genomics-pipeline", "journal-overhead", "polish", "related-pypaswas",
 		"sched-backfill"}
 	got := IDs()
 	if len(got) != len(want) {

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gyan/internal/galaxy"
+	"gyan/internal/report"
+	"gyan/internal/sched"
+	"gyan/internal/tools/genomics"
+	"gyan/internal/workload"
+)
+
+func init() {
+	register("genomics-pipeline",
+		"Workflow engine: locality-aware vs locality-blind placement of align/call/BQSR pipelines on a shared testbed",
+		runGenomicsPipeline)
+}
+
+// genomicsPipelineCount is how many align/call/BQSR pipelines arrive over the
+// run. Each shares the testbed with a short foreground job from another user,
+// which is what pushes the aligner off the tie-break device and makes the
+// placement decision for the downstream steps non-trivial.
+const genomicsPipelineCount = 4
+
+// genomicsStagger spaces pipeline arrivals far enough apart that each
+// placement decision is made with the scorer facing a real choice (both
+// devices free), rather than being forced onto whichever device happened to
+// free up first.
+const genomicsStagger = 30 * time.Second
+
+// genomicsReadSet generates the WGS-style input. Scale comes from the
+// params, so quick mode only shrinks the real computation.
+func genomicsReadSet(opt Options) (*workload.ReadSet, error) {
+	refLen, readLen, coverage := 40_000, 400, 10
+	if opt.Quick {
+		refLen, readLen, coverage = 1500, 150, 6
+	}
+	return workload.GenerateLongReads(workload.LongReadConfig{
+		Name: "wgs", Seed: opt.Seed, RefLen: refLen, ReadLen: readLen,
+		Coverage: coverage, SubRate: 0.01, BackboneErrorRate: 0.02,
+		NominalBytes: 20 << 30,
+	})
+}
+
+// genomicsPipelineSteps is one 3-stage chain: align, variant-call over the
+// alignments, then base-quality recalibration over the calls. The Bytes
+// annotations are what locality placement is about — a downstream step
+// landing off its parent's device stages that many bytes over PCIe before it
+// can compute.
+func genomicsPipelineSteps(rs *workload.ReadSet, params map[string]string, delay time.Duration) []galaxy.DAGStep {
+	alignOut := func(parents []*galaxy.Job) (any, error) {
+		res, ok := parents[0].Result.Detail.(*genomics.AlignResult)
+		if !ok {
+			return nil, fmt.Errorf("upstream detail is %T", parents[0].Result.Detail)
+		}
+		return res, nil
+	}
+	callOut := func(parents []*galaxy.Job) (any, error) {
+		res, ok := parents[0].Result.Detail.(*genomics.CallResult)
+		if !ok {
+			return nil, fmt.Errorf("upstream detail is %T", parents[0].Result.Detail)
+		}
+		return res, nil
+	}
+	return []galaxy.DAGStep{
+		{ID: "align", ToolID: "bwa-mem", Params: params, Dataset: rs, DatasetName: rs.Name,
+			Options: galaxy.SubmitOptions{Delay: delay}},
+		{ID: "call", ToolID: "variant-caller", Params: params,
+			After: []string{"align"}, Bytes: 16 << 30, Transform: alignOut},
+		{ID: "bqsr", ToolID: "bqsr", Params: params,
+			After: []string{"call"}, Bytes: 8 << 30, Transform: callOut},
+	}
+}
+
+// runGenomicsPipeline replays the same arrival trace under a locality-aware
+// scorer (prefer the device holding the upstream output) and a locality-blind
+// one (same scheduler, no preference). Alongside each pipeline a short
+// foreground job from another tenant occupies the scheduler's tie-break
+// device, so the aligner lands on the other one — exactly the situation a
+// shared Galaxy cluster produces all day. When the caller step is released
+// both devices are free again: the blind scorer load-balances it back to the
+// tie-break device and pays the PCIe staging charge for 16 GiB of alignments;
+// the aware scorer follows the data.
+func runGenomicsPipeline(opt Options) (*Result, error) {
+	rs, err := genomicsReadSet(opt)
+	if err != nil {
+		return nil, err
+	}
+	params := map[string]string{"scale": "0.01"}
+
+	res := newResult("genomics-pipeline",
+		"Locality-aware vs locality-blind placement of align/call/BQSR workflows")
+	tb := report.NewTable(
+		fmt.Sprintf("%d align/call/BQSR pipelines sharing the testbed with foreground jobs", genomicsPipelineCount),
+		"placement", "makespan", "p99 step wait", "mean step wait", "total stage-in")
+
+	for _, mode := range []struct {
+		name  string
+		bonus float64
+	}{
+		{"blind", 0},
+		{"aware", 1e6},
+	} {
+		g := galaxy.New(nil, galaxy.WithScheduler(sched.New(sched.Config{
+			Backfill:      true,
+			LocalityBonus: mode.bonus,
+		})))
+		if err := g.RegisterDefaultTools(); err != nil {
+			return nil, err
+		}
+		if err := g.RegisterGenomicsTools(); err != nil {
+			return nil, err
+		}
+		runs := make([]*galaxy.WorkflowRun, genomicsPipelineCount)
+		for i := range runs {
+			at := time.Duration(i) * genomicsStagger
+			// The other tenant's job arrives first and takes the tie-break
+			// device; the aligner arrives moments later and lands on the
+			// other one.
+			if _, err := g.Submit("racon", map[string]string{"scale": "0.003"}, rs,
+				galaxy.SubmitOptions{User: "ops", Delay: at}); err != nil {
+				return nil, err
+			}
+			runs[i], err = g.SubmitDAG(fmt.Sprintf("wgs-%d", i),
+				genomicsPipelineSteps(rs, params, at+100*time.Millisecond),
+				galaxy.DAGOptions{User: fmt.Sprintf("user-%d", i)})
+			if err != nil {
+				return nil, err
+			}
+		}
+		g.Run()
+
+		var makespan, waitSum, stageSum time.Duration
+		var waits []time.Duration
+		for i, wr := range runs {
+			if wr.State() != galaxy.StateOK {
+				return nil, fmt.Errorf("genomics-pipeline: %s under %s: %s", wr.Status().Name, mode.name, wr.Info())
+			}
+			ws := wr.Status()
+			if ws.Finished > makespan {
+				makespan = ws.Finished
+			}
+			for _, st := range ws.Steps {
+				// Step wait is everything between a step becoming runnable
+				// and useful compute: queue time plus cross-device staging.
+				// The root step's QueueWait includes its deliberate arrival
+				// delay, which is schedule, not wait — take it back out.
+				wait := st.QueueWait + st.StageIn
+				if st.ID == "align" {
+					wait -= time.Duration(i)*genomicsStagger + 100*time.Millisecond
+				}
+				waits = append(waits, wait)
+				waitSum += wait
+				stageSum += st.StageIn
+			}
+		}
+		sort.Slice(waits, func(i, k int) bool { return waits[i] < waits[k] })
+		p99 := waits[(len(waits)*99+99)/100-1]
+		mean := waitSum / time.Duration(len(waits))
+
+		tb.AddRow(mode.name, report.Seconds(makespan), report.Seconds(p99),
+			report.Seconds(mean), report.Seconds(stageSum))
+		res.Metrics["makespan_"+mode.name] = makespan.Seconds()
+		res.Metrics["p99_step_wait_"+mode.name] = p99.Seconds()
+		res.Metrics["mean_step_wait_"+mode.name] = mean.Seconds()
+		res.Metrics["stage_in_total_"+mode.name] = stageSum.Seconds()
+	}
+	res.Tables = append(res.Tables, tb)
+	res.Text = append(res.Text,
+		"Both placements run the identical arrival trace through the same backfilling scheduler; the only difference is the locality term in the scorer. Foreground jobs from other tenants keep displacing the aligner from the scheduler's tie-break device, so each pipeline's 16 GiB of alignments ends up on the other GPU. The blind scorer then load-balances the caller step back to the tie-break device and stages the alignments over PCIe before computing — the staging time stretches the occupancy, lands in the step-wait tail, and compounds into the makespan. The aware scorer follows the data: downstream steps land on the device already holding their input, stage-in is zero, and both the tail and the makespan tighten.")
+	return res, nil
+}

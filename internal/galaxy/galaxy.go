@@ -100,6 +100,12 @@ type Galaxy struct {
 	schedJobs map[int]*schedEntry
 	qmon      *monitor.QueueMonitor
 
+	// DAG workflows (see dag.go): live runs by ID; nextWF allocates
+	// workflow IDs. The map is guarded by g.mu; each run carries its own
+	// leaf mutex for caller-facing reads.
+	workflows map[int]*WorkflowRun
+	nextWF    atomic.Int64
+
 	// Fault injection + recovery policy (see faults.go). faultPlan is the
 	// armed injection plan; retry/retryRNG drive transient-fault backoff;
 	// jobTimeout bounds each run; quarantine blacklists faulty devices;
@@ -194,6 +200,7 @@ func New(cluster *gpu.Cluster, opts ...Option) *Galaxy {
 		userRunning: make(map[string]int),
 		userWaiting: make(map[string][]*pendingStart),
 		schedJobs:   make(map[int]*schedEntry),
+		workflows:   make(map[int]*WorkflowRun),
 		retryRNG:    newRetryRNG(),
 		surveyCache: smi.NewCache(0),
 		obsv:        obs.NewObserver(),
@@ -346,12 +353,27 @@ type SubmitOptions struct {
 	// It is journaled with the submission so crash recovery can re-resolve
 	// the payload — the payload itself never touches the journal.
 	DatasetName string
+	// PreferDevices hints the batch scheduler toward device minor IDs that
+	// already hold the job's input (a workflow step's upstream outputs).
+	// Honored only under WithScheduler with a LocalityBonus configured.
+	PreferDevices []int
 
 	// resubmitDest, when non-empty, pins the job to the named destination
 	// instead of the mapper's choice. Set internally when a destination's
 	// resubmit_destination param reroutes a failed job (Galaxy's
 	// resubmission mechanism).
 	resubmitDest string
+	// stageCost, when set, is consulted after placement with the granted
+	// device gang and returns the data stage-in time the placement incurs
+	// (zero when the input already lives on a granted device). The workflow
+	// layer builds the closure from the step's upstream placements; the
+	// delay extends the run while the gang is held, so locality misses cost
+	// both makespan and queue time downstream.
+	stageCost func(devices []int) time.Duration
+	// wfID/wfStep tie the job to a workflow step for journaling and
+	// observability (zero/empty outside workflows).
+	wfID   int
+	wfStep string
 }
 
 // maxResubmits bounds resubmission chains.
@@ -399,12 +421,15 @@ func (g *Galaxy) submitJob(toolID string, params map[string]string, dataset any,
 		Submitted: g.Engine.Clock().Now(),
 	}
 	job.datasetName = opts.DatasetName
+	job.WorkflowID = opts.wfID
+	job.StepID = opts.wfStep
 	job.submit = journal.Record{
 		Type: journal.TypeSubmit, At: job.Submitted, Handler: g.handlerID,
 		Job: job.ID, Tool: toolID, User: job.User, Params: params,
 		Dataset: opts.DatasetName, Runtime: opts.Runtime,
 		Priority: opts.Priority, GPUs: opts.GPUs, EstRuntime: opts.EstRuntime,
 		Submitted: job.Submitted, Delay: opts.Delay,
+		Workflow: opts.wfID, Step: opts.wfStep,
 	}
 	// Publish before journaling: the insert is the job's release barrier,
 	// and the logJournal epoch bump after it invalidates cached snapshots.
@@ -586,6 +611,15 @@ func (g *Galaxy) launchLocked(job *Job, binding *ToolBinding, opts SubmitOptions
 	}
 
 	start := now
+	if opts.stageCost != nil {
+		// Data staging: when placement missed the devices holding the job's
+		// input, the transfer happens up front while the granted gang sits
+		// idle — the physical cost locality-aware placement avoids.
+		if d := opts.stageCost(decision.Devices); d > 0 {
+			job.StageIn = d
+			start += d
+		}
+	}
 	containerized := job.Runtime != ""
 	if !containerized {
 		// Resolve the wrapper's package requirements through the conda

@@ -59,6 +59,14 @@ type Job struct {
 	// DependencyInstall is the time spent installing the tool's conda
 	// environment (zero when cached or containerized).
 	DependencyInstall time.Duration
+	// WorkflowID and StepID tie the job to a DAG workflow step (zero/empty
+	// for standalone jobs).
+	WorkflowID int
+	StepID     string
+	// StageIn is the input staging time the job's placement incurred (zero
+	// when its data already lived on a granted device; see the locality
+	// model in internal/galaxy/dag.go).
+	StageIn time.Duration
 
 	// State tracks the lifecycle.
 	State JobState

@@ -37,10 +37,18 @@ import (
 // a crash costs is re-running work whose completion record was still
 // buffered.
 //
-// Known limits, accepted for the reproduction: workflow step chaining
-// (onDone hooks) is not journaled, a resubmit_destination pin does not
-// survive replay, and a pending submit Delay is not re-applied — recovered
-// queued jobs redispatch immediately at the resumed time.
+// Workflows recover too: SubmitDAG journals the full definition
+// (journal.TypeWorkflow) and every member job's submit record carries its
+// workflow/step identity, so replay rebuilds each WorkflowRun, folds the
+// steps that completed, reattaches completion hooks to requeued member jobs
+// and releases the steps whose parents finished pre-crash (see
+// rebuildWorkflowsLocked in dag_recovery.go).
+//
+// Known limits, accepted for the reproduction: step Transform closures are
+// not journaled (a recovered step falls back to pass-through input), a
+// resubmit_destination pin does not survive replay, and a pending submit
+// Delay is not re-applied — recovered queued jobs redispatch immediately at
+// the resumed time.
 
 // DefaultLeaseTTL is how long a heartbeat asserts ownership when
 // WithLeaseTTL is not configured.
@@ -250,6 +258,13 @@ type RecoveryReport struct {
 	Orphaned     int `json:"orphaned"`
 	Failed       int `json:"failed"`
 
+	// Workflows counts the workflow runs rebuilt from journaled
+	// definitions; WorkflowStepsResumed counts their member steps put back
+	// in motion (requeued jobs reattached plus unsubmitted ready steps
+	// released at the resumed time).
+	Workflows            int `json:"workflows,omitempty"`
+	WorkflowStepsResumed int `json:"workflow_steps_resumed,omitempty"`
+
 	// Jobs lists every job's disposition in ID order.
 	Jobs []RecoveredJob `json:"jobs"`
 	// Leases maps handler IDs to their heartbeat trails.
@@ -333,15 +348,25 @@ func (g *Galaxy) Recover(recs []journal.Record, replayErr error, opts RecoverOpt
 		rep.CorruptTail = cerr.Error()
 	}
 
-	// Fold the flat record stream into per-job trails and per-handler
-	// lease deadlines.
+	// Fold the flat record stream into per-job trails, per-handler lease
+	// deadlines, and workflow definitions/terminations.
 	hist := make(map[int]*jobHistory)
 	var order []int
 	var maxAt time.Duration
+	wfDefs := make(map[int]journal.Record)
+	var wfOrder []int
+	wfTerm := make(map[int]journal.Record)
 	for i := range recs {
 		rec := recs[i]
 		if rec.At > maxAt {
 			maxAt = rec.At
+		}
+		if rec.Type == journal.TypeWorkflow {
+			if _, seen := wfDefs[rec.Workflow]; !seen {
+				wfDefs[rec.Workflow] = rec
+				wfOrder = append(wfOrder, rec.Workflow)
+			}
+			continue
 		}
 		if rec.Type == journal.TypeLease {
 			li, seen := rep.Leases[rec.Handler]
@@ -358,6 +383,10 @@ func (g *Galaxy) Recover(recs []journal.Record, replayErr error, opts RecoverOpt
 			continue
 		}
 		if rec.Job == 0 {
+			// A jobless completion is a workflow's terminal verdict.
+			if rec.Type == journal.TypeComplete && rec.Workflow != 0 {
+				wfTerm[rec.Workflow] = rec
+			}
 			continue
 		}
 		h := hist[rec.Job]
@@ -538,6 +567,8 @@ func (g *Galaxy) Recover(recs []journal.Record, replayErr error, opts RecoverOpt
 		})
 	}
 
+	g.rebuildWorkflowsLocked(wfDefs, wfOrder, wfTerm, rep, opts, now)
+
 	// Assert this handler's ownership of whatever it just rebuilt.
 	if g.journal != nil {
 		g.leaseMu.Lock()
@@ -561,6 +592,8 @@ func (g *Galaxy) materializeLocked(id int, h *jobHistory, opts RecoverOptions) *
 		Runtime:     sub.Runtime,
 		Submitted:   sub.Submitted,
 		Preempted:   h.preempts,
+		WorkflowID:  sub.Workflow,
+		StepID:      sub.Step,
 		submit:      sub,
 		datasetName: sub.Dataset,
 		attemptBase: h.attemptBase,
@@ -603,6 +636,12 @@ func (g *Galaxy) resolveRequeueLocked(job *Job, opts RecoverOptions) (*ToolBindi
 		return nil, nil, fmt.Errorf("unrecoverable: %v", err)
 	}
 	if job.datasetName == "" {
+		if job.WorkflowID != 0 {
+			// A workflow step's input often flows from its parents rather
+			// than the dataset registry; the workflow rebuild re-resolves
+			// it (rebuildWorkflowsLocked) before the requeue event fires.
+			return binding, nil, nil
+		}
 		return nil, nil, fmt.Errorf("unrecoverable: no dataset name journaled for job %d", job.ID)
 	}
 	ds, ok := opts.Datasets[job.datasetName]
@@ -683,6 +722,25 @@ func (g *Galaxy) SnapshotJournal() error {
 	recs := []journal.Record{{
 		Type: journal.TypeLease, At: now, Handler: g.handlerID, TTL: g.leaseTTL,
 	}}
+	// Workflow definitions first: a compacted journal must still rebuild
+	// every run's DAG, and finished runs keep their recorded verdict.
+	wfIDs := make([]int, 0, len(g.workflows))
+	for id := range g.workflows {
+		wfIDs = append(wfIDs, id)
+	}
+	sort.Ints(wfIDs)
+	for _, id := range wfIDs {
+		wr := g.workflows[id]
+		wr.mu.Lock()
+		recs = append(recs, wr.defRecord)
+		if wr.state == StateOK || wr.state == StateError {
+			recs = append(recs, journal.Record{
+				Type: journal.TypeComplete, At: wr.finishedAt, Workflow: wr.ID,
+				State: string(wr.state), Msg: wr.info,
+			})
+		}
+		wr.mu.Unlock()
+	}
 	for _, j := range g.jobs.all() {
 		sub := j.submit
 		if sub.Type == "" {

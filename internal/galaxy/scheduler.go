@@ -89,6 +89,7 @@ func (g *Galaxy) parkInSchedulerLocked(job *Job, binding *ToolBinding, opts Subm
 		GPUs:       gang,
 		EstRuntime: opts.EstRuntime,
 		Submitted:  job.Submitted,
+		Prefer:     opts.PreferDevices,
 	}
 	if req.Submitted == 0 {
 		// Mirror sched.Submit's zero-means-now default so the preemption

@@ -2,15 +2,18 @@ package galaxy
 
 import (
 	"fmt"
+	"sync"
 	"time"
+
+	"gyan/internal/workflow"
 )
 
-// Workflow support. A Galaxy job can be "a single tool instance or a
+// Legacy linear workflows. A Galaxy job can be "a single tool instance or a
 // workflow consisting of a sequence of multiple tools" (paper, Section
-// II-A). A Workflow here is a linear chain: each step starts when the
-// previous one completes, with its input dataset derived from the previous
-// step's result — e.g. iterated Racon polishing rounds, or basecalling
-// followed by consensus.
+// II-A). SubmitWorkflow keeps the original chain-shaped API — each step
+// starts when the previous one completes, with its input derived from the
+// previous step's result — but is now a thin wrapper over the DAG engine
+// (SubmitDAG): a chain is just a DAG whose step i depends on step i-1.
 
 // WorkflowStep describes one stage of a workflow.
 type WorkflowStep struct {
@@ -32,6 +35,12 @@ type WorkflowStep struct {
 }
 
 // Workflow tracks a submitted chain.
+//
+// The exported fields are written by completion hooks running under the
+// engine lock and guarded by an internal mutex; concurrent observers must
+// use Done()/WallTime()/Snapshot() rather than reading the fields directly
+// while the engine runs. Direct field reads are safe once the engine is
+// idle (the usual test pattern: g.Run() then inspect).
 type Workflow struct {
 	// Name labels the workflow.
 	Name string
@@ -44,17 +53,38 @@ type Workflow struct {
 	// Info carries the failure description when State is StateError.
 	Info string
 
-	steps []WorkflowStep
-	g     *Galaxy
+	mu  sync.Mutex
+	run *WorkflowRun
 }
 
-// Done reports whether the workflow reached a terminal state.
-func (w *Workflow) Done() bool { return w.State == StateOK || w.State == StateError }
+// Done reports whether the workflow reached a terminal state. Safe to call
+// from any goroutine while the engine runs.
+func (w *Workflow) Done() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.State == StateOK || w.State == StateError
+}
+
+// Run returns the underlying DAG workflow run.
+func (w *Workflow) Run() *WorkflowRun {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.run
+}
+
+// Snapshot returns the workflow's current state and info consistently.
+func (w *Workflow) Snapshot() (JobState, string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.State, w.Info
+}
 
 // SubmitWorkflow queues a linear tool chain. The first step is scheduled
 // immediately (honoring its Delay); each subsequent step is submitted when
 // its predecessor completes. Drive the engine (g.Run) to completion.
 func (g *Galaxy) SubmitWorkflow(name string, steps []WorkflowStep) (*Workflow, error) {
+	// Validate up front with the legacy error texts; the DAG builder would
+	// catch the same shapes, but callers match on these messages.
 	if len(steps) == 0 {
 		return nil, fmt.Errorf("galaxy: workflow %q has no steps", name)
 	}
@@ -69,68 +99,61 @@ func (g *Galaxy) SubmitWorkflow(name string, steps []WorkflowStep) (*Workflow, e
 	if steps[0].Dataset == nil {
 		return nil, fmt.Errorf("galaxy: workflow %q first step has no dataset", name)
 	}
-	w := &Workflow{Name: name, State: StateRunning, steps: steps, g: g}
-	g.mu.Lock()
-	err := w.submitStep(0, steps[0].Dataset)
-	g.mu.Unlock()
+
+	w := &Workflow{Name: name, State: StateRunning}
+	dsteps := make([]DAGStep, len(steps))
+	for i, s := range steps {
+		ds := DAGStep{
+			ID:          fmt.Sprintf("step-%d", i),
+			ToolID:      s.ToolID,
+			Params:      s.Params,
+			Dataset:     s.Dataset,
+			DatasetName: s.Options.DatasetName,
+			Options:     s.Options,
+		}
+		if i > 0 {
+			ds.After = []string{fmt.Sprintf("step-%d", i-1)}
+			if tr := s.Transform; tr != nil {
+				ds.Transform = func(parents []*Job) (any, error) {
+					return tr(parents[0])
+				}
+			}
+		}
+		dsteps[i] = ds
+	}
+	run, err := g.SubmitDAG(name, dsteps, DAGOptions{
+		Policy: workflow.FailFast,
+		OnStep: func(_ string, job *Job) {
+			w.mu.Lock()
+			w.Jobs = append(w.Jobs, job)
+			w.mu.Unlock()
+		},
+		OnFinish: func(wr *WorkflowRun) {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			w.State = wr.state
+			w.Info = wr.info
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
+	w.mu.Lock()
+	w.run = run
+	w.mu.Unlock()
 	return w, nil
 }
 
-// submitStep submits step i with g.mu held: SubmitWorkflow locks around the
-// first step, and stepDone fires from a completion hook already under the
-// lock. It uses the gate-free submit body — holding g.mu already excludes
-// SnapshotJournal, and taking snapGate here would invert the lock order.
-func (w *Workflow) submitStep(i int, dataset any) error {
-	step := w.steps[i]
-	opts := step.Options
-	if i > 0 {
-		opts.Delay = 0
-	}
-	job, err := w.g.submitJob(step.ToolID, step.Params, dataset, opts)
-	if err != nil {
-		return err
-	}
-	w.Jobs = append(w.Jobs, job)
-	job.onDone = func(j *Job) { w.stepDone(i, j) }
-	return nil
-}
-
-func (w *Workflow) stepDone(i int, job *Job) {
-	if job.State != StateOK {
-		// Covers StateError and StateDeadLetter: any non-OK terminal state
-		// fails the chain.
-		w.State = StateError
-		w.Info = fmt.Sprintf("step %d (%s) failed: %s", i, job.ToolID, job.Info)
-		return
-	}
-	if i == len(w.steps)-1 {
-		w.State = StateOK
-		return
-	}
-	next := w.steps[i+1]
-	dataset := next.Dataset
-	if next.Transform != nil {
-		var err error
-		dataset, err = next.Transform(job)
-		if err != nil {
-			w.State = StateError
-			w.Info = fmt.Sprintf("step %d transform failed: %v", i+1, err)
-			return
-		}
-	}
-	if err := w.submitStep(i+1, dataset); err != nil {
-		w.State = StateError
-		w.Info = err.Error()
-	}
-}
-
 // WallTime returns the workflow's virtual span from first submission to the
-// last step's completion (zero until done).
+// last step's completion (zero until done). Safe to call from any goroutine
+// while the engine runs.
 func (w *Workflow) WallTime() time.Duration {
-	if !w.Done() || len(w.Jobs) == 0 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.State != StateOK && w.State != StateError {
+		return 0
+	}
+	if len(w.Jobs) == 0 {
 		return 0
 	}
 	return w.Jobs[len(w.Jobs)-1].Finished - w.Jobs[0].Submitted

@@ -79,7 +79,34 @@ const (
 	// TypeResubmit records an admin replaying a dead-lettered job as a
 	// fresh epoch (the failure log stays attached).
 	TypeResubmit Type = "resubmit"
+	// TypeWorkflow records a DAG workflow definition: the step graph, the
+	// failure policy and the owner. Step-completion edges are not journaled
+	// separately — they are derived at replay time by joining each member
+	// job's submit record (which carries Workflow and Step) with its
+	// terminal record.
+	TypeWorkflow Type = "workflow"
 )
+
+// WFStep is one step of a journaled workflow definition — the declarative
+// subset that survives a restart. Dataset payloads are re-resolved by name
+// through RecoverOptions.Datasets; Transform closures do not survive (a
+// recovered step falls back to its upstream dataset pass-through).
+type WFStep struct {
+	ID      string            `json:"id"`
+	Tool    string            `json:"tool"`
+	After   []string          `json:"after,omitempty"`
+	Params  map[string]string `json:"params,omitempty"`
+	Dataset string            `json:"dataset,omitempty"`
+	// HasDataset marks steps whose caller supplied an in-memory payload
+	// (possibly unnamed), so replay validation knows the step had an input.
+	HasDataset bool          `json:"has_dataset,omitempty"`
+	Runtime    string        `json:"runtime,omitempty"`
+	Priority   int           `json:"priority,omitempty"`
+	GPUs       int           `json:"gpus,omitempty"`
+	EstRuntime time.Duration `json:"est_runtime,omitempty"`
+	// Bytes is the step's input size, feeding the locality staging model.
+	Bytes int64 `json:"bytes,omitempty"`
+}
 
 // Record is one journal entry. It is a flat union over every record type;
 // unused fields are omitted from the encoding. All timestamps are virtual
@@ -131,6 +158,20 @@ type Record struct {
 
 	// From is the previous owner on TypeAdopt records.
 	From string `json:"from,omitempty"`
+
+	// Workflow membership. Workflow is the owning workflow's ID (on
+	// TypeWorkflow records and on member jobs' TypeSubmit records); Step
+	// names the member's step within the DAG.
+	Workflow int    `json:"wf,omitempty"`
+	Step     string `json:"step,omitempty"`
+
+	// Workflow definition (TypeWorkflow). MaxRecord bounds the encoded
+	// size, so a definition tops out around ten thousand steps — far past
+	// anything the experiments build.
+	WFName        string   `json:"wf_name,omitempty"`
+	WFPolicy      string   `json:"wf_policy,omitempty"`
+	WFMaxInFlight int      `json:"wf_max_in_flight,omitempty"`
+	WFSteps       []WFStep `json:"wf_steps,omitempty"`
 }
 
 // headerSize is the per-record framing overhead: length + CRC32.

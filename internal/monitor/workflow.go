@@ -1,0 +1,148 @@
+package monitor
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"gyan/internal/sim"
+)
+
+// Workflow-level sampling. The monitor package sits below the engine (the
+// engine imports it), so workflow pressure arrives as plain counts: the
+// caller polls its engine and hands over one WorkflowCount per live
+// workflow. galaxy.Galaxy.WorkflowTallies is the standard adapter.
+
+// WorkflowCount is one workflow's step-state census at a virtual instant.
+type WorkflowCount struct {
+	ID      int
+	Name    string
+	State   string
+	Pending int
+	Running int
+	Done    int
+	Failed  int
+	Skipped int
+}
+
+// WorkflowSample is one observation of overall workflow pressure.
+type WorkflowSample struct {
+	At        time.Duration
+	Workflows int // workflows known to the engine
+	Active    int // workflows not yet terminal
+	Steps     int // total steps across all workflows
+	Running   int // steps currently submitted or executing
+	Done      int // steps completed ok
+	Failed    int // steps failed or skipped
+}
+
+// WorkflowMonitor records workflow-pressure samples. Safe for concurrent
+// use.
+type WorkflowMonitor struct {
+	mu      sync.Mutex
+	samples []WorkflowSample
+}
+
+// NewWorkflowMonitor returns an empty workflow monitor.
+func NewWorkflowMonitor() *WorkflowMonitor { return &WorkflowMonitor{} }
+
+// Record folds one census into a sample.
+func (m *WorkflowMonitor) Record(at time.Duration, counts []WorkflowCount) {
+	s := WorkflowSample{At: at, Workflows: len(counts)}
+	for _, c := range counts {
+		if c.State == "running" {
+			s.Active++
+		}
+		s.Steps += c.Pending + c.Running + c.Done + c.Failed + c.Skipped
+		s.Running += c.Running
+		s.Done += c.Done
+		s.Failed += c.Failed + c.Skipped
+	}
+	m.mu.Lock()
+	m.samples = append(m.samples, s)
+	m.mu.Unlock()
+}
+
+// Attach schedules periodic sampling on the engine until `until`, polling
+// the census through `poll` (see Monitor.Attach for the tick pattern).
+func (m *WorkflowMonitor) Attach(engine *sim.Engine, period, until time.Duration,
+	poll func() []WorkflowCount) {
+	var tick func(now time.Duration)
+	tick = func(now time.Duration) {
+		m.Record(now, poll())
+		if now+period <= until {
+			engine.After(period, tick)
+		}
+	}
+	engine.After(period, tick)
+}
+
+// Samples returns the chronological record.
+func (m *WorkflowMonitor) Samples() []WorkflowSample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]WorkflowSample, len(m.samples))
+	copy(out, m.samples)
+	return out
+}
+
+// WorkflowStats aggregates a workflow-pressure trace.
+type WorkflowStats struct {
+	Samples        int
+	PeakActive     int
+	PeakRunning    int
+	TotalDone      int // steps done at the final sample
+	TotalFailed    int // steps failed/skipped at the final sample
+	FirstSample    time.Duration
+	LastSample     time.Duration
+}
+
+// Stats aggregates the recorded samples.
+func (m *WorkflowMonitor) Stats() WorkflowStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := WorkflowStats{Samples: len(m.samples)}
+	if len(m.samples) == 0 {
+		return st
+	}
+	st.FirstSample = m.samples[0].At
+	last := m.samples[len(m.samples)-1]
+	st.LastSample, st.TotalDone, st.TotalFailed = last.At, last.Done, last.Failed
+	for _, s := range m.samples {
+		if s.Active > st.PeakActive {
+			st.PeakActive = s.Active
+		}
+		if s.Running > st.PeakRunning {
+			st.PeakRunning = s.Running
+		}
+	}
+	return st
+}
+
+// WriteCSV emits the samples in the hardware monitor's CSV style.
+func (m *WorkflowMonitor) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"timestamp_s", "workflows", "active", "steps", "running", "done", "failed",
+	}); err != nil {
+		return err
+	}
+	for _, s := range m.Samples() {
+		rec := []string{
+			strconv.FormatFloat(s.At.Seconds(), 'f', 3, 64),
+			strconv.Itoa(s.Workflows),
+			strconv.Itoa(s.Active),
+			strconv.Itoa(s.Steps),
+			strconv.Itoa(s.Running),
+			strconv.Itoa(s.Done),
+			strconv.Itoa(s.Failed),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,58 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gyan/internal/sim"
+)
+
+func TestWorkflowMonitorRecordsAndAggregates(t *testing.T) {
+	m := NewWorkflowMonitor()
+	m.Record(time.Second, []WorkflowCount{
+		{ID: 1, Name: "a", State: "running", Running: 2, Pending: 3},
+		{ID: 2, Name: "b", State: "ok", Done: 4},
+	})
+	m.Record(2*time.Second, []WorkflowCount{
+		{ID: 1, Name: "a", State: "ok", Done: 5},
+		{ID: 2, Name: "b", State: "ok", Done: 4},
+	})
+	st := m.Stats()
+	if st.Samples != 2 || st.PeakActive != 1 || st.PeakRunning != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.TotalDone != 9 || st.TotalFailed != 0 {
+		t.Fatalf("final census = %+v", st)
+	}
+
+	var b strings.Builder
+	if err := m.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines:\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[1], "1.000,2,1,9,2,4,0") {
+		t.Errorf("first sample row = %q", lines[1])
+	}
+}
+
+func TestWorkflowMonitorAttachPollsOnPeriod(t *testing.T) {
+	eng := sim.NewEngine(nil)
+	m := NewWorkflowMonitor()
+	polls := 0
+	m.Attach(eng, time.Second, 5*time.Second, func() []WorkflowCount {
+		polls++
+		return []WorkflowCount{{ID: 1, State: "running", Running: 1}}
+	})
+	eng.Run()
+	if polls != 5 {
+		t.Fatalf("polled %d times over 5s at 1s period", polls)
+	}
+	samples := m.Samples()
+	if len(samples) != 5 || samples[0].At != time.Second || samples[4].At != 5*time.Second {
+		t.Fatalf("samples = %+v", samples)
+	}
+}

@@ -31,6 +31,9 @@ type Observer struct {
 	resubmits   *Counter
 	adoptions   *Counter
 
+	wfSubmitted *Counter
+	wfCompleted CounterVec // by state
+
 	submitToStart    *Histogram
 	submitToComplete *Histogram
 	fsyncBatch       *Histogram
@@ -65,6 +68,10 @@ func NewObserver() *Observer {
 			"Dead-lettered jobs replayed as fresh epochs."),
 		adoptions: r.Counter("gyan_adoptions_total",
 			"Jobs adopted from a handler whose lease expired."),
+		wfSubmitted: r.Counter("gyan_workflows_submitted_total",
+			"DAG workflows accepted by SubmitDAG."),
+		wfCompleted: r.CounterVec("gyan_workflows_completed_total",
+			"Workflows reaching a terminal state, by state (ok, error).", "state"),
 
 		submitToStart: r.Histogram("gyan_submit_to_start_seconds",
 			"Virtual-time latency from submit to first execution start.",
@@ -91,7 +98,13 @@ func (o *Observer) Transition(rec journal.Record) {
 	case journal.TypeSubmit:
 		o.submitted.With(rec.Tool).Inc()
 		o.Traces.Begin(rec.Job, rec.Tool)
+		if rec.Workflow != 0 {
+			o.Traces.Tag(rec.Job, rec.Workflow, rec.Step)
+		}
 		o.Traces.Record(rec.Job, Event{Name: "submit", At: rec.At})
+
+	case journal.TypeWorkflow:
+		o.wfSubmitted.Inc()
 
 	case journal.TypeMap:
 		o.mapped.With(rec.Destination).Inc()
@@ -125,6 +138,11 @@ func (o *Observer) Transition(rec journal.Record) {
 		o.Traces.Record(rec.Job, Event{Name: "preempt", At: rec.At, Attempt: rec.Attempt})
 
 	case journal.TypeComplete:
+		if rec.Job == 0 && rec.Workflow != 0 {
+			// A workflow-level verdict, not a job transition.
+			o.wfCompleted.With(rec.State).Inc()
+			return
+		}
 		o.completed.With(rec.State).Inc()
 		meta, ok := o.Traces.Record(rec.Job,
 			Event{Name: "complete", At: rec.At, Detail: rec.State})

@@ -25,10 +25,13 @@ type Segment struct {
 	Dur  time.Duration `json:"dur"`
 }
 
-// A Trace is the full recorded lifecycle of one job.
+// A Trace is the full recorded lifecycle of one job. Workflow/Step identify
+// the DAG step the job executes, when it belongs to one.
 type Trace struct {
 	Job      int       `json:"job"`
 	Tool     string    `json:"tool"`
+	Workflow int       `json:"workflow,omitempty"`
+	Step     string    `json:"step,omitempty"`
 	Events   []Event   `json:"events"`
 	Segments []Segment `json:"segments,omitempty"`
 }
@@ -100,6 +103,58 @@ func (t *Tracer) Begin(job int, tool string) {
 	}
 	s.traces[job] = &Trace{Job: job, Tool: tool}
 	s.order = append(s.order, job)
+}
+
+// Tag marks a job's trace as executing one step of a workflow. A no-op for
+// unknown (evicted) jobs.
+func (t *Tracer) Tag(job, workflow int, step string) {
+	s := t.shard(job)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tr, ok := s.traces[job]; ok {
+		tr.Workflow, tr.Step = workflow, step
+	}
+}
+
+// WorkflowSpans collects the retained traces of one workflow's member jobs —
+// the per-workflow span tree. Steps are ordered by submit time (then job
+// ID), each with derived segments, so a dump shows where every step of the
+// pipeline spent its life.
+func (t *Tracer) WorkflowSpans(workflow int) []Trace {
+	var out []Trace
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, tr := range s.traces {
+			if tr.Workflow != workflow {
+				continue
+			}
+			cp := Trace{
+				Job: tr.Job, Tool: tr.Tool, Workflow: tr.Workflow, Step: tr.Step,
+				Events: append([]Event(nil), tr.Events...),
+			}
+			cp.Segments = deriveSegments(cp.Events)
+			out = append(out, cp)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, k int) bool {
+		a, b := submitAt(out[i].Events), submitAt(out[k].Events)
+		if a != b {
+			return a < b
+		}
+		return out[i].Job < out[k].Job
+	})
+	return out
+}
+
+func submitAt(events []Event) time.Duration {
+	for _, e := range events {
+		if e.Name == "submit" {
+			return e.At
+		}
+	}
+	return 0
 }
 
 // Record appends an event to a job's trace and reports what the tracer

@@ -64,6 +64,12 @@ type Request struct {
 	// Submitted is the virtual time the job entered the system, used for
 	// FIFO tie-breaks and preemption deadlines.
 	Submitted time.Duration
+	// Prefer lists device minor IDs already holding the job's input data
+	// (a workflow step's upstream outputs). With Config.LocalityBonus set,
+	// gang allocation discounts these devices' scores so placement lands
+	// where the data lives; without the bonus the hint is ignored and the
+	// configured Scorer decides alone (locality-blind).
+	Prefer []int
 }
 
 // Scorer ranks a candidate device under the current nvidia-smi survey;
@@ -102,6 +108,13 @@ type Config struct {
 	// Scorer ranks free devices for gang allocation; nil defaults to
 	// ProcessCountScorer.
 	Scorer Scorer
+	// LocalityBonus is subtracted from a device's score when the request's
+	// Prefer list names it, pulling workflow steps onto the devices that
+	// already hold their inputs. Zero disables locality-aware placement.
+	// Scores from the built-in scorers are process counts, MiB or percent,
+	// so a bonus comfortably above the scorer's dynamic range (e.g. 1e6)
+	// makes locality dominate; a small bonus only breaks near-ties.
+	LocalityBonus float64
 	// Weights are per-user fair-share weights; absent users weigh 1. A
 	// weight-2 user may hold twice the GPU-seconds of a weight-1 user
 	// before falling behind in the queue order.
@@ -357,6 +370,24 @@ func pickGang(candidates []int, n int, score Scorer, u smi.Usage) []int {
 	return gang
 }
 
+// scorerFor wraps the configured scorer with the request's locality
+// preference: preferred devices' scores drop by LocalityBonus, so pickGang's
+// (score, minor) ordering visits them first when the bonus outweighs the
+// scorer's own signal.
+func (s *Scheduler) scorerFor(req Request) Scorer {
+	if s.cfg.LocalityBonus <= 0 || len(req.Prefer) == 0 {
+		return s.cfg.Scorer
+	}
+	prefer := toSet(req.Prefer)
+	return func(minor int, u smi.Usage) float64 {
+		score := s.cfg.Scorer(minor, u)
+		if prefer[minor] {
+			score -= s.cfg.LocalityBonus
+		}
+		return score
+	}
+}
+
 // reservation is the head-of-line job's claim: the earliest time `at` when
 // `devices` will all be free for it.
 type reservation struct {
@@ -466,7 +497,7 @@ func (s *Scheduler) Cycle(now time.Duration, survey smi.Usage) Decision {
 		case res == nil && len(free) >= e.req.GPUs:
 			// Head-of-line position with room: start on the
 			// best-scored free devices.
-			gang := pickGang(free, e.req.GPUs, s.cfg.Scorer, survey)
+			gang := pickGang(free, e.req.GPUs, s.scorerFor(e.req), survey)
 			if s.gateDenied(e.req.ID, gang, now) {
 				break // stays queued; devices remain free this cycle
 			}
@@ -516,7 +547,7 @@ func (s *Scheduler) Cycle(now time.Duration, survey smi.Usage) Decision {
 				candidates = append(candidates, reserved...)
 			}
 			if len(candidates) >= e.req.GPUs {
-				gang := pickGang(candidates, e.req.GPUs, s.cfg.Scorer, survey)
+				gang := pickGang(candidates, e.req.GPUs, s.scorerFor(e.req), survey)
 				if s.gateDenied(e.req.ID, gang, now) {
 					break
 				}

@@ -323,3 +323,40 @@ func TestMetricsWaitPercentiles(t *testing.T) {
 		t.Fatalf("empty p99 = %v", got)
 	}
 }
+
+func TestLocalityBonusPrefersHintedDevices(t *testing.T) {
+	s := New(Config{LocalityBonus: 1e6})
+	// On an idle 4-GPU cluster every device scores 0 under the process-count
+	// scorer, so without the hint the tie-break picks minors 0..n-1. The
+	// Prefer hint must pull the gang onto the upstream devices instead.
+	mustSubmit(t, s, Request{ID: 1, User: "a", GPUs: 2, Prefer: []int{2, 3}}, 0)
+	dec := s.Cycle(0, usageOf(4))
+	if len(dec.Starts) != 1 {
+		t.Fatalf("starts = %+v, want one", dec.Starts)
+	}
+	if got := dec.Starts[0].Devices; len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("gang = %v, want the preferred devices [2 3]", got)
+	}
+}
+
+func TestLocalityBonusZeroIsBlind(t *testing.T) {
+	s := New(Config{})
+	mustSubmit(t, s, Request{ID: 1, User: "a", GPUs: 1, Prefer: []int{3}}, 0)
+	dec := s.Cycle(0, usageOf(4))
+	if len(dec.Starts) != 1 || len(dec.Starts[0].Devices) != 1 || dec.Starts[0].Devices[0] != 0 {
+		t.Fatalf("starts = %+v, want the tie-break device 0 (hint ignored)", dec.Starts)
+	}
+}
+
+func TestLocalityBonusOnlyBreaksTiesWhenSmall(t *testing.T) {
+	s := New(Config{LocalityBonus: 0.5})
+	// Device 1 is preferred but busy (2 resident processes); a sub-unit
+	// bonus must not outweigh the scorer's real load signal.
+	u := usageOf(2)
+	u.ProcsByGPU[1] = []int{101, 102}
+	mustSubmit(t, s, Request{ID: 1, User: "a", GPUs: 1, Prefer: []int{1}}, 0)
+	dec := s.Cycle(0, u)
+	if len(dec.Starts) != 1 || dec.Starts[0].Devices[0] != 0 {
+		t.Fatalf("starts = %+v, want the idle device 0 over the loaded preferred one", dec.Starts)
+	}
+}

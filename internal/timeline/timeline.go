@@ -88,6 +88,32 @@ func (c *Chart) AddFailures(jobs []*galaxy.Job) {
 	}
 }
 
+// AddWorkflows adds the workflow lanes: one summary lane per workflow
+// spanning submit to finish (labeled with its terminal state), plus one lane
+// per step that actually ran, labeled with tool and placement, so the DAG's
+// dependency staircase is visible next to the device lanes. Unfinished
+// workflows extend to `end` (pass the run's final virtual time).
+func (c *Chart) AddWorkflows(statuses []galaxy.WorkflowStatus, end time.Duration) {
+	for _, ws := range statuses {
+		to := ws.Finished
+		if ws.State == galaxy.StateRunning || to == 0 {
+			to = end
+		}
+		lane := fmt.Sprintf("wf %d %s", ws.ID, ws.Name)
+		c.Add(lane, string(ws.State), ws.Submitted, to)
+		for _, st := range ws.Steps {
+			if st.Finished <= st.Started {
+				continue
+			}
+			label := st.Tool
+			if len(st.Devices) > 0 {
+				label = fmt.Sprintf("%s gpu %v", st.Tool, st.Devices)
+			}
+			c.Add(fmt.Sprintf("wf %d › %s", ws.ID, st.ID), label, st.Started, st.Finished)
+		}
+	}
+}
+
 // AddQuarantine adds one lane per quarantined device; open spans extend to
 // `end` (pass the run's final virtual time).
 func (c *Chart) AddQuarantine(q *faults.Quarantine, end time.Duration) {

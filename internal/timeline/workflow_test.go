@@ -1,0 +1,75 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gyan/internal/galaxy"
+	"gyan/internal/workload"
+)
+
+func TestAddWorkflowsRendersStepLanes(t *testing.T) {
+	g := galaxy.New(nil)
+	if err := g.RegisterDefaultTools(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := workload.GenerateLongReads(workload.LongReadConfig{
+		Name: "wf", Seed: 3, RefLen: 1200, ReadLen: 200, Coverage: 5,
+		SubRate: 0.02, InsRate: 0.02, DelRate: 0.02, BackboneErrorRate: 0.03,
+		NominalBytes: 4 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]string{"scale": "0.001"}
+	wr, err := g.SubmitDAG("pipeline", []galaxy.DAGStep{
+		{ID: "polish", ToolID: "racon", Params: params, Dataset: rs},
+		{ID: "stats", ToolID: "seqstats", After: []string{"polish"}},
+	}, galaxy.DAGOptions{User: "ada"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+	if wr.State() != galaxy.StateOK {
+		t.Fatalf("workflow finished %s: %s", wr.State(), wr.Info())
+	}
+
+	var c Chart
+	end := g.Engine.Clock().Now()
+	c.AddWorkflows([]galaxy.WorkflowStatus{wr.Status()}, end)
+	out := c.Render(60)
+	for _, want := range []string{"wf 1 pipeline", "wf 1 › polish", "wf 1 › stats", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The dependency staircase: the stats step's span must start at or after
+	// the polish step's span ends, which the rendered rows show as the stats
+	// row's first '#' not preceding the polish row's last '#'.
+	lines := strings.Split(out, "\n")
+	rowOf := func(lane string) string {
+		for _, l := range lines {
+			if strings.HasPrefix(l, lane) {
+				return l[strings.Index(l, "|")+1:]
+			}
+		}
+		t.Fatalf("no lane %q:\n%s", lane, out)
+		return ""
+	}
+	polish, stats := rowOf("wf 1 › polish"), rowOf("wf 1 › stats")
+	if strings.Index(stats, "#") < strings.LastIndex(polish, "#") {
+		t.Errorf("stats lane starts before polish ends:\npolish %q\nstats  %q", polish, stats)
+	}
+}
+
+func TestAddWorkflowsExtendsUnfinishedToEnd(t *testing.T) {
+	var c Chart
+	c.AddWorkflows([]galaxy.WorkflowStatus{{
+		ID: 7, Name: "stuck", State: galaxy.StateRunning, Submitted: time.Second,
+	}}, 10*time.Second)
+	out := c.Render(40)
+	if !strings.Contains(out, "wf 7 stuck") || !strings.Contains(out, "running") {
+		t.Errorf("unfinished workflow lane missing:\n%s", out)
+	}
+}
