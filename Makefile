@@ -11,7 +11,7 @@ FUZZ_TARGETS ?= ./internal/toolxml:FuzzParseTool \
                 ./internal/workflow:FuzzBuildDAG
 FUZZTIME     ?= 10s
 
-.PHONY: check build vet test test-race test-crash test-workflow fuzz-short bench bench-dispatch obs-smoke
+.PHONY: check build vet test test-race test-crash test-workflow test-cluster fuzz-short bench bench-dispatch bench-cluster obs-smoke
 
 check: build vet test-race
 
@@ -49,6 +49,17 @@ test-workflow:
 	$(GO) test ./internal/galaxy -run 'TestDAG|TestWorkflow|TestCrashMidWorkflow|TestRecoverRestoresFinishedWorkflow' -v
 	$(GO) test ./internal/experiments -run 'TestGenomicsPipelineLocalityWins' -v
 
+# test-cluster is the multi-handler chaos suite: ring property tests
+# (balance, bounded movement), the lockstep cluster sim (routing, stealing,
+# survey, metrics), the kill -9 chaos scenario (one of three handlers dies
+# with a torn journal tail; zero lost, zero double-run, partition rebalanced
+# across both survivors in seniority order), the Recover rebalance
+# regression, the cluster API, and the quick-mode scaling experiment.
+test-cluster:
+	$(GO) test ./internal/cluster -v
+	$(GO) test ./internal/api -run 'TestCluster' -v
+	$(GO) test ./internal/experiments -run 'TestClusterScaling' -v
+
 # fuzz-short gives each native fuzzer a small deterministic budget — a smoke
 # pass over the seed corpus plus a few seconds of mutation, cheap enough for
 # every CI run.
@@ -77,3 +88,10 @@ bench-dispatch:
 		-out BENCH_dispatch.json \
 		-baseline BENCH_dispatch.baseline.json \
 		-baseline-metric jobs_per_sec_c16_journal
+
+# bench-cluster regenerates the committed BENCH_cluster.json at full scale:
+# the 10k-job mixed workload on 1 vs 3 handlers (the >= 2.4x scaling gate
+# lives inside the experiment) plus the 3000-job kill-one-handler audit.
+bench-cluster:
+	$(GO) run ./cmd/gyanbench -experiment cluster-scaling \
+		-out BENCH_cluster.json

@@ -14,6 +14,14 @@
 //	kill -9 %1
 //	gyan-server -journal /var/lib/gyan/journal -handler main &
 //	curl localhost:8080/api/recovery
+//
+// With -cluster-size N (N > 1) the server boots an in-process N-handler
+// cluster instead — job ownership partitioned over a consistent-hash ring,
+// idle handlers stealing queued work — and serves the cluster API:
+//
+//	gyan-server -cluster-size 3 &
+//	curl localhost:8080/api/cluster
+//	curl -X POST localhost:8080/api/cluster/jobs -d '{"tool":"racon","dataset":"alzheimers_nfl","params":{"scale":"0.01"}}'
 package main
 
 import (
@@ -25,26 +33,75 @@ import (
 	"time"
 
 	"gyan/internal/api"
+	"gyan/internal/cluster"
 	"gyan/internal/core"
 	"gyan/internal/galaxy"
 	"gyan/internal/journal"
+	"gyan/internal/sched"
 	"gyan/internal/workload"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
-		policy     = flag.String("policy", "pid", "multi-GPU allocation policy: pid, memory, utilization")
-		seed       = flag.Uint64("seed", 42, "synthetic dataset seed")
-		journalDir = flag.String("journal", "", "job-state journal directory (empty disables durability)")
-		handler    = flag.String("handler", "main", "handler ID stamped on journal records and leases")
-		leaseTTL   = flag.Duration("lease-ttl", galaxy.DefaultLeaseTTL, "heartbeat lease TTL; a standby may adopt this handler's jobs after it expires")
-		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, mutex profiles)")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		policy      = flag.String("policy", "pid", "multi-GPU allocation policy: pid, memory, utilization")
+		seed        = flag.Uint64("seed", 42, "synthetic dataset seed")
+		journalDir  = flag.String("journal", "", "job-state journal directory (empty disables durability)")
+		handler     = flag.String("handler", "main", "handler ID stamped on journal records and leases")
+		leaseTTL    = flag.Duration("lease-ttl", galaxy.DefaultLeaseTTL, "heartbeat lease TTL; a standby may adopt this handler's jobs after it expires")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, mutex profiles)")
+		clusterSize = flag.Int("cluster-size", 1, "boot an in-process N-handler cluster (>1) instead of a single Galaxy; serves /api/cluster")
+		handlerID   = flag.String("handler-id", "h", "handler ID prefix for cluster members (-cluster-size > 1): IDs are <prefix>0..<prefix>N-1")
 	)
 	flag.Parse()
+	if *clusterSize > 1 {
+		if err := runCluster(*addr, *clusterSize, *handlerID, *seed, *journalDir, *leaseTTL); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(*addr, *policy, *seed, *journalDir, *handler, *leaseTTL, *pprofOn); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runCluster boots -cluster-size handlers in one process — each a full
+// Galaxy with its own engine, scheduler and journal — partitions job
+// ownership across them via the hash ring, and serves the cluster API.
+// With -journal set, every member journals durably under its own
+// subdirectory of that path; without it, journals live in a throwaway
+// temp directory.
+func runCluster(addr string, size int, idPrefix string, seed uint64, journalDir string, leaseTTL time.Duration) error {
+	c, err := cluster.New(cluster.Config{
+		Handlers:              size,
+		BaseID:                idPrefix,
+		Dir:                   journalDir,
+		DisableDurableSubmits: journalDir == "",
+		LeaseTTL:              leaseTTL,
+		Sched:                 sched.Config{Backfill: true},
+	})
+	if err != nil {
+		return err
+	}
+	reads, err := workload.AlzheimersNFL(seed)
+	if err != nil {
+		return err
+	}
+	small, err := workload.AcinetobacterPittii(seed)
+	if err != nil {
+		return err
+	}
+	large, err := workload.KlebsiellaPneumoniae(seed)
+	if err != nil {
+		return err
+	}
+	c.RegisterDataset("alzheimers_nfl", reads)
+	c.RegisterDataset("acinetobacter_pittii", small)
+	c.RegisterDataset("klebsiella_pneumoniae_ksb2", large)
+	s := api.NewClusterServer(c)
+	log.Printf("gyan-server cluster listening on %s (%d handlers %s0..%s%d, journals under %q)",
+		addr, size, idPrefix, idPrefix, size-1, journalDir)
+	return http.ListenAndServe(addr, s.Handler())
 }
 
 func run(addr, policyName string, seed uint64, journalDir, handler string, leaseTTL time.Duration, pprofOn bool) error {

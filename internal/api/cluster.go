@@ -1,0 +1,187 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gyan/internal/cluster"
+)
+
+// ClusterServer exposes an in-process handler cluster over HTTP/JSON — the
+// multi-handler sibling of Server. Submissions are routed by the partition
+// ring to their owning handler and, as with the single-handler API, the
+// virtual-time simulation is driven to completion before responding.
+type ClusterServer struct {
+	mu sync.Mutex
+	c  *cluster.Cluster
+	// horizon bounds how far one request may advance virtual time.
+	horizon time.Duration
+}
+
+// NewClusterServer wraps c. Datasets must be registered on the cluster
+// (cluster.RegisterDataset) before jobs naming them are submitted.
+func NewClusterServer(c *cluster.Cluster) *ClusterServer {
+	return &ClusterServer{c: c, horizon: 24 * time.Hour}
+}
+
+// Handler returns the route table.
+func (s *ClusterServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/version", s.handleVersion)
+	mux.HandleFunc("/api/cluster", s.handleStatus)
+	mux.HandleFunc("/api/cluster/survey", s.handleSurvey)
+	mux.HandleFunc("/api/cluster/jobs", s.handleJobs)
+	mux.HandleFunc("/api/cluster/jobs/", s.handleJob)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *ClusterServer) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"name":    "gyan-cluster",
+		"version": "1.0",
+		"paper":   "GYAN: Accelerating Bioinformatics Tools in Galaxy with GPU-Aware Computation Mapping (IPPS 2021)",
+	})
+}
+
+// handleStatus serves GET /api/cluster: membership, the stripe->handler
+// partition table, and per-handler load/steal/rebalance counters.
+func (s *ClusterServer) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.c.Status())
+}
+
+// handleSurvey serves GET /api/cluster/survey: one nvidia-smi snapshot per
+// live member — the cross-handler device view the stealing pass decides from.
+func (s *ClusterServer) handleSurvey(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.c.Survey())
+}
+
+// clusterSubmitRequest is the POST /api/cluster/jobs body.
+type clusterSubmitRequest struct {
+	Tool       string            `json:"tool"`
+	Params     map[string]string `json:"params"`
+	Dataset    string            `json:"dataset"`
+	Runtime    string            `json:"runtime,omitempty"`
+	User       string            `json:"user,omitempty"`
+	Priority   int               `json:"priority,omitempty"`
+	GPUs       int               `json:"gpus,omitempty"`
+	EstSeconds float64           `json:"est_seconds,omitempty"`
+	// Key pins the routing key (and so the owning partition); absent draws
+	// the next sequential key.
+	Key *uint64 `json:"key,omitempty"`
+}
+
+// clusterJobJSON is the wire form of a routed job: the global key, the
+// handler the job currently lives on, and the job's state there.
+type clusterJobJSON struct {
+	Key     uint64  `json:"key"`
+	Handler string  `json:"handler"`
+	jobJSON         // the handler-local view (ID is handler-local)
+}
+
+func toClusterJobJSON(ref cluster.JobRef, j jobJSON) clusterJobJSON {
+	return clusterJobJSON{Key: ref.Key, Handler: ref.Handler, jobJSON: j}
+}
+
+// handleJobs lists routed jobs (GET) or routes a submission (POST). A POST
+// runs the cluster to drain before responding, so the returned job is
+// terminal and carries its final placement — including any handler it was
+// stolen or rebalanced onto after routing.
+func (s *ClusterServer) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		out := make([]clusterJobJSON, 0)
+		for _, key := range s.c.Keys() {
+			if ref, job, ok := s.c.Lookup(key); ok {
+				out = append(out, toClusterJobJSON(ref, toJobJSON(job)))
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var req clusterSubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad body: %v", err)
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		ref, err := s.c.Submit(req.Tool, req.Params, req.Dataset, cluster.SubmitOptions{
+			Runtime: req.Runtime, User: req.User, Priority: req.Priority,
+			GPUs:       req.GPUs,
+			EstRuntime: time.Duration(req.EstSeconds * float64(time.Second)),
+			Key:        req.Key,
+		})
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.c.Run(s.c.Now() + s.horizon)
+		ref, job, ok := s.c.Lookup(ref.Key)
+		if !ok {
+			writeErr(w, http.StatusInternalServerError, "submitted key %d vanished", ref.Key)
+			return
+		}
+		writeJSON(w, http.StatusCreated, toClusterJobJSON(ref, toJobJSON(job)))
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "GET or POST")
+	}
+}
+
+// handleJob serves GET /api/cluster/jobs/{key} (current binding and state)
+// and DELETE /api/cluster/jobs/{key} (kill wherever the job lives now).
+func (s *ClusterServer) handleJob(w http.ResponseWriter, r *http.Request) {
+	keyText := strings.TrimPrefix(r.URL.Path, "/api/cluster/jobs/")
+	key, err := strconv.ParseUint(keyText, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad job key %q", keyText)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch r.Method {
+	case http.MethodGet:
+		ref, job, ok := s.c.Lookup(key)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no job with key %d", key)
+			return
+		}
+		writeJSON(w, http.StatusOK, toClusterJobJSON(ref, toJobJSON(job)))
+	case http.MethodDelete:
+		if !s.c.KillJob(key) {
+			writeErr(w, http.StatusNotFound, "no live job with key %d", key)
+			return
+		}
+		s.c.Run(s.c.Now() + s.horizon)
+		ref, job, _ := s.c.Lookup(key)
+		writeJSON(w, http.StatusOK, toClusterJobJSON(ref, toJobJSON(job)))
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "GET or DELETE")
+	}
+}
+
+// handleMetrics serves the cluster registry's Prometheus exposition —
+// per-handler labeled series (routing, steals, rebalances, liveness, load).
+func (s *ClusterServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.c.Registry().WritePrometheus(w); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	}
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"gyan/internal/journal"
+)
+
+// The cluster-wide exactly-once audit. PR 3's crash experiment audited one
+// handler's journal; here the unit of identity is the cluster key (local job
+// IDs collide across per-handler journals), and the question is global: did
+// every routed job run to a durable terminal state exactly once, somewhere?
+
+// KeyTrail is everything the audit learned about one cluster key across all
+// journals.
+type KeyTrail struct {
+	// Submits counts durable submit records for the key (one per handler
+	// that ever owned it: the origin plus each thief/heir).
+	Submits int
+	// OKs counts journals whose folded trail ends with the key completed
+	// ok — the double-execution detector: exactly-once means <= 1.
+	OKs int
+	// Terminal reports whether any journal shows a durable terminal state
+	// (ok, error or dead_letter) — the lost-job detector.
+	Terminal bool
+	// StartedOn lists the handlers whose journal shows a start record for
+	// a trail they still own (sorted). Two live handlers starting the same
+	// key means work stealing double-started it.
+	StartedOn []string
+	// Owners lists every handler whose journal folds the key to a
+	// non-terminal, still-owned state (a live claim on the key).
+	Owners []string
+	// Starts records, per handler, the virtual times the key's runs
+	// started (the seniority audit reads these).
+	Starts map[string][]time.Duration
+	// Submitted is the key's original submission time (from its earliest
+	// submit record).
+	Submitted time.Duration
+	// AdoptedFrom lists, per handler, which handler each of that handler's
+	// trails for this key was transferred from ("" for the origin trail).
+	AdoptedFrom map[string]string
+}
+
+// Audit is the cross-journal fold.
+type Audit struct {
+	// Keys maps every cluster key seen in any journal to its trail.
+	Keys map[uint64]*KeyTrail
+	// TornTails lists handlers whose journal replay ended in a torn
+	// record.
+	TornTails []string
+	// Records counts replayed records across all journals.
+	Records int
+}
+
+// Lost returns the keys with no durable terminal state anywhere, sorted.
+func (a *Audit) Lost() []uint64 {
+	var out []uint64
+	for k, t := range a.Keys {
+		if !t.Terminal {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Doubles returns the keys that completed ok in more than one journal,
+// sorted — the double-execution list.
+func (a *Audit) Doubles() []uint64 {
+	var out []uint64
+	for k, t := range a.Keys {
+		if t.OKs > 1 {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AuditJournals replays every handler's journal directory (tolerating torn
+// tails) and folds the streams into per-key trails. Call SyncJournals (or
+// kill/close the handlers) first so buffered records are on disk.
+func AuditJournals(dirs map[string]string) (*Audit, error) {
+	a := &Audit{Keys: make(map[uint64]*KeyTrail)}
+	handlers := make([]string, 0, len(dirs))
+	for h := range dirs {
+		handlers = append(handlers, h)
+	}
+	sort.Strings(handlers)
+	for _, h := range handlers {
+		recs, err := journal.Replay(dirs[h])
+		if err != nil {
+			var cerr *journal.CorruptRecordError
+			if !errors.As(err, &cerr) || cerr.IsSnapshot() {
+				return nil, fmt.Errorf("audit: replay %s: %w", h, err)
+			}
+			a.TornTails = append(a.TornTails, h)
+		}
+		a.Records += len(recs)
+		// Fold this journal per local job ID, then project onto keys.
+		type trail struct {
+			key       uint64
+			routed    bool
+			owner     string
+			state     string // "", "ok", "error", "dead_letter"
+			starts    []time.Duration
+			submitted time.Duration
+			from      string
+		}
+		trails := make(map[int]*trail)
+		var order []int
+		for i := range recs {
+			rec := recs[i]
+			if rec.Job == 0 {
+				continue
+			}
+			t := trails[rec.Job]
+			if t == nil {
+				if rec.Type != journal.TypeSubmit {
+					continue
+				}
+				nt := &trail{owner: rec.Handler, submitted: rec.Submitted}
+				nt.key, nt.routed = keyOfParams(rec.Params)
+				trails[rec.Job] = nt
+				order = append(order, rec.Job)
+				continue
+			}
+			switch rec.Type {
+			case journal.TypeStart:
+				t.starts = append(t.starts, rec.At)
+			case journal.TypeComplete:
+				t.state = rec.State
+			case journal.TypeDeadLetter:
+				t.state = "dead_letter"
+			case journal.TypeAdopt:
+				t.owner = rec.Handler
+				if rec.From != "" && rec.From != h {
+					t.from = rec.From
+				}
+			case journal.TypeResubmit:
+				t.state = ""
+			}
+		}
+		sort.Ints(order)
+		for _, jid := range order {
+			t := trails[jid]
+			if !t.routed {
+				continue
+			}
+			kt := a.Keys[t.key]
+			if kt == nil {
+				kt = &KeyTrail{
+					Starts:      make(map[string][]time.Duration),
+					AdoptedFrom: make(map[string]string),
+					Submitted:   t.submitted,
+				}
+				a.Keys[t.key] = kt
+			}
+			if t.submitted < kt.Submitted {
+				kt.Submitted = t.submitted
+			}
+			kt.Submits++
+			if t.state != "" {
+				kt.Terminal = true
+			}
+			if t.state == "ok" {
+				kt.OKs++
+			}
+			stillOwned := t.owner == h || t.owner == ""
+			if stillOwned && t.state == "" {
+				kt.Owners = append(kt.Owners, h)
+			}
+			if len(t.starts) > 0 && stillOwned {
+				kt.StartedOn = append(kt.StartedOn, h)
+			}
+			if len(t.starts) > 0 {
+				kt.Starts[h] = append(kt.Starts[h], t.starts...)
+			}
+			if t.from != "" {
+				kt.AdoptedFrom[h] = t.from
+			}
+		}
+	}
+	for _, kt := range a.Keys {
+		sort.Strings(kt.StartedOn)
+		sort.Strings(kt.Owners)
+	}
+	return a, nil
+}

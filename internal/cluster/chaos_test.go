@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"gyan/internal/galaxy"
+	"gyan/internal/journal"
+	"gyan/internal/workload"
+)
+
+func itoa(i int) string { return strconv.Itoa(i) }
+
+// galaxyWithJournal builds a standalone journaled handler with the default
+// tools registered (the recover test drives galaxy.Recover directly, below
+// the Cluster layer).
+func galaxyWithJournal(t *testing.T, jr *journal.Journal, id string) *galaxy.Galaxy {
+	t.Helper()
+	g := galaxy.New(nil, galaxy.WithJournal(jr, id))
+	if err := g.RegisterDefaultTools(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func gSubmitOpts(dataset string, delay time.Duration) galaxy.SubmitOptions {
+	return galaxy.SubmitOptions{User: "u", Delay: delay, DatasetName: dataset}
+}
+
+func recoverOpts(rs *workload.ReadSet, filter func(journal.Record) bool) galaxy.RecoverOptions {
+	return galaxy.RecoverOptions{
+		Datasets:     map[string]any{"reads": rs},
+		RestartDelay: 2 * galaxy.DefaultLeaseTTL, // every pre-crash lease expired
+		AdoptExpired: true,
+		AdoptFilter:  filter,
+	}
+}
+
+// TestClusterChaosKillMidWorkload is the PR-3 crash-recovery invariant set,
+// cluster-wide: three handlers serve a mixed arrival stream, one dies kill
+// -9 style mid-workload (buffered journal tail dropped, torn garbage bytes
+// on disk), and after the survivors drain the rebalanced work the
+// cross-journal audit must show
+//
+//   - zero lost jobs: every acked submission reaches a durable terminal
+//     state somewhere,
+//   - zero double executions: no key completes ok in two journals,
+//   - re-starts only explained by the kill: a key that started on two
+//     handlers must count the dead one among them,
+//   - seniority preserved: on each survivor, adopted jobs start in their
+//     original submission order,
+//   - rebalanced, not wholesale-adopted: both survivors receive a share of
+//     the dead partition.
+func TestClusterChaosKillMidWorkload(t *testing.T) {
+	cfg := func(cfg *Config) {
+		cfg.DisableDurableSubmits = false
+		cfg.Journal = journal.Options{SyncEvery: 8}
+		cfg.StealThreshold = 2
+	}
+	c := newTestCluster(t, 3, cfg)
+
+	const total = 240
+	const killAfter = 96 // jobs submitted before the kill lands
+	arrival := func(i int) time.Duration { return time.Duration(i) * 40 * time.Millisecond }
+
+	var rep *RebalanceReport
+	submitted := 0
+	for {
+		for submitted < total && arrival(submitted) <= c.Now()+c.cfg.Tick {
+			scale := "0.002"
+			if submitted%3 == 0 {
+				scale = "0.004"
+			}
+			if _, err := c.Submit("racon", map[string]string{"scale": scale}, "reads",
+				SubmitOptions{User: "chaos"}); err != nil {
+				t.Fatal(err)
+			}
+			submitted++
+		}
+		if rep == nil && submitted >= killAfter {
+			var err error
+			rep, err = c.KillHandler("h1", []byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if busy := c.Step(); !busy && submitted >= total {
+			break
+		}
+		if c.Now() > 6*time.Hour {
+			t.Fatal("workload did not drain")
+		}
+	}
+	if rep == nil {
+		t.Fatal("kill never happened")
+	}
+
+	// The partition was rebalanced across BOTH survivors, not adopted
+	// wholesale by one.
+	if len(rep.Requeued) < 2 {
+		t.Fatalf("dead partition adopted wholesale: requeued=%v", rep.Requeued)
+	}
+	for h, n := range rep.Requeued {
+		if h == "h1" || n == 0 {
+			t.Fatalf("bad rebalance target %q (n=%d): %v", h, n, rep.Requeued)
+		}
+	}
+	if rep.MovedStripes == 0 || !rep.TornTail {
+		t.Fatalf("rebalance report incomplete: %+v", rep)
+	}
+	for _, o := range c.Status().Partition {
+		if o == "h1" {
+			t.Fatal("dead handler still owns stripes")
+		}
+	}
+
+	// Every routed job must be terminal at its current home.
+	for key := uint64(0); key < total; key++ {
+		ref, job, ok := c.Lookup(key)
+		if !ok {
+			t.Fatalf("key %d untracked", key)
+		}
+		if job.State != "ok" {
+			t.Fatalf("key %d on %s: state=%s info=%q", key, ref.Handler, job.State, job.Info)
+		}
+	}
+
+	if err := c.SyncJournals(); err != nil {
+		t.Fatal(err)
+	}
+	audit, err := AuditJournals(c.JournalDirs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tornSeen := false
+	for _, h := range audit.TornTails {
+		if h == "h1" {
+			tornSeen = true
+		}
+	}
+	if !tornSeen {
+		t.Fatalf("dead handler's torn tail not observed: %v", audit.TornTails)
+	}
+	if len(audit.Keys) != total {
+		t.Fatalf("audit saw %d keys, want %d (acked submits must be durable)", len(audit.Keys), total)
+	}
+	if lost := audit.Lost(); len(lost) != 0 {
+		t.Fatalf("%d lost jobs: %v", len(lost), lost)
+	}
+	if dbl := audit.Doubles(); len(dbl) != 0 {
+		t.Fatalf("%d double executions: %v", len(dbl), dbl)
+	}
+	for key, kt := range audit.Keys {
+		if len(kt.StartedOn) > 1 {
+			hasDead := false
+			for _, h := range kt.StartedOn {
+				if h == "h1" {
+					hasDead = true
+				}
+			}
+			if !hasDead {
+				t.Fatalf("key %d started on %v without the dead handler among them", key, kt.StartedOn)
+			}
+		}
+	}
+
+	// Seniority after rebalance: on each survivor, the jobs adopted from
+	// the dead handler start in their original submission order.
+	for _, survivor := range []string{"h0", "h2"} {
+		type adopted struct {
+			key       uint64
+			submitted time.Duration
+			started   time.Duration
+		}
+		var got []adopted
+		for key, kt := range audit.Keys {
+			if kt.AdoptedFrom[survivor] != "h1" {
+				continue
+			}
+			starts := kt.Starts[survivor]
+			if len(starts) == 0 {
+				continue
+			}
+			got = append(got, adopted{key, kt.Submitted, starts[len(starts)-1]})
+		}
+		if len(got) == 0 {
+			continue
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].started < got[j].started })
+		for i := 1; i < len(got); i++ {
+			if got[i].submitted < got[i-1].submitted {
+				t.Fatalf("seniority violated on %s: key %d (submitted %v) started after key %d (submitted %v)",
+					survivor, got[i-1].key, got[i-1].submitted, got[i].key, got[i].submitted)
+			}
+		}
+	}
+}
+
+// TestRecoverRebalancesInsteadOfWholesaleAdoption is the satellite-4
+// regression: galaxy.Recover used to adopt an expired-lease handler's jobs
+// wholesale. With an AdoptFilter wired to the ring, each survivor adopts
+// exactly its partition slice and orphans the rest for its peers; with no
+// filter, the legacy single-standby behavior (adopt everything) still holds.
+func TestRecoverRebalancesInsteadOfWholesaleAdoption(t *testing.T) {
+	// Build the dead handler's journal: 32 routed jobs, one per stripe,
+	// none started.
+	dir := t.TempDir()
+	rs := tinyReads(t)
+	j0, err := journal.Open(dir+"/h0", journal.Options{DurableSubmits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0 := galaxyWithJournal(t, j0, "h0")
+	const jobs = 32
+	for i := 0; i < jobs; i++ {
+		params := map[string]string{"scale": "0.001", KeyParam: itoa(i)}
+		if _, err := g0.Submit("racon", params, rs, gSubmitOpts("reads", time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j0.CrashTorn(nil); err != nil {
+		t.Fatal(err)
+	}
+	recs, rerr := journal.Replay(dir + "/h0")
+
+	ring, err := NewRing(DefaultStripes, []string{"h0", "h1", "h2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring.Remove("h0")
+	expect := map[string]int{}
+	for key := 0; key < jobs; key++ {
+		expect[ring.OwnerOfKey(uint64(key))]++
+	}
+	if expect["h1"] == 0 || expect["h2"] == 0 {
+		t.Fatalf("ring gave a survivor nothing: %v", expect)
+	}
+
+	for _, survivor := range []string{"h1", "h2"} {
+		jr, err := journal.Open(dir+"/"+survivor, journal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := galaxyWithJournal(t, jr, survivor)
+		rep, err := g.Recover(recs, rerr, recoverOpts(rs, AdoptFilterFor(ring, survivor)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Adopted != expect[survivor] {
+			t.Fatalf("%s adopted %d jobs, want its partition slice %d (wholesale=%d)",
+				survivor, rep.Adopted, expect[survivor], jobs)
+		}
+		if rep.Orphaned != jobs-expect[survivor] {
+			t.Fatalf("%s orphaned %d, want %d", survivor, rep.Orphaned, jobs-expect[survivor])
+		}
+		// The adopted set is exactly the ring's slice, not a prefix.
+		for _, rj := range rep.Jobs {
+			want := "orphaned"
+			if ring.OwnerOfKey(uint64(rj.ID-1)) == survivor {
+				want = "adopted"
+			}
+			if rj.Action != want {
+				t.Fatalf("%s: job %d action %q, want %q", survivor, rj.ID, rj.Action, want)
+			}
+		}
+		jr.Close()
+	}
+
+	// Legacy: no filter means wholesale adoption (the single-standby path).
+	jr, err := journal.Open(dir+"/standby", journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := galaxyWithJournal(t, jr, "standby")
+	rep, err := g.Recover(recs, rerr, recoverOpts(rs, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Adopted != jobs || rep.Orphaned != 0 {
+		t.Fatalf("legacy wholesale adoption broken: adopted=%d orphaned=%d", rep.Adopted, rep.Orphaned)
+	}
+	jr.Close()
+}

@@ -1,0 +1,813 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"gyan/internal/galaxy"
+	"gyan/internal/journal"
+	"gyan/internal/obs"
+	"gyan/internal/sched"
+	"gyan/internal/smi"
+)
+
+// KeyParam is the tool-parameter name the cluster threads its global job key
+// through. The key rides the journaled submit record's Params, which is what
+// lets the rebalancer and the chaos audits correlate a job across handlers
+// even though every handler issues its own local job IDs.
+const KeyParam = "cluster_key"
+
+// DefaultStripes matches the galaxy jobTable's stripe count: the unit of
+// ownership the ring partitions.
+const DefaultStripes = 32
+
+// Config shapes a simulated cluster.
+type Config struct {
+	// Handlers is the member count N (>= 1).
+	Handlers int
+	// BaseID prefixes handler IDs: BaseID+"0" .. BaseID+strconv(N-1).
+	// Default "h".
+	BaseID string
+	// Dir is the journal root; handler i journals to Dir/<id>. Empty uses
+	// a temp directory (removed by Close).
+	Dir string
+	// Stripes is the ownership partition count; default DefaultStripes.
+	Stripes int
+	// Tick is the lockstep quantum: engines run independently inside a
+	// tick, and cluster-level work (routing visibility, stealing, kills,
+	// rebalancing, scrapes) happens only at tick boundaries, in member
+	// order — that is what makes an N-handler run deterministic. Default
+	// 500ms of virtual time.
+	Tick time.Duration
+	// StealThreshold is the minimum backlog a victim must carry before an
+	// idle peer steals from it; default 2 (a trivially short queue is
+	// cheaper to drain locally than to move).
+	StealThreshold int
+	// LeaseTTL configures each handler's journal lease heartbeats.
+	LeaseTTL time.Duration
+	// Journal tunes each handler's write-ahead log. DurableSubmits is
+	// forced on for adopt/submit durability unless DisableDurableSubmits.
+	Journal journal.Options
+	// DisableDurableSubmits trades the acked-implies-durable guarantee for
+	// speed (throughput experiments that never crash handlers).
+	DisableDurableSubmits bool
+	// Sched configures each handler's batch scheduler.
+	Sched sched.Config
+	// Tools registers tool bindings on each handler's Galaxy; default
+	// RegisterDefaultTools.
+	Tools func(*galaxy.Galaxy) error
+	// Registry receives the cluster's handler-labeled metrics; default a
+	// fresh registry (see Registry()).
+	Registry *obs.Registry
+}
+
+// SubmitOptions refine a routed submission.
+type SubmitOptions struct {
+	// Delay stages the job's start this far into the virtual future.
+	Delay time.Duration
+	// User, Priority, GPUs, EstRuntime and Runtime pass through to the
+	// owning handler's galaxy.SubmitOptions.
+	User       string
+	Priority   int
+	GPUs       int
+	EstRuntime time.Duration
+	Runtime    string
+	// Key pins the cluster key instead of drawing the next sequential one
+	// (tests use it to aim jobs at a chosen partition).
+	Key *uint64
+}
+
+// JobRef names a routed job: its global key plus its current handler and
+// handler-local ID (both of which change if the job is stolen or
+// rebalanced; Lookup returns the current binding).
+type JobRef struct {
+	Key     uint64 `json:"key"`
+	Handler string `json:"handler"`
+	ID      int    `json:"id"`
+}
+
+// handler is one cluster member.
+type handler struct {
+	id    string
+	g     *galaxy.Galaxy
+	jr    *journal.Journal
+	dir   string
+	alive bool
+	// routed/stolenIn/stolenOut/rebalancedIn count jobs for Status.
+	routed, stolenIn, stolenOut, rebalancedIn uint64
+}
+
+// tracked is the coordinator's view of one routed job.
+type tracked struct {
+	handler string
+	job     *galaxy.Job
+}
+
+// Cluster is N GYAN handlers simulated in one process. Each member is a full
+// galaxy.Galaxy — own discrete-event engine, own GPU node, own batch
+// scheduler, own write-ahead journal — and the Cluster object plays the
+// coordinator: it routes submissions by consistent-hashed key, advances the
+// engines in lockstep ticks, steals queued work for idle GPUs, and
+// rebalances a dead member's partition across the survivors.
+//
+// Submit, KillJob, Survey, Status and the obs registry are safe to call
+// concurrently with Run/Step from other goroutines (the -race hammer does
+// exactly that); Step itself must be driven from a single goroutine.
+type Cluster struct {
+	cfg      Config
+	order    []string
+	handlers map[string]*handler
+	datasets map[string]any
+
+	mu      sync.Mutex
+	ring    *Ring
+	now     time.Duration
+	nextKey uint64
+	assign  map[uint64]string
+	jobs    map[uint64]*tracked
+	steals  uint64
+	tmpDir  string
+
+	reg         *obs.Registry
+	routedVec   obs.CounterVec
+	stealsVec   obs.CounterVec
+	rebalVec    obs.CounterVec
+	upVec       obs.GaugeVec
+	depthVec    obs.GaugeVec
+	runningVec  obs.GaugeVec
+	freeVec     obs.GaugeVec
+	stripesVec  obs.GaugeVec
+	rebalances  uint64
+	lastSurveys map[string]smi.Usage
+}
+
+// New builds and boots a cluster. Every handler starts alive with an empty
+// journal in its own directory.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Handlers < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 handler, got %d", cfg.Handlers)
+	}
+	if cfg.BaseID == "" {
+		cfg.BaseID = "h"
+	}
+	if cfg.Stripes <= 0 {
+		cfg.Stripes = DefaultStripes
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 500 * time.Millisecond
+	}
+	if cfg.StealThreshold <= 0 {
+		cfg.StealThreshold = 2
+	}
+	if cfg.Tools == nil {
+		cfg.Tools = (*galaxy.Galaxy).RegisterDefaultTools
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c := &Cluster{
+		cfg:         cfg,
+		handlers:    make(map[string]*handler, cfg.Handlers),
+		datasets:    make(map[string]any),
+		assign:      make(map[uint64]string),
+		jobs:        make(map[uint64]*tracked),
+		lastSurveys: make(map[string]smi.Usage),
+		reg:         reg,
+	}
+	c.routedVec = reg.CounterVec("gyan_cluster_jobs_routed_total",
+		"Jobs routed to each handler by the partition ring.", "handler")
+	c.stealsVec = reg.CounterVec("gyan_cluster_steals_total",
+		"Jobs moved by work stealing, by thief and victim.", "thief", "victim")
+	c.rebalVec = reg.CounterVec("gyan_cluster_jobs_rebalanced_total",
+		"Jobs re-homed from a dead handler to a survivor.", "from", "to")
+	c.upVec = reg.GaugeVec("gyan_cluster_handler_up",
+		"1 while the handler is alive, 0 after a kill.", "handler")
+	c.depthVec = reg.GaugeVec("gyan_cluster_queue_depth",
+		"Scheduler backlog per handler at last scrape.", "handler")
+	c.runningVec = reg.GaugeVec("gyan_cluster_running",
+		"Granted device gangs per handler at last scrape.", "handler")
+	c.freeVec = reg.GaugeVec("gyan_cluster_free_gpus",
+		"Process-free GPUs per handler at last scrape.", "handler")
+	c.stripesVec = reg.GaugeVec("gyan_cluster_partition_stripes",
+		"Stripes owned per handler.", "handler")
+
+	dir := cfg.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "gyan-cluster-*")
+		if err != nil {
+			return nil, err
+		}
+		dir = d
+		c.tmpDir = d
+	}
+	jopts := cfg.Journal
+	if !cfg.DisableDurableSubmits {
+		jopts.DurableSubmits = true
+	}
+	var ids []string
+	for i := 0; i < cfg.Handlers; i++ {
+		id := cfg.BaseID + strconv.Itoa(i)
+		hdir := filepath.Join(dir, id)
+		jr, err := journal.Open(hdir, jopts)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: open journal for %s: %w", id, err)
+		}
+		gopts := []galaxy.Option{
+			galaxy.WithScheduler(sched.New(cfg.Sched)),
+			galaxy.WithJournal(jr, id),
+		}
+		if cfg.LeaseTTL > 0 {
+			gopts = append(gopts, galaxy.WithLeaseTTL(cfg.LeaseTTL))
+		}
+		g := galaxy.New(nil, gopts...)
+		if err := cfg.Tools(g); err != nil {
+			c.Close()
+			return nil, err
+		}
+		h := &handler{id: id, g: g, jr: jr, dir: hdir, alive: true}
+		c.handlers[id] = h
+		c.order = append(c.order, id)
+		c.upVec.With(id).Set(1)
+		ids = append(ids, id)
+	}
+	ring, err := NewRing(cfg.Stripes, ids)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.ring = ring
+	reg.OnScrape(c.scrape)
+	return c, nil
+}
+
+// Close crashes every live journal (releasing flocks) and removes the temp
+// journal root if New created one.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, id := range c.order {
+		h := c.handlers[id]
+		if h == nil || !h.alive {
+			continue
+		}
+		if err := h.jr.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.tmpDir != "" {
+		if err := os.RemoveAll(c.tmpDir); err != nil && first == nil {
+			first = err
+		}
+		c.tmpDir = ""
+	}
+	return first
+}
+
+// Registry returns the cluster's handler-labeled metrics registry.
+func (c *Cluster) Registry() *obs.Registry { return c.reg }
+
+// Galaxy returns a member's Galaxy (tests and the API server reach through
+// for per-handler views); nil for an unknown ID.
+func (c *Cluster) Galaxy(id string) *galaxy.Galaxy {
+	h := c.handlers[id]
+	if h == nil {
+		return nil
+	}
+	return h.g
+}
+
+// JournalDirs maps each handler ID to its journal directory (the audit
+// surface: see AuditJournals).
+func (c *Cluster) JournalDirs() map[string]string {
+	out := make(map[string]string, len(c.order))
+	for _, id := range c.order {
+		out[id] = c.handlers[id].dir
+	}
+	return out
+}
+
+// Handlers returns the member IDs in boot order (dead ones included).
+func (c *Cluster) Handlers() []string { return append([]string(nil), c.order...) }
+
+// RegisterDataset names a payload for routed submissions. Rebalancing
+// re-resolves datasets by name from this registry (payloads never touch a
+// journal), so jobs must be submitted with a registered name.
+func (c *Cluster) RegisterDataset(name string, payload any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.datasets[name] = payload
+}
+
+// Now returns the cluster's lockstep virtual time.
+func (c *Cluster) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Submit routes one tool execution: the job draws a global key, the key's
+// stripe picks the owning handler via the ring, and the job lands in that
+// handler's galaxy with the key threaded through its journaled params.
+func (c *Cluster) Submit(tool string, params map[string]string, datasetName string, opts SubmitOptions) (JobRef, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, ok := c.datasets[datasetName]
+	if !ok {
+		return JobRef{}, fmt.Errorf("cluster: unknown dataset %q", datasetName)
+	}
+	var key uint64
+	if opts.Key != nil {
+		key = *opts.Key
+		if _, dup := c.assign[key]; dup {
+			return JobRef{}, fmt.Errorf("cluster: key %d already in use", key)
+		}
+		if key >= c.nextKey {
+			c.nextKey = key + 1
+		}
+	} else {
+		key = c.nextKey
+		c.nextKey++
+	}
+	owner := c.ring.OwnerOfKey(key)
+	h := c.handlers[owner]
+	if h == nil || !h.alive {
+		return JobRef{}, fmt.Errorf("cluster: ring owner %q for key %d is not alive", owner, key)
+	}
+	p := make(map[string]string, len(params)+1)
+	for k, v := range params {
+		p[k] = v
+	}
+	p[KeyParam] = strconv.FormatUint(key, 10)
+	job, err := h.g.Submit(tool, p, ds, galaxy.SubmitOptions{
+		Delay: opts.Delay, Runtime: opts.Runtime, User: opts.User,
+		Priority: opts.Priority, GPUs: opts.GPUs, EstRuntime: opts.EstRuntime,
+		DatasetName: datasetName,
+	})
+	if err != nil {
+		return JobRef{}, err
+	}
+	c.assign[key] = owner
+	c.jobs[key] = &tracked{handler: owner, job: job}
+	h.routed++
+	c.routedVec.With(owner).Inc()
+	return JobRef{Key: key, Handler: owner, ID: job.ID}, nil
+}
+
+// Lookup returns the current binding of a key: which handler owns it and a
+// snapshot pointer to its live job there.
+func (c *Cluster) Lookup(key uint64) (JobRef, *galaxy.Job, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tr := c.jobs[key]
+	if tr == nil {
+		return JobRef{}, nil, false
+	}
+	return JobRef{Key: key, Handler: tr.handler, ID: tr.job.ID}, tr.job, true
+}
+
+// Keys returns every routed cluster key in ascending order.
+func (c *Cluster) Keys() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint64, 0, len(c.jobs))
+	for k := range c.jobs {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// KillJob cancels a routed job wherever it currently lives (a no-op once
+// terminal; a stolen job's stale binding is refreshed first).
+func (c *Cluster) KillJob(key uint64) bool {
+	c.mu.Lock()
+	tr := c.jobs[key]
+	if tr == nil {
+		c.mu.Unlock()
+		return false
+	}
+	h := c.handlers[tr.handler]
+	job := tr.job
+	c.mu.Unlock()
+	if h == nil || !h.alive {
+		return false
+	}
+	h.g.Kill(job)
+	return true
+}
+
+// Step advances the cluster by one lockstep tick: every live engine drains
+// its events up to the tick boundary, clocks are re-aligned, then the
+// coordinator runs one stealing pass. Returns whether any live handler
+// still has pending events or backlog (i.e. whether another tick could make
+// progress).
+func (c *Cluster) Step() bool {
+	c.mu.Lock()
+	target := c.now + c.cfg.Tick
+	live := c.liveLocked()
+	c.mu.Unlock()
+	for _, h := range live {
+		h.g.Engine.RunUntil(target)
+		h.g.Engine.Clock().AdvanceTo(target)
+	}
+	c.mu.Lock()
+	c.now = target
+	c.mu.Unlock()
+	c.stealPass(target)
+	busy := false
+	for _, h := range live {
+		if h.g.Engine.Pending() > 0 || h.g.QueuedBacklog() > 0 {
+			busy = true
+			break
+		}
+	}
+	return busy
+}
+
+// Run drives ticks until the cluster drains or virtual time passes horizon,
+// and returns the final virtual time.
+func (c *Cluster) Run(horizon time.Duration) time.Duration {
+	for c.Step() {
+		if c.Now() >= horizon {
+			break
+		}
+	}
+	return c.Now()
+}
+
+func (c *Cluster) liveLocked() []*handler {
+	out := make([]*handler, 0, len(c.order))
+	for _, id := range c.order {
+		if h := c.handlers[id]; h.alive {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// stealPass runs one work-stealing round at a tick boundary. A handler with
+// process-free GPUs (per its own nvidia-smi survey) and an empty queue
+// steals from the live peer with the deepest backlog, provided that backlog
+// clears the threshold. Stolen jobs are the victim's juniors; each lands on
+// the thief re-journaled under the thief's epoch with its original
+// submission time (seniority), and the coordinator re-homes the key.
+func (c *Cluster) stealPass(now time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	live := c.liveLocked()
+	if len(live) < 2 {
+		return
+	}
+	// One survey + backlog reading per handler per tick, in member order:
+	// the aggregated cross-handler view steals are decided from.
+	free := make(map[string]int, len(live))
+	depth := make(map[string]int, len(live))
+	for _, h := range live {
+		u := smi.UsageFromReport(smi.Snapshot(h.g.Cluster, now))
+		c.lastSurveys[h.id] = u
+		free[h.id] = len(u.AvailableGPUs)
+		depth[h.id] = h.g.QueuedBacklog()
+	}
+	for _, thief := range live {
+		if free[thief.id] == 0 || depth[thief.id] > 0 {
+			continue
+		}
+		var victim *handler
+		for _, v := range live {
+			if v == thief || depth[v.id] < c.cfg.StealThreshold {
+				continue
+			}
+			if victim == nil || depth[v.id] > depth[victim.id] {
+				victim = v
+			}
+		}
+		if victim == nil {
+			continue
+		}
+		take := free[thief.id]
+		if take > depth[victim.id] {
+			take = depth[victim.id]
+		}
+		moved := victim.g.DetachQueued(take, thief.id)
+		for _, t := range moved {
+			job, err := thief.g.AcceptTransfer(t)
+			if err != nil {
+				// Registry mismatch between members; count the job against
+				// the victim as errored rather than losing it silently.
+				continue
+			}
+			victim.stolenOut++
+			thief.stolenIn++
+			c.steals++
+			c.stealsVec.With(thief.id, victim.id).Inc()
+			depth[victim.id]--
+			if key, ok := keyOfParams(t.Params); ok {
+				c.assign[key] = thief.id
+				c.jobs[key] = &tracked{handler: thief.id, job: job}
+			}
+		}
+		free[thief.id] -= len(moved)
+	}
+}
+
+// keyOfParams extracts the cluster key a routed submission carries.
+func keyOfParams(params map[string]string) (uint64, bool) {
+	s, ok := params[KeyParam]
+	if !ok {
+		return 0, false
+	}
+	key, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return key, true
+}
+
+// RebalanceReport describes how a dead handler's partition was spread over
+// the survivors.
+type RebalanceReport struct {
+	// Handler is the dead member; MovedStripes how many ring stripes it
+	// gave up.
+	Handler      string `json:"handler"`
+	MovedStripes int    `json:"moved_stripes"`
+	// Records is the dead journal's replayed record count; TornTail is
+	// true when the replay ended in a torn record (the kill -9 artifact).
+	Records  int  `json:"records"`
+	TornTail bool `json:"torn_tail"`
+	// Requeued counts re-homed jobs per survivor; TerminalKept the jobs
+	// already durably terminal (nothing to do); SkippedMoved the keys the
+	// journal still listed but the coordinator had already re-homed
+	// (stolen away before the kill).
+	Requeued     map[string]int `json:"requeued"`
+	TerminalKept int            `json:"terminal_kept"`
+	SkippedMoved int            `json:"skipped_moved"`
+}
+
+// KillHandler kills a member the way kill -9 does: its journal buffer is
+// dropped on the floor (optionally with torn garbage bytes appended, the
+// mid-write artifact), its flock is released, and its engine never runs
+// again. The ring then drops the member — moving only its stripes — and the
+// coordinator replays the dead journal and re-homes every non-terminal job
+// the dead member still owned to that key's NEW ring owner, at original
+// seniority. The partition is thereby rebalanced across all survivors
+// rather than adopted wholesale by one.
+func (c *Cluster) KillHandler(id string, torn []byte) (*RebalanceReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.handlers[id]
+	if h == nil {
+		return nil, fmt.Errorf("cluster: unknown handler %q", id)
+	}
+	if !h.alive {
+		return nil, fmt.Errorf("cluster: handler %q is already dead", id)
+	}
+	if len(c.liveLocked()) < 2 {
+		return nil, errors.New("cluster: refusing to kill the last live handler")
+	}
+	h.alive = false
+	c.upVec.With(id).Set(0)
+	if err := h.jr.CrashTorn(torn); err != nil {
+		return nil, err
+	}
+	moved := c.ring.Remove(id)
+	rep := &RebalanceReport{
+		Handler:      id,
+		MovedStripes: len(moved),
+		TornTail:     len(torn) > 0,
+		Requeued:     make(map[string]int),
+	}
+
+	recs, rerr := journal.Replay(h.dir)
+	if rerr != nil {
+		var cerr *journal.CorruptRecordError
+		if !errors.As(rerr, &cerr) || cerr.IsSnapshot() {
+			return nil, fmt.Errorf("cluster: replaying dead handler %q: %w", id, rerr)
+		}
+		rep.TornTail = true
+	}
+	rep.Records = len(recs)
+
+	// Fold the dead journal into per-job ownership and terminal state.
+	type trail struct {
+		submit   journal.Record
+		owner    string
+		terminal bool
+	}
+	trails := make(map[int]*trail)
+	var order []int
+	for i := range recs {
+		rec := recs[i]
+		if rec.Job == 0 {
+			continue
+		}
+		t := trails[rec.Job]
+		if t == nil {
+			if rec.Type != journal.TypeSubmit {
+				continue
+			}
+			trails[rec.Job] = &trail{submit: rec, owner: rec.Handler}
+			order = append(order, rec.Job)
+			continue
+		}
+		switch rec.Type {
+		case journal.TypeComplete, journal.TypeDeadLetter:
+			t.terminal = true
+		case journal.TypeAdopt:
+			t.owner = rec.Handler
+		case journal.TypeResubmit:
+			t.terminal = false
+		}
+	}
+	// Re-home in local-ID order: the engine's FIFO tie-break plus the
+	// preserved submission times keep seniority intact on each survivor.
+	sort.Ints(order)
+	for _, jid := range order {
+		t := trails[jid]
+		if t.terminal {
+			rep.TerminalKept++
+			continue
+		}
+		if t.owner != id {
+			continue // stolen away before the kill; it lives elsewhere
+		}
+		key, ok := keyOfParams(t.submit.Params)
+		if !ok {
+			continue // not a routed job
+		}
+		if c.assign[key] != id {
+			// The coordinator already re-homed this key (a steal the dead
+			// journal recorded as still-owned would double-run it).
+			rep.SkippedMoved++
+			continue
+		}
+		heir := c.ring.OwnerOfKey(key)
+		sh := c.handlers[heir]
+		if sh == nil || !sh.alive {
+			return nil, fmt.Errorf("cluster: ring owner %q for key %d is dead", heir, key)
+		}
+		sub := t.submit
+		job, err := sh.g.AcceptTransfer(galaxy.TransferredJob{
+			From: id, FromJob: jid, ToolID: sub.Tool, Params: sub.Params,
+			Dataset: c.datasets[sub.Dataset], DatasetName: sub.Dataset,
+			Runtime: sub.Runtime, User: sub.User, Priority: sub.Priority,
+			GPUs: sub.GPUs, EstRuntime: sub.EstRuntime, Submitted: sub.Submitted,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: re-homing key %d to %q: %w", key, heir, err)
+		}
+		c.assign[key] = heir
+		c.jobs[key] = &tracked{handler: heir, job: job}
+		sh.rebalancedIn++
+		c.rebalances++
+		rep.Requeued[heir]++
+		c.rebalVec.With(id, heir).Inc()
+	}
+	return rep, nil
+}
+
+// SyncJournals flushes every live handler's journal buffer to disk so an
+// audit replay sees the full record stream.
+func (c *Cluster) SyncJournals() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.order {
+		h := c.handlers[id]
+		if !h.alive {
+			continue
+		}
+		if err := h.jr.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AdoptFilterFor returns a galaxy.RecoverOptions.AdoptFilter that admits
+// only the jobs whose cluster key the ring assigns to `self`: the hook that
+// turns galaxy.Recover's wholesale expired-lease adoption into a
+// partition-aware rebalance when several survivors recover the same dead
+// journal. Jobs without a cluster key (legacy single-handler submissions)
+// are admitted, preserving the old behavior for them.
+func AdoptFilterFor(r *Ring, self string) func(journal.Record) bool {
+	return func(submit journal.Record) bool {
+		key, ok := keyOfParams(submit.Params)
+		if !ok {
+			return true
+		}
+		return r.OwnerOfKey(key) == self
+	}
+}
+
+// HandlerStatus is one member's row in Status.
+type HandlerStatus struct {
+	ID           string `json:"id"`
+	Alive        bool   `json:"alive"`
+	Stripes      int    `json:"stripes"`
+	QueueDepth   int    `json:"queue_depth"`
+	Running      int    `json:"running"`
+	FreeGPUs     int    `json:"free_gpus"`
+	GPUs         int    `json:"gpus"`
+	Routed       uint64 `json:"routed"`
+	StolenIn     uint64 `json:"stolen_in"`
+	StolenOut    uint64 `json:"stolen_out"`
+	RebalancedIn uint64 `json:"rebalanced_in"`
+	JournalDir   string `json:"journal_dir"`
+}
+
+// Status is the cluster's membership and partition view (the /api/cluster
+// payload).
+type Status struct {
+	Handlers   []HandlerStatus `json:"handlers"`
+	Stripes    int             `json:"stripes"`
+	Partition  []string        `json:"partition"`
+	NowSeconds float64         `json:"now_seconds"`
+	Steals     uint64          `json:"steals"`
+	Rebalances uint64          `json:"rebalances"`
+	Jobs       uint64          `json:"jobs"`
+}
+
+// Status reports membership, the stripe->handler partition table, and
+// per-handler load/steal/rebalance counters.
+func (c *Cluster) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		Stripes:    c.cfg.Stripes,
+		Partition:  c.ring.Assignment(),
+		NowSeconds: c.now.Seconds(),
+		Steals:     c.steals,
+		Rebalances: c.rebalances,
+		Jobs:       c.nextKey,
+	}
+	counts := c.ring.Counts()
+	for _, id := range c.order {
+		h := c.handlers[id]
+		hs := HandlerStatus{
+			ID: id, Alive: h.alive, Stripes: counts[id],
+			Routed: h.routed, StolenIn: h.stolenIn, StolenOut: h.stolenOut,
+			RebalancedIn: h.rebalancedIn, JournalDir: h.dir,
+			GPUs: h.g.Cluster.DeviceCount(),
+		}
+		if h.alive {
+			hs.QueueDepth = h.g.QueuedBacklog()
+			hs.Running = h.g.RunningGangs()
+			hs.FreeGPUs = len(h.g.Cluster.AvailableMinors())
+		}
+		st.Handlers = append(st.Handlers, hs)
+	}
+	return st
+}
+
+// HandlerSurvey is one member's device view in the aggregated cluster
+// survey.
+type HandlerSurvey struct {
+	Handler string     `json:"handler"`
+	Alive   bool       `json:"alive"`
+	Report  smi.Report `json:"report"`
+}
+
+// Survey aggregates an nvidia-smi snapshot from every live member — the
+// cross-handler device view the stealing pass decides from, exposed for the
+// API and the experiments.
+func (c *Cluster) Survey() []HandlerSurvey {
+	c.mu.Lock()
+	now := c.now
+	live := make([]*handler, 0, len(c.order))
+	for _, id := range c.order {
+		live = append(live, c.handlers[id])
+	}
+	c.mu.Unlock()
+	out := make([]HandlerSurvey, 0, len(live))
+	for _, h := range live {
+		hs := HandlerSurvey{Handler: h.id, Alive: h.alive}
+		if h.alive {
+			hs.Report = smi.Snapshot(h.g.Cluster, now)
+		}
+		out = append(out, hs)
+	}
+	return out
+}
+
+// scrape mirrors per-handler load into the labeled gauges at registry
+// scrape time.
+func (c *Cluster) scrape() {
+	c.mu.Lock()
+	live := c.liveLocked()
+	counts := c.ring.Counts()
+	c.mu.Unlock()
+	for _, h := range live {
+		c.depthVec.With(h.id).Set(float64(h.g.QueuedBacklog()))
+		c.runningVec.With(h.id).Set(float64(h.g.RunningGangs()))
+		c.freeVec.With(h.id).Set(float64(len(h.g.Cluster.AvailableMinors())))
+		c.stripesVec.With(h.id).Set(float64(counts[h.id]))
+	}
+}

@@ -10,8 +10,8 @@ func quick() Options { return Options{Seed: 42, Quick: true} }
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ablation-banding", "ablation-energy", "ablation-hardware",
 		"ablation-load", "ablation-multigpu", "ablation-policy", "ablation-window",
-		"case1", "case2", "case3", "case4", "chaos-dispatch", "crash-recovery",
-		"dispatch-throughput",
+		"case1", "case2", "case3", "case4", "chaos-dispatch", "cluster-scaling",
+		"crash-recovery", "dispatch-throughput",
 		"fig10", "fig11", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "genomics-pipeline", "journal-overhead", "polish", "related-pypaswas",
 		"sched-backfill"}

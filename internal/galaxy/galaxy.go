@@ -374,6 +374,15 @@ type SubmitOptions struct {
 	// observability (zero/empty outside workflows).
 	wfID   int
 	wfStep string
+	// submittedAt backdates the job's submission time (cluster transfers:
+	// a stolen or rebalanced job keeps the seniority it earned on its
+	// original handler). Zero means "now". The journal record's At stays at
+	// the real append time so the on-disk stream remains time-ordered.
+	submittedAt time.Duration
+	// transferFrom names the handler a transferred job arrived from; when
+	// set, the submit record is chased by an adopt record so the journal
+	// trail shows provenance (see AcceptTransfer).
+	transferFrom string
 }
 
 // maxResubmits bounds resubmission chains.
@@ -410,6 +419,7 @@ func (g *Galaxy) submitJob(toolID string, params map[string]string, dataset any,
 			return nil, fmt.Errorf("galaxy: tool %q has no %s container", toolID, opts.Runtime)
 		}
 	}
+	now := g.Engine.Clock().Now()
 	job := &Job{
 		ID:        int(g.nextID.Add(1)),
 		ToolID:    toolID,
@@ -418,13 +428,16 @@ func (g *Galaxy) submitJob(toolID string, params map[string]string, dataset any,
 		Runtime:   opts.Runtime,
 		User:      userOrAnonymous(opts.User),
 		State:     StateQueued,
-		Submitted: g.Engine.Clock().Now(),
+		Submitted: now,
+	}
+	if opts.submittedAt != 0 {
+		job.Submitted = opts.submittedAt
 	}
 	job.datasetName = opts.DatasetName
 	job.WorkflowID = opts.wfID
 	job.StepID = opts.wfStep
 	job.submit = journal.Record{
-		Type: journal.TypeSubmit, At: job.Submitted, Handler: g.handlerID,
+		Type: journal.TypeSubmit, At: now, Handler: g.handlerID,
 		Job: job.ID, Tool: toolID, User: job.User, Params: params,
 		Dataset: opts.DatasetName, Runtime: opts.Runtime,
 		Priority: opts.Priority, GPUs: opts.GPUs, EstRuntime: opts.EstRuntime,
@@ -435,6 +448,12 @@ func (g *Galaxy) submitJob(toolID string, params map[string]string, dataset any,
 	// and the logJournal epoch bump after it invalidates cached snapshots.
 	g.jobs.insert(job)
 	g.logJournal(job.submit)
+	if opts.transferFrom != "" {
+		g.logJournal(journal.Record{
+			Type: journal.TypeAdopt, At: now, Job: job.ID,
+			From: opts.transferFrom, Msg: "transferred in",
+		})
+	}
 	g.Engine.After(opts.Delay, func(now time.Duration) {
 		g.startJob(job, binding, opts, now)
 	})

@@ -28,6 +28,12 @@ const (
 	// fault, or a transient one with no retry budget left. Dead-lettered jobs
 	// keep their full failure log for post-mortem (see Job.Failures).
 	StateDeadLetter JobState = "dead_letter"
+	// StateStolen marks a queued job handed to another handler by the
+	// cluster's work-stealing pass (DetachQueued). The job is terminal on
+	// this handler — it runs to completion under the thief's epoch — and
+	// Job.owner records who took it, so both the live state and the
+	// journaled adopt record agree on ownership.
+	StateStolen JobState = "stolen"
 )
 
 // Job is one submitted tool execution.
@@ -165,9 +171,11 @@ func (j *Job) QueueWait() time.Duration {
 	return j.Started - j.Submitted
 }
 
-// Done reports whether the job reached a terminal state.
+// Done reports whether the job reached a terminal state. A stolen job is
+// terminal here: its lifecycle continues on the handler that took it.
 func (j *Job) Done() bool {
-	return j.State == StateOK || j.State == StateError || j.State == StateDeadLetter
+	return j.State == StateOK || j.State == StateError || j.State == StateDeadLetter ||
+		j.State == StateStolen
 }
 
 // Attempt returns the job's current 1-based dispatch attempt: one more than

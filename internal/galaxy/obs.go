@@ -49,6 +49,7 @@ func (g *Galaxy) SurveyCacheStats() (hits, misses, invalidations int) {
 // always exposes a full (if zero) series set.
 var jobStates = []JobState{
 	StateNew, StateQueued, StateRunning, StateOK, StateError, StateDeadLetter,
+	StateStolen,
 }
 
 // installObsScrape registers the engine's scrape-time mirrors. It runs once

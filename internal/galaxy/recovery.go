@@ -298,6 +298,16 @@ type RecoverOptions struct {
 	// its jobs. Zero falls back to virtual-time expiry (deterministic
 	// experiments).
 	WallNow int64
+	// AdoptFilter, when set, is consulted with a foreign job's submit
+	// record before an expired-lease adoption: return false and the job is
+	// left orphaned for another survivor instead of adopted here. This is
+	// the partition-rebalancer hook — in a multi-handler cluster each
+	// survivor adopts only the slice of the dead handler's jobs that the
+	// hash ring now assigns to it (see internal/cluster.AdoptFilter), so a
+	// dead partition is spread across survivors rather than adopted
+	// wholesale by whichever handler recovers first. Nil preserves the
+	// legacy single-standby behavior: adopt everything whose lease expired.
+	AdoptFilter func(submit journal.Record) bool
 }
 
 // jobHistory is one job's folded record trail.
@@ -496,7 +506,13 @@ func (g *Galaxy) Recover(recs []journal.Record, replayErr error, opts RecoverOpt
 		if foreign {
 			li, seen := rep.Leases[owner]
 			live := seen && !li.Expired
-			if live || !opts.AdoptExpired {
+			adopt := !live && opts.AdoptExpired
+			if adopt && opts.AdoptFilter != nil && !opts.AdoptFilter(h.submit) {
+				// The partition rebalancer assigned this job to a different
+				// survivor; leave it orphaned rather than adopting wholesale.
+				adopt = false
+			}
+			if !adopt {
 				job.State = StateQueued
 				job.owner = owner
 				state := "expired"

@@ -1,0 +1,176 @@
+package galaxy
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gyan/internal/journal"
+)
+
+// Cross-handler job transfer: the work-stealing half of the cluster layer
+// (internal/cluster). A transfer moves a *queued, never-started* job from one
+// Galaxy instance (the victim, whose GPUs are backlogged) to another (the
+// thief, whose GPUs idle). Both sides journal the move so exactly-once
+// survives a crash on either end:
+//
+//   - the victim marks the job StateStolen and appends an adopt record naming
+//     the thief — replaying the victim's journal shows the job owned by the
+//     thief, so a victim restart never re-runs it;
+//   - the thief appends a fresh submit record (owner: thief) carrying the
+//     job's ORIGINAL submission time, chased by an adopt record naming the
+//     victim — seniority is preserved under the thief's scheduler and the
+//     trail shows provenance.
+//
+// Under Options.DurableSubmits both records are fsynced (adopt records are on
+// the durable list precisely for ownership moves like this one).
+
+// TransferredJob is a queued job detached from one handler for resubmission
+// on another. It carries everything AcceptTransfer needs to rebuild the
+// submission: the dispatch inputs, the scheduler request shape, and the
+// original submission time (the seniority lever).
+type TransferredJob struct {
+	// From is the handler the job left.
+	From string
+	// FromJob is the job's ID on that handler (for audit trails; the
+	// accepting handler issues its own ID).
+	FromJob int
+	// ToolID, Params, Dataset, DatasetName and Runtime are the original
+	// dispatch inputs.
+	ToolID      string
+	Params      map[string]string
+	Dataset     any
+	DatasetName string
+	Runtime     string
+	// User, Priority, GPUs and EstRuntime reproduce the scheduler request.
+	User       string
+	Priority   int
+	GPUs       int
+	EstRuntime time.Duration
+	// Submitted is the job's original submission time on the victim's
+	// (lockstep-aligned) clock.
+	Submitted time.Duration
+}
+
+// DetachQueued removes up to max scheduler-parked jobs from this Galaxy and
+// returns them packaged for AcceptTransfer on the handler named by `to`.
+// Only safely movable work is taken: jobs that are queued (never started),
+// not killed, locally owned, and free of cross-handler entanglements
+// (workflow steps and destination-pinned resubmissions stay put). The
+// youngest jobs go first — stealing juniors costs the least seniority.
+//
+// Each detached job is marked StateStolen (terminal here) and an adopt
+// record naming the thief is journaled, so the victim's journal and live
+// state agree that the job now belongs to `to`.
+func (g *Galaxy) DetachQueued(max int, to string) []TransferredJob {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.sched == nil || max <= 0 || to == "" || to == g.handlerID {
+		return nil
+	}
+	var cands []*schedEntry
+	for _, e := range g.schedJobs {
+		j := e.pending.job
+		if j.State != StateQueued || j.killed || j.owner != "" {
+			continue
+		}
+		o := e.pending.opts
+		if o.wfID != 0 || o.resubmitDest != "" || o.stageCost != nil {
+			continue
+		}
+		cands = append(cands, e)
+	}
+	// Juniors first: latest submission, ties broken by highest ID.
+	sort.Slice(cands, func(a, b int) bool {
+		ja, jb := cands[a].pending.job, cands[b].pending.job
+		if ja.Submitted != jb.Submitted {
+			return ja.Submitted > jb.Submitted
+		}
+		return ja.ID > jb.ID
+	})
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	now := g.Engine.Clock().Now()
+	out := make([]TransferredJob, 0, len(cands))
+	for _, e := range cands {
+		job := e.pending.job
+		g.sched.Remove(job.ID)
+		delete(g.schedJobs, job.ID)
+		job.State = StateStolen
+		job.owner = to
+		job.Finished = now
+		job.Info = fmt.Sprintf("stolen by handler %q", to)
+		g.logJournal(journal.Record{
+			Type: journal.TypeAdopt, At: now, Job: job.ID,
+			Handler: to, From: g.handlerID, Msg: "work steal",
+		})
+		sub := job.Submitted
+		if sub == 0 {
+			// A true t=0 submission must not collapse into the thief's
+			// zero-means-now default and lose its seniority.
+			sub = time.Nanosecond
+		}
+		out = append(out, TransferredJob{
+			From:        g.handlerID,
+			FromJob:     job.ID,
+			ToolID:      job.ToolID,
+			Params:      job.Params,
+			Dataset:     job.Dataset,
+			DatasetName: job.datasetName,
+			Runtime:     job.Runtime,
+			User:        job.User,
+			Priority:    e.req.Priority,
+			GPUs:        e.req.GPUs,
+			EstRuntime:  e.req.EstRuntime,
+			Submitted:   sub,
+		})
+	}
+	if len(out) > 0 {
+		g.recordQueueLocked(now)
+	}
+	return out
+}
+
+// AcceptTransfer resubmits a job detached from another handler on this one.
+// The job gets a fresh local ID and run epoch but keeps its original
+// submission time, so the batch scheduler slots it by the seniority it
+// earned on its previous handler. The submit record is journaled under this
+// handler's epoch (chased by an adopt record naming the source), which makes
+// the transfer exactly-once across crashes on either side.
+func (g *Galaxy) AcceptTransfer(t TransferredJob) (*Job, error) {
+	g.snapGate.RLock()
+	defer g.snapGate.RUnlock()
+	sub := t.Submitted
+	if sub == 0 {
+		sub = time.Nanosecond
+	}
+	return g.submitJob(t.ToolID, t.Params, t.Dataset, SubmitOptions{
+		Runtime: t.Runtime, User: t.User, Priority: t.Priority,
+		GPUs: t.GPUs, EstRuntime: t.EstRuntime, DatasetName: t.DatasetName,
+		submittedAt: sub, transferFrom: t.From,
+	})
+}
+
+// QueuedBacklog returns how many jobs are parked in the batch scheduler's
+// queue awaiting a device gang (zero without WithScheduler). The cluster's
+// work-stealing pass uses it to find the most-backlogged peer.
+func (g *Galaxy) QueuedBacklog() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.sched == nil {
+		return 0
+	}
+	return g.sched.QueueDepth()
+}
+
+// RunningGangs returns how many scheduler-granted jobs currently hold
+// devices (zero without WithScheduler).
+func (g *Galaxy) RunningGangs() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.sched == nil {
+		return 0
+	}
+	return g.sched.RunningCount()
+}
