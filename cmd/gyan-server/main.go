@@ -52,10 +52,11 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, mutex profiles)")
 		clusterSize = flag.Int("cluster-size", 1, "boot an in-process N-handler cluster (>1) instead of a single Galaxy; serves /api/cluster")
 		handlerID   = flag.String("handler-id", "h", "handler ID prefix for cluster members (-cluster-size > 1): IDs are <prefix>0..<prefix>N-1")
+		memberTTL   = flag.Duration("member-ttl", 0, "cluster membership lease TTL; a member whose renewals lapse this long is declared dead (0: 6 ticks)")
 	)
 	flag.Parse()
 	if *clusterSize > 1 {
-		if err := runCluster(*addr, *clusterSize, *handlerID, *seed, *journalDir, *leaseTTL); err != nil {
+		if err := runCluster(*addr, *clusterSize, *handlerID, *seed, *journalDir, *leaseTTL, *memberTTL); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -71,13 +72,15 @@ func main() {
 // With -journal set, every member journals durably under its own
 // subdirectory of that path; without it, journals live in a throwaway
 // temp directory.
-func runCluster(addr string, size int, idPrefix string, seed uint64, journalDir string, leaseTTL time.Duration) error {
+func runCluster(addr string, size int, idPrefix string, seed uint64, journalDir string, leaseTTL, memberTTL time.Duration) error {
 	c, err := cluster.New(cluster.Config{
 		Handlers:              size,
 		BaseID:                idPrefix,
 		Dir:                   journalDir,
 		DisableDurableSubmits: journalDir == "",
 		LeaseTTL:              leaseTTL,
+		Seed:                  seed,
+		MemberTTL:             memberTTL,
 		Sched:                 sched.Config{Backfill: true},
 	})
 	if err != nil {

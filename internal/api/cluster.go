@@ -34,13 +34,28 @@ func (s *ClusterServer) Handler() http.Handler {
 	mux.HandleFunc("/api/version", s.handleVersion)
 	mux.HandleFunc("/api/cluster", s.handleStatus)
 	mux.HandleFunc("/api/cluster/survey", s.handleSurvey)
+	mux.HandleFunc("/api/cluster/transport", s.handleTransport)
 	mux.HandleFunc("/api/cluster/jobs", s.handleJobs)
 	mux.HandleFunc("/api/cluster/jobs/", s.handleJob)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
+// methodNotAllowed writes the route table's uniform 405: an Allow header
+// naming the supported verbs plus the standard JSON error envelope. Every
+// cluster route funnels unsupported methods through here so clients see one
+// consistent shape regardless of which sub-resource they hit.
+func methodNotAllowed(w http.ResponseWriter, allowed ...string) {
+	verbs := strings.Join(allowed, ", ")
+	w.Header().Set("Allow", verbs)
+	writeErr(w, http.StatusMethodNotAllowed, "method not allowed (allow: %s)", verbs)
+}
+
 func (s *ClusterServer) handleVersion(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{
 		"name":    "gyan-cluster",
 		"version": "1.0",
@@ -52,7 +67,7 @@ func (s *ClusterServer) handleVersion(w http.ResponseWriter, r *http.Request) {
 // partition table, and per-handler load/steal/rebalance counters.
 func (s *ClusterServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		methodNotAllowed(w, http.MethodGet)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.c.Status())
@@ -62,10 +77,21 @@ func (s *ClusterServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 // live member — the cross-handler device view the stealing pass decides from.
 func (s *ClusterServer) handleSurvey(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		methodNotAllowed(w, http.MethodGet)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.c.Survey())
+}
+
+// handleTransport serves GET /api/cluster/transport: cumulative bus
+// statistics (including injected-fault counts) and each member's protocol
+// state — lease table, declared-dead set, and in-flight transfer counts.
+func (s *ClusterServer) handleTransport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.c.TransportStatus())
 }
 
 // clusterSubmitRequest is the POST /api/cluster/jobs body.
@@ -137,13 +163,19 @@ func (s *ClusterServer) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusCreated, toClusterJobJSON(ref, toJobJSON(job)))
 	default:
-		writeErr(w, http.StatusMethodNotAllowed, "GET or POST")
+		methodNotAllowed(w, http.MethodGet, http.MethodPost)
 	}
 }
 
 // handleJob serves GET /api/cluster/jobs/{key} (current binding and state)
 // and DELETE /api/cluster/jobs/{key} (kill wherever the job lives now).
+// The method gate comes before key parsing: an unsupported verb is 405
+// whether or not the key would have parsed.
 func (s *ClusterServer) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodDelete {
+		methodNotAllowed(w, http.MethodGet, http.MethodDelete)
+		return
+	}
 	keyText := strings.TrimPrefix(r.URL.Path, "/api/cluster/jobs/")
 	key, err := strconv.ParseUint(keyText, 10, 64)
 	if err != nil {
@@ -168,8 +200,6 @@ func (s *ClusterServer) handleJob(w http.ResponseWriter, r *http.Request) {
 		s.c.Run(s.c.Now() + s.horizon)
 		ref, job, _ := s.c.Lookup(key)
 		writeJSON(w, http.StatusOK, toClusterJobJSON(ref, toJobJSON(job)))
-	default:
-		writeErr(w, http.StatusMethodNotAllowed, "GET or DELETE")
 	}
 }
 
@@ -177,7 +207,7 @@ func (s *ClusterServer) handleJob(w http.ResponseWriter, r *http.Request) {
 // per-handler labeled series (routing, steals, rebalances, liveness, load).
 func (s *ClusterServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		methodNotAllowed(w, http.MethodGet)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

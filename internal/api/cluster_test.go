@@ -139,7 +139,7 @@ func TestClusterSubmitRoutesAndCompletes(t *testing.T) {
 
 func TestClusterSurveyEndpoint(t *testing.T) {
 	ts, c := testClusterServer(t, 2)
-	if _, err := c.KillHandler("h1", nil); err != nil {
+	if err := c.KillHandler("h1", nil); err != nil {
 		t.Fatal(err)
 	}
 	resp, body := get(t, ts, "/api/cluster/survey")
@@ -175,6 +175,92 @@ func TestClusterMetricsEndpoint(t *testing.T) {
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestClusterTransportEndpoint(t *testing.T) {
+	ts, _ := testClusterServer(t, 2)
+	resp, body := get(t, ts, "/api/cluster/transport")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var tr struct {
+		Bus     map[string]uint64 `json:"bus"`
+		Members []struct {
+			ID    string `json:"id"`
+			Alive bool   `json:"alive"`
+		} `json:"members"`
+	}
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Members) != 2 || !tr.Members[0].Alive || !tr.Members[1].Alive {
+		t.Fatalf("transport body: %s", body)
+	}
+	if _, ok := tr.Bus["sent"]; !ok {
+		t.Fatalf("transport body missing bus stats: %s", body)
+	}
+}
+
+// TestClusterMethodNotAllowed sweeps the full cluster route surface with
+// every unsupported verb: each must answer a uniform 405 with an Allow
+// header naming the verbs that would have worked — including the key-bearing
+// jobs sub-resource, where the method gate must fire before key parsing.
+func TestClusterMethodNotAllowed(t *testing.T) {
+	ts, _ := testClusterServer(t, 2)
+	routes := []struct {
+		path    string
+		allowed []string
+	}{
+		{"/api/version", []string{http.MethodGet}},
+		{"/api/cluster", []string{http.MethodGet}},
+		{"/api/cluster/survey", []string{http.MethodGet}},
+		{"/api/cluster/transport", []string{http.MethodGet}},
+		{"/api/cluster/jobs", []string{http.MethodGet, http.MethodPost}},
+		{"/api/cluster/jobs/0", []string{http.MethodGet, http.MethodDelete}},
+		{"/api/cluster/jobs/banana", []string{http.MethodGet, http.MethodDelete}},
+		{"/metrics", []string{http.MethodGet}},
+	}
+	verbs := []string{
+		http.MethodGet, http.MethodPost, http.MethodPut,
+		http.MethodDelete, http.MethodPatch,
+	}
+	for _, rt := range routes {
+		supported := map[string]bool{}
+		for _, v := range rt.allowed {
+			supported[v] = true
+		}
+		for _, verb := range verbs {
+			if supported[verb] {
+				continue
+			}
+			req, err := http.NewRequest(verb, ts.URL+rt.path, strings.NewReader("{}"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Fatalf("%s %s: status %d, want 405: %s", verb, rt.path, resp.StatusCode, buf.Bytes())
+			}
+			allow := resp.Header.Get("Allow")
+			for _, want := range rt.allowed {
+				if !strings.Contains(allow, want) {
+					t.Fatalf("%s %s: Allow header %q missing %s", verb, rt.path, allow, want)
+				}
+			}
+			var errBody struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(buf.Bytes(), &errBody); err != nil || errBody.Error == "" {
+				t.Fatalf("%s %s: 405 body is not the error envelope: %s", verb, rt.path, buf.Bytes())
+			}
 		}
 	}
 }

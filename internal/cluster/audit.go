@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -13,6 +12,14 @@ import (
 // handler's journal; here the unit of identity is the cluster key (local job
 // IDs collide across per-handler journals), and the question is global: did
 // every routed job run to a durable terminal state exactly once, somewhere?
+//
+// The two-phase steal protocol adds a subtlety: a victim journal whose trail
+// ends in an unresolved steal_prepare does not say who owns the key — only
+// the tentative thief's journal does. The audit therefore defers those
+// trails and resolves them against the thief's adopt records after every
+// journal is folded: a matching adoption means the handoff completed (the
+// thief's trail carries the key); no match means the victim died still
+// owning it.
 
 // KeyTrail is everything the audit learned about one cluster key across all
 // journals.
@@ -44,13 +51,27 @@ type KeyTrail struct {
 	AdoptedFrom map[string]string
 }
 
+// StripeClaim is one journaled rebalance-claim: a survivor's durable
+// assertion that it took over a dead member's ring stripes.
+type StripeClaim struct {
+	Claimer string
+	Dead    string
+	Stripes []int
+	At      time.Duration
+}
+
 // Audit is the cross-journal fold.
 type Audit struct {
 	// Keys maps every cluster key seen in any journal to its trail.
 	Keys map[uint64]*KeyTrail
-	// TornTails lists handlers whose journal replay ended in a torn
-	// record.
-	TornTails []string
+	// TornTails lists handlers whose journal replay hit at least one torn
+	// record; TornTailCounts gives the per-handler torn-record count, so a
+	// chaos test can assert a kill -9 actually tore the tail it aimed at.
+	TornTails      []string
+	TornTailCounts map[string]int
+	// Claims lists every journaled rebalance-claim in replay order per
+	// handler (the lease-table membership audit trail).
+	Claims []StripeClaim
 	// Records counts replayed records across all journals.
 	Records int
 }
@@ -80,24 +101,39 @@ func (a *Audit) Doubles() []uint64 {
 	return out
 }
 
+// pendPrepare is a victim trail that ends mid-transfer, awaiting
+// resolution against the tentative thief's journal.
+type pendPrepare struct {
+	key     uint64
+	victim  string
+	thief   string
+	started bool
+}
+
 // AuditJournals replays every handler's journal directory (tolerating torn
 // tails) and folds the streams into per-key trails. Call SyncJournals (or
 // kill/close the handlers) first so buffered records are on disk.
 func AuditJournals(dirs map[string]string) (*Audit, error) {
-	a := &Audit{Keys: make(map[uint64]*KeyTrail)}
+	a := &Audit{Keys: make(map[uint64]*KeyTrail), TornTailCounts: make(map[string]int)}
 	handlers := make([]string, 0, len(dirs))
 	for h := range dirs {
 		handlers = append(handlers, h)
 	}
 	sort.Strings(handlers)
+	var pending []pendPrepare
 	for _, h := range handlers {
-		recs, err := journal.Replay(dirs[h])
+		recs, corrupts, err := journal.ReplayAll(dirs[h])
 		if err != nil {
-			var cerr *journal.CorruptRecordError
-			if !errors.As(err, &cerr) || cerr.IsSnapshot() {
-				return nil, fmt.Errorf("audit: replay %s: %w", h, err)
+			return nil, fmt.Errorf("audit: replay %s: %w", h, err)
+		}
+		for _, cerr := range corrupts {
+			if cerr.IsSnapshot() {
+				return nil, fmt.Errorf("audit: replay %s: %w", h, cerr)
 			}
+		}
+		if len(corrupts) > 0 {
 			a.TornTails = append(a.TornTails, h)
+			a.TornTailCounts[h] = len(corrupts)
 		}
 		a.Records += len(recs)
 		// Fold this journal per local job ID, then project onto keys.
@@ -106,6 +142,7 @@ func AuditJournals(dirs map[string]string) (*Audit, error) {
 			routed    bool
 			owner     string
 			state     string // "", "ok", "error", "dead_letter"
+			prepared  string // tentative thief of an unresolved steal prepare
 			starts    []time.Duration
 			submitted time.Duration
 			from      string
@@ -114,6 +151,13 @@ func AuditJournals(dirs map[string]string) (*Audit, error) {
 		var order []int
 		for i := range recs {
 			rec := recs[i]
+			if rec.Type == journal.TypeClaim {
+				a.Claims = append(a.Claims, StripeClaim{
+					Claimer: rec.Handler, Dead: rec.From,
+					Stripes: append([]int(nil), rec.Stripes...), At: rec.At,
+				})
+				continue
+			}
 			if rec.Job == 0 {
 				continue
 			}
@@ -140,6 +184,13 @@ func AuditJournals(dirs map[string]string) (*Audit, error) {
 				if rec.From != "" && rec.From != h {
 					t.from = rec.From
 				}
+			case journal.TypeStealPrepare:
+				t.prepared = rec.Handler
+			case journal.TypeStealRetire:
+				t.owner = rec.Handler
+				t.prepared = ""
+			case journal.TypeStealAbort:
+				t.prepared = ""
 			case journal.TypeResubmit:
 				t.state = ""
 			}
@@ -169,19 +220,42 @@ func AuditJournals(dirs map[string]string) (*Audit, error) {
 			if t.state == "ok" {
 				kt.OKs++
 			}
-			stillOwned := t.owner == h || t.owner == ""
-			if stillOwned && t.state == "" {
-				kt.Owners = append(kt.Owners, h)
-			}
-			if len(t.starts) > 0 && stillOwned {
-				kt.StartedOn = append(kt.StartedOn, h)
-			}
 			if len(t.starts) > 0 {
 				kt.Starts[h] = append(kt.Starts[h], t.starts...)
 			}
 			if t.from != "" {
 				kt.AdoptedFrom[h] = t.from
 			}
+			stillOwned := t.owner == h || t.owner == ""
+			if stillOwned && t.state == "" && t.prepared != "" {
+				// Mid-transfer at journal end: only the thief's journal
+				// knows whether the handoff completed. Defer.
+				pending = append(pending, pendPrepare{
+					key: t.key, victim: h, thief: t.prepared,
+					started: len(t.starts) > 0,
+				})
+				continue
+			}
+			if stillOwned && t.state == "" {
+				kt.Owners = append(kt.Owners, h)
+			}
+			if len(t.starts) > 0 && stillOwned {
+				kt.StartedOn = append(kt.StartedOn, h)
+			}
+		}
+	}
+	// Resolve deferred prepares against the thieves' adopt records.
+	for _, p := range pending {
+		kt := a.Keys[p.key]
+		if kt == nil {
+			continue
+		}
+		if kt.AdoptedFrom[p.thief] == p.victim {
+			continue // the thief accepted: its own trail carries the key
+		}
+		kt.Owners = append(kt.Owners, p.victim)
+		if p.started {
+			kt.StartedOn = append(kt.StartedOn, p.victim)
 		}
 	}
 	for _, kt := range a.Keys {

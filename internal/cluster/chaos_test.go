@@ -51,8 +51,13 @@ func recoverOpts(rs *workload.ReadSet, filter func(journal.Record) bool) galaxy.
 //     handlers must count the dead one among them,
 //   - seniority preserved: on each survivor, adopted jobs start in their
 //     original submission order,
-//   - rebalanced, not wholesale-adopted: both survivors receive a share of
-//     the dead partition.
+//   - rebalanced, not wholesale-adopted: both survivors detect the death
+//     by lease expiry, journal rebalance-claims for disjoint stripe sets,
+//     and each receives a share of the dead partition.
+//
+// KillHandler is now a pure kill (no coordinator-side rebalance), so
+// submissions aimed at the dead partition fail until the survivors' claims
+// land; the submit loop retries them on later ticks like a real client.
 func TestClusterChaosKillMidWorkload(t *testing.T) {
 	cfg := func(cfg *Config) {
 		cfg.DisableDurableSubmits = false
@@ -65,7 +70,7 @@ func TestClusterChaosKillMidWorkload(t *testing.T) {
 	const killAfter = 96 // jobs submitted before the kill lands
 	arrival := func(i int) time.Duration { return time.Duration(i) * 40 * time.Millisecond }
 
-	var rep *RebalanceReport
+	killed := false
 	submitted := 0
 	for {
 		for submitted < total && arrival(submitted) <= c.Now()+c.cfg.Tick {
@@ -75,16 +80,15 @@ func TestClusterChaosKillMidWorkload(t *testing.T) {
 			}
 			if _, err := c.Submit("racon", map[string]string{"scale": scale}, "reads",
 				SubmitOptions{User: "chaos"}); err != nil {
-				t.Fatal(err)
+				break // dead partition mid-failover: retry next tick
 			}
 			submitted++
 		}
-		if rep == nil && submitted >= killAfter {
-			var err error
-			rep, err = c.KillHandler("h1", []byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe})
-			if err != nil {
+		if !killed && submitted >= killAfter {
+			if err := c.KillHandler("h1", []byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe}); err != nil {
 				t.Fatal(err)
 			}
+			killed = true
 		}
 		if busy := c.Step(); !busy && submitted >= total {
 			break
@@ -93,24 +97,26 @@ func TestClusterChaosKillMidWorkload(t *testing.T) {
 			t.Fatal("workload did not drain")
 		}
 	}
-	if rep == nil {
+	if !killed {
 		t.Fatal("kill never happened")
 	}
 
-	// The partition was rebalanced across BOTH survivors, not adopted
-	// wholesale by one.
-	if len(rep.Requeued) < 2 {
-		t.Fatalf("dead partition adopted wholesale: requeued=%v", rep.Requeued)
-	}
-	for h, n := range rep.Requeued {
-		if h == "h1" || n == 0 {
-			t.Fatalf("bad rebalance target %q (n=%d): %v", h, n, rep.Requeued)
+	// Both survivors detected the death with no coordinator assist and took
+	// a share of the dead partition.
+	for _, survivor := range []string{"h0", "h2"} {
+		deadSeen := c.DeadSeenBy(survivor)
+		if len(deadSeen) != 1 || deadSeen[0] != "h1" {
+			t.Fatalf("%s dead-set = %v, want [h1]", survivor, deadSeen)
 		}
 	}
-	if rep.MovedStripes == 0 || !rep.TornTail {
-		t.Fatalf("rebalance report incomplete: %+v", rep)
+	st := c.Status()
+	for _, hs := range st.Handlers {
+		if hs.ID != "h1" && hs.RebalancedIn == 0 {
+			t.Fatalf("dead partition adopted wholesale: %s rebalanced in nothing: %+v",
+				hs.ID, st.Handlers)
+		}
 	}
-	for _, o := range c.Status().Partition {
+	for _, o := range st.Partition {
 		if o == "h1" {
 			t.Fatal("dead handler still owns stripes")
 		}
@@ -134,14 +140,26 @@ func TestClusterChaosKillMidWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tornSeen := false
-	for _, h := range audit.TornTails {
-		if h == "h1" {
-			tornSeen = true
+	if audit.TornTailCounts["h1"] == 0 {
+		t.Fatalf("dead handler's torn tail not observed: %v", audit.TornTailCounts)
+	}
+	// The claims are journaled, disjoint, and come from both survivors.
+	claimed := map[int]string{}
+	claimers := map[string]bool{}
+	for _, cl := range audit.Claims {
+		if cl.Dead != "h1" {
+			t.Fatalf("claim against unexpected member: %+v", cl)
+		}
+		claimers[cl.Claimer] = true
+		for _, s := range cl.Stripes {
+			if prev, dup := claimed[s]; dup {
+				t.Fatalf("stripe %d claimed twice (%s and %s)", s, prev, cl.Claimer)
+			}
+			claimed[s] = cl.Claimer
 		}
 	}
-	if !tornSeen {
-		t.Fatalf("dead handler's torn tail not observed: %v", audit.TornTails)
+	if !claimers["h0"] || !claimers["h2"] || len(claimers) != 2 {
+		t.Fatalf("claimers = %v, want exactly h0 and h2", claimers)
 	}
 	if len(audit.Keys) != total {
 		t.Fatalf("audit saw %d keys, want %d (acked submits must be durable)", len(audit.Keys), total)

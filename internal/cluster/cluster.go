@@ -10,11 +10,13 @@ import (
 	"sync"
 	"time"
 
+	"gyan/internal/faults"
 	"gyan/internal/galaxy"
 	"gyan/internal/journal"
 	"gyan/internal/obs"
 	"gyan/internal/sched"
 	"gyan/internal/smi"
+	"gyan/internal/transport"
 )
 
 // KeyParam is the tool-parameter name the cluster threads its global job key
@@ -51,6 +53,30 @@ type Config struct {
 	StealThreshold int
 	// LeaseTTL configures each handler's journal lease heartbeats.
 	LeaseTTL time.Duration
+	// Seed fixes the transport and protocol randomness (message latency
+	// jitter, retry backoff jitter, fault draws). Default 1.
+	Seed uint64
+	// BusDelay is the one-way message latency on the simulated bus; zero
+	// uses the transport default (5ms — well under a tick, so every
+	// protocol phase lands on the next tick boundary).
+	BusDelay time.Duration
+	// MsgFaults, when set, injects message-level faults (drop, delay,
+	// duplicate, reorder, one-way partitions) into the bus.
+	MsgFaults *faults.MsgPlan
+	// MemberTTL is how long a member's lease lasts from each renewal's
+	// send time; a peer whose lease lapses is declared dead. Default
+	// 6 ticks.
+	MemberTTL time.Duration
+	// RenewEvery is the lease-renewal broadcast period. Default one tick.
+	RenewEvery time.Duration
+	// AntiEntropyEvery is the anti-entropy sweep period (each round sends
+	// one round-robin peer a trail digest). Default 2 ticks.
+	AntiEntropyEvery time.Duration
+	// StealBackoff paces two-phase steal retries: the prepare is re-sent
+	// on this schedule until the attempt budget is spent, then the victim
+	// switches to the abort exchange. Default 4 attempts, base 3 ticks,
+	// cap 12 ticks, 20% jitter.
+	StealBackoff faults.Backoff
 	// Journal tunes each handler's write-ahead log. DurableSubmits is
 	// forced on for adopt/submit durability unless DisableDurableSubmits.
 	Journal journal.Options
@@ -99,6 +125,8 @@ type handler struct {
 	jr    *journal.Journal
 	dir   string
 	alive bool
+	// proto is this member's protocol state machine (protocol.go).
+	proto *protoState
 	// routed/stolenIn/stolenOut/rebalancedIn count jobs for Status.
 	routed, stolenIn, stolenOut, rebalancedIn uint64
 }
@@ -134,17 +162,39 @@ type Cluster struct {
 	steals  uint64
 	tmpDir  string
 
-	reg         *obs.Registry
-	routedVec   obs.CounterVec
-	stealsVec   obs.CounterVec
-	rebalVec    obs.CounterVec
-	upVec       obs.GaugeVec
-	depthVec    obs.GaugeVec
-	runningVec  obs.GaugeVec
-	freeVec     obs.GaugeVec
-	stripesVec  obs.GaugeVec
-	rebalances  uint64
-	lastSurveys map[string]smi.Usage
+	// bus is the simulated message transport every protocol exchange rides;
+	// dead archives the post-mortem view of each declared member (built once
+	// by the first declarer, consulted by every claimer).
+	bus  *transport.Bus
+	dead map[string]*deadMemberInfo
+
+	memberTTL    time.Duration
+	renewEvery   time.Duration
+	aeEvery      time.Duration
+	stealBackoff faults.Backoff
+
+	reg          *obs.Registry
+	routedVec    obs.CounterVec
+	stealsVec    obs.CounterVec
+	rebalVec     obs.CounterVec
+	prepVec      obs.CounterVec
+	acceptVec    obs.CounterVec
+	retireVec    obs.CounterVec
+	abortVec     obs.CounterVec
+	retryVec     obs.CounterVec
+	renewVec     obs.CounterVec
+	expiryVec    obs.CounterVec
+	claimVec     obs.CounterVec
+	aeRoundVec   obs.CounterVec
+	aeRepairVec  obs.CounterVec
+	upVec        obs.GaugeVec
+	depthVec     obs.GaugeVec
+	runningVec   obs.GaugeVec
+	freeVec      obs.GaugeVec
+	stripesVec   obs.GaugeVec
+	transportVec obs.GaugeVec
+	rebalances   uint64
+	lastSurveys  map[string]smi.Usage
 }
 
 // New builds and boots a cluster. Every handler starts alive with an empty
@@ -168,18 +218,43 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Tools == nil {
 		cfg.Tools = (*galaxy.Galaxy).RegisterDefaultTools
 	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MemberTTL <= 0 {
+		cfg.MemberTTL = 6 * cfg.Tick
+	}
+	if cfg.RenewEvery <= 0 {
+		cfg.RenewEvery = cfg.Tick
+	}
+	if cfg.AntiEntropyEvery <= 0 {
+		cfg.AntiEntropyEvery = 2 * cfg.Tick
+	}
+	if cfg.StealBackoff == (faults.Backoff{}) {
+		cfg.StealBackoff = faults.Backoff{
+			MaxAttempts: 4, Base: 3 * cfg.Tick, Max: 12 * cfg.Tick, Jitter: 0.2,
+		}
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
 	c := &Cluster{
-		cfg:         cfg,
-		handlers:    make(map[string]*handler, cfg.Handlers),
-		datasets:    make(map[string]any),
-		assign:      make(map[uint64]string),
-		jobs:        make(map[uint64]*tracked),
-		lastSurveys: make(map[string]smi.Usage),
-		reg:         reg,
+		cfg:          cfg,
+		handlers:     make(map[string]*handler, cfg.Handlers),
+		datasets:     make(map[string]any),
+		assign:       make(map[uint64]string),
+		jobs:         make(map[uint64]*tracked),
+		lastSurveys:  make(map[string]smi.Usage),
+		dead:         make(map[string]*deadMemberInfo),
+		memberTTL:    cfg.MemberTTL,
+		renewEvery:   cfg.RenewEvery,
+		aeEvery:      cfg.AntiEntropyEvery,
+		stealBackoff: cfg.StealBackoff,
+		reg:          reg,
+		bus: transport.New(transport.Options{
+			Seed: cfg.Seed, BaseDelay: cfg.BusDelay, Plan: cfg.MsgFaults,
+		}),
 	}
 	c.routedVec = reg.CounterVec("gyan_cluster_jobs_routed_total",
 		"Jobs routed to each handler by the partition ring.", "handler")
@@ -197,6 +272,28 @@ func New(cfg Config) (*Cluster, error) {
 		"Process-free GPUs per handler at last scrape.", "handler")
 	c.stripesVec = reg.GaugeVec("gyan_cluster_partition_stripes",
 		"Stripes owned per handler.", "handler")
+	c.prepVec = reg.CounterVec("gyan_cluster_steal_prepares_total",
+		"Two-phase steal prepares sent, by victim and thief.", "victim", "thief")
+	c.acceptVec = reg.CounterVec("gyan_cluster_steal_accepts_total",
+		"Two-phase steal accepts journaled, by thief and victim.", "thief", "victim")
+	c.retireVec = reg.CounterVec("gyan_cluster_steal_retires_total",
+		"Two-phase steals retired (final), by victim and thief.", "victim", "thief")
+	c.abortVec = reg.CounterVec("gyan_cluster_steal_aborts_total",
+		"Two-phase steals aborted and requeued, by victim and thief.", "victim", "thief")
+	c.retryVec = reg.CounterVec("gyan_cluster_steal_retries_total",
+		"Protocol message re-sends driven by timeout backoff.", "victim")
+	c.renewVec = reg.CounterVec("gyan_cluster_lease_renewals_total",
+		"Lease-renewal broadcasts sent.", "handler")
+	c.expiryVec = reg.CounterVec("gyan_cluster_lease_expiries_total",
+		"Peer leases declared expired, by detector and dead member.", "detector", "dead")
+	c.claimVec = reg.CounterVec("gyan_cluster_claims_total",
+		"Journaled rebalance-claims, by claimer and dead member.", "claimer", "dead")
+	c.aeRoundVec = reg.CounterVec("gyan_cluster_antientropy_rounds_total",
+		"Anti-entropy digests sent.", "handler")
+	c.aeRepairVec = reg.CounterVec("gyan_cluster_antientropy_repairs_total",
+		"Divergences repaired by the anti-entropy sweep, by kind.", "handler", "kind")
+	c.transportVec = reg.GaugeVec("gyan_cluster_transport_events",
+		"Cumulative transport bus events at last scrape.", "event")
 
 	dir := cfg.Dir
 	if dir == "" {
@@ -244,6 +341,12 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c.ring = ring
+	// Protocol state last: every member seeds its own RNG stream and boots
+	// with a full lease for each peer (the detector's grace period).
+	for i, id := range c.order {
+		c.handlers[id].proto = newProtoState(
+			cfg.Seed^(0x9e3779b97f4a7c15*uint64(i+1)), ids, id, cfg.MemberTTL)
+	}
 	reg.OnScrape(c.scrape)
 	return c, nil
 }
@@ -330,17 +433,23 @@ func (c *Cluster) Submit(tool string, params map[string]string, datasetName stri
 		if _, dup := c.assign[key]; dup {
 			return JobRef{}, fmt.Errorf("cluster: key %d already in use", key)
 		}
-		if key >= c.nextKey {
-			c.nextKey = key + 1
-		}
 	} else {
 		key = c.nextKey
-		c.nextKey++
 	}
 	owner := c.ring.OwnerOfKey(key)
 	h := c.handlers[owner]
 	if h == nil || !h.alive {
+		// The key is NOT consumed: a submission aimed at a dead member's
+		// stripe mid-failover can be retried verbatim once the survivors'
+		// rebalance-claims land.
 		return JobRef{}, fmt.Errorf("cluster: ring owner %q for key %d is not alive", owner, key)
+	}
+	if opts.Key != nil {
+		if key >= c.nextKey {
+			c.nextKey = key + 1
+		}
+	} else {
+		c.nextKey++
 	}
 	p := make(map[string]string, len(params)+1)
 	for k, v := range params {
@@ -406,9 +515,11 @@ func (c *Cluster) KillJob(key uint64) bool {
 }
 
 // Step advances the cluster by one lockstep tick: every live engine drains
-// its events up to the tick boundary, clocks are re-aligned, then the
-// coordinator runs one stealing pass. Returns whether any live handler
-// still has pending events or backlog (i.e. whether another tick could make
+// its events up to the tick boundary, clocks are re-aligned, then every
+// member runs one protocol pass (message delivery, failure detection, lease
+// renewal, steal decisions, retries, anti-entropy). Returns whether any
+// live handler still has pending events or backlog, or any protocol
+// exchange is still in flight (i.e. whether another tick could make
 // progress).
 func (c *Cluster) Step() bool {
 	c.mu.Lock()
@@ -422,15 +533,39 @@ func (c *Cluster) Step() bool {
 	c.mu.Lock()
 	c.now = target
 	c.mu.Unlock()
-	c.stealPass(target)
+	c.protocolPass(target)
 	busy := false
 	for _, h := range live {
-		if h.g.Engine.Pending() > 0 || h.g.QueuedBacklog() > 0 {
+		if h.alive && (h.g.Engine.Pending() > 0 || h.g.QueuedBacklog() > 0) {
 			busy = true
 			break
 		}
 	}
+	if !busy {
+		c.mu.Lock()
+		busy = c.protoBusyLocked()
+		c.mu.Unlock()
+	}
 	return busy
+}
+
+// protoBusyLocked reports whether any member still has an unresolved
+// two-phase transfer (victim out-table, thief unretired set, or a parked
+// orphaned prepare awaiting an anti-entropy verdict). Lease renewals
+// perpetually in flight on the bus deliberately do NOT count as busy —
+// they carry no work.
+func (c *Cluster) protoBusyLocked() bool {
+	for _, id := range c.order {
+		h := c.handlers[id]
+		if !h.alive {
+			continue
+		}
+		m := h.proto
+		if len(m.out) > 0 || len(m.unretiredIn) > 0 || len(m.pendingDead) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Run drives ticks until the cluster drains or virtual time passes horizon,
@@ -454,71 +589,6 @@ func (c *Cluster) liveLocked() []*handler {
 	return out
 }
 
-// stealPass runs one work-stealing round at a tick boundary. A handler with
-// process-free GPUs (per its own nvidia-smi survey) and an empty queue
-// steals from the live peer with the deepest backlog, provided that backlog
-// clears the threshold. Stolen jobs are the victim's juniors; each lands on
-// the thief re-journaled under the thief's epoch with its original
-// submission time (seniority), and the coordinator re-homes the key.
-func (c *Cluster) stealPass(now time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	live := c.liveLocked()
-	if len(live) < 2 {
-		return
-	}
-	// One survey + backlog reading per handler per tick, in member order:
-	// the aggregated cross-handler view steals are decided from.
-	free := make(map[string]int, len(live))
-	depth := make(map[string]int, len(live))
-	for _, h := range live {
-		u := smi.UsageFromReport(smi.Snapshot(h.g.Cluster, now))
-		c.lastSurveys[h.id] = u
-		free[h.id] = len(u.AvailableGPUs)
-		depth[h.id] = h.g.QueuedBacklog()
-	}
-	for _, thief := range live {
-		if free[thief.id] == 0 || depth[thief.id] > 0 {
-			continue
-		}
-		var victim *handler
-		for _, v := range live {
-			if v == thief || depth[v.id] < c.cfg.StealThreshold {
-				continue
-			}
-			if victim == nil || depth[v.id] > depth[victim.id] {
-				victim = v
-			}
-		}
-		if victim == nil {
-			continue
-		}
-		take := free[thief.id]
-		if take > depth[victim.id] {
-			take = depth[victim.id]
-		}
-		moved := victim.g.DetachQueued(take, thief.id)
-		for _, t := range moved {
-			job, err := thief.g.AcceptTransfer(t)
-			if err != nil {
-				// Registry mismatch between members; count the job against
-				// the victim as errored rather than losing it silently.
-				continue
-			}
-			victim.stolenOut++
-			thief.stolenIn++
-			c.steals++
-			c.stealsVec.With(thief.id, victim.id).Inc()
-			depth[victim.id]--
-			if key, ok := keyOfParams(t.Params); ok {
-				c.assign[key] = thief.id
-				c.jobs[key] = &tracked{handler: thief.id, job: job}
-			}
-		}
-		free[thief.id] -= len(moved)
-	}
-}
-
 // keyOfParams extracts the cluster key a routed submission carries.
 func keyOfParams(params map[string]string) (uint64, bool) {
 	s, ok := params[KeyParam]
@@ -532,146 +602,84 @@ func keyOfParams(params map[string]string) (uint64, bool) {
 	return key, true
 }
 
-// RebalanceReport describes how a dead handler's partition was spread over
-// the survivors.
-type RebalanceReport struct {
-	// Handler is the dead member; MovedStripes how many ring stripes it
-	// gave up.
-	Handler      string `json:"handler"`
-	MovedStripes int    `json:"moved_stripes"`
-	// Records is the dead journal's replayed record count; TornTail is
-	// true when the replay ended in a torn record (the kill -9 artifact).
-	Records  int  `json:"records"`
-	TornTail bool `json:"torn_tail"`
-	// Requeued counts re-homed jobs per survivor; TerminalKept the jobs
-	// already durably terminal (nothing to do); SkippedMoved the keys the
-	// journal still listed but the coordinator had already re-homed
-	// (stolen away before the kill).
-	Requeued     map[string]int `json:"requeued"`
-	TerminalKept int            `json:"terminal_kept"`
-	SkippedMoved int            `json:"skipped_moved"`
-}
-
 // KillHandler kills a member the way kill -9 does: its journal buffer is
 // dropped on the floor (optionally with torn garbage bytes appended, the
-// mid-write artifact), its flock is released, and its engine never runs
-// again. The ring then drops the member — moving only its stripes — and the
-// coordinator replays the dead journal and re-homes every non-terminal job
-// the dead member still owned to that key's NEW ring owner, at original
-// seniority. The partition is thereby rebalanced across all survivors
-// rather than adopted wholesale by one.
-func (c *Cluster) KillHandler(id string, torn []byte) (*RebalanceReport, error) {
+// mid-write artifact), its flock is released, its undelivered bus messages
+// vanish, and its engine never runs again. That is ALL it does — no ring
+// surgery, no journal replay, no re-homing. The survivors notice the death
+// themselves when the member's lease lapses (or a peer's rebalance-claim
+// arrives first), claim its stripes through journaled claim records, and
+// requeue its non-terminal work — see declareDeadLocked. Between the kill
+// and detection, submissions routed to the dead member's stripes fail and
+// the caller retries, exactly as against a real crashed node.
+func (c *Cluster) KillHandler(id string, torn []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	h := c.handlers[id]
 	if h == nil {
-		return nil, fmt.Errorf("cluster: unknown handler %q", id)
+		return fmt.Errorf("cluster: unknown handler %q", id)
 	}
 	if !h.alive {
-		return nil, fmt.Errorf("cluster: handler %q is already dead", id)
+		return fmt.Errorf("cluster: handler %q is already dead", id)
 	}
 	if len(c.liveLocked()) < 2 {
-		return nil, errors.New("cluster: refusing to kill the last live handler")
+		return errors.New("cluster: refusing to kill the last live handler")
 	}
 	h.alive = false
 	c.upVec.With(id).Set(0)
 	if err := h.jr.CrashTorn(torn); err != nil {
-		return nil, err
+		return err
 	}
-	moved := c.ring.Remove(id)
-	rep := &RebalanceReport{
-		Handler:      id,
-		MovedStripes: len(moved),
-		TornTail:     len(torn) > 0,
-		Requeued:     make(map[string]int),
-	}
+	c.bus.Kill(id)
+	return nil
+}
 
-	recs, rerr := journal.Replay(h.dir)
-	if rerr != nil {
-		var cerr *journal.CorruptRecordError
-		if !errors.As(rerr, &cerr) || cerr.IsSnapshot() {
-			return nil, fmt.Errorf("cluster: replaying dead handler %q: %w", id, rerr)
-		}
-		rep.TornTail = true
+// DeadSeenBy reports which peers `member` has declared dead (lease lapsed
+// or learned via a rebalance-claim) — the test window into the failure
+// detector.
+func (c *Cluster) DeadSeenBy(member string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.handlers[member]
+	if h == nil || h.proto == nil {
+		return nil
 	}
-	rep.Records = len(recs)
+	out := make([]string, 0, len(h.proto.deadSeen))
+	for d := range h.proto.deadSeen {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
 
-	// Fold the dead journal into per-job ownership and terminal state.
-	type trail struct {
-		submit   journal.Record
-		owner    string
-		terminal bool
-	}
-	trails := make(map[int]*trail)
-	var order []int
-	for i := range recs {
-		rec := recs[i]
-		if rec.Job == 0 {
+// StealPhases reports every in-flight two-phase transfer across the
+// cluster, keyed "victim/xfer": "prepared" or "aborting" on the victim
+// side, "accepted" for thief-side transfers whose retire has not landed.
+// A retired-and-acked transfer disappears from the map.
+func (c *Cluster) StealPhases() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string)
+	for _, id := range c.order {
+		h := c.handlers[id]
+		if !h.alive {
 			continue
 		}
-		t := trails[rec.Job]
-		if t == nil {
-			if rec.Type != journal.TypeSubmit {
-				continue
+		for x, o := range h.proto.out {
+			phase := "prepared"
+			if o.aborting {
+				phase = "aborting"
 			}
-			trails[rec.Job] = &trail{submit: rec, owner: rec.Handler}
-			order = append(order, rec.Job)
-			continue
+			out[id+"/"+strconv.FormatUint(x, 10)] = phase
 		}
-		switch rec.Type {
-		case journal.TypeComplete, journal.TypeDeadLetter:
-			t.terminal = true
-		case journal.TypeAdopt:
-			t.owner = rec.Handler
-		case journal.TypeResubmit:
-			t.terminal = false
+		for k := range h.proto.unretiredIn {
+			kk := k.victim + "/" + strconv.FormatUint(k.xfer, 10)
+			if _, own := out[kk]; !own {
+				out[kk] = "accepted"
+			}
 		}
 	}
-	// Re-home in local-ID order: the engine's FIFO tie-break plus the
-	// preserved submission times keep seniority intact on each survivor.
-	sort.Ints(order)
-	for _, jid := range order {
-		t := trails[jid]
-		if t.terminal {
-			rep.TerminalKept++
-			continue
-		}
-		if t.owner != id {
-			continue // stolen away before the kill; it lives elsewhere
-		}
-		key, ok := keyOfParams(t.submit.Params)
-		if !ok {
-			continue // not a routed job
-		}
-		if c.assign[key] != id {
-			// The coordinator already re-homed this key (a steal the dead
-			// journal recorded as still-owned would double-run it).
-			rep.SkippedMoved++
-			continue
-		}
-		heir := c.ring.OwnerOfKey(key)
-		sh := c.handlers[heir]
-		if sh == nil || !sh.alive {
-			return nil, fmt.Errorf("cluster: ring owner %q for key %d is dead", heir, key)
-		}
-		sub := t.submit
-		job, err := sh.g.AcceptTransfer(galaxy.TransferredJob{
-			From: id, FromJob: jid, ToolID: sub.Tool, Params: sub.Params,
-			Dataset: c.datasets[sub.Dataset], DatasetName: sub.Dataset,
-			Runtime: sub.Runtime, User: sub.User, Priority: sub.Priority,
-			GPUs: sub.GPUs, EstRuntime: sub.EstRuntime, Submitted: sub.Submitted,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("cluster: re-homing key %d to %q: %w", key, heir, err)
-		}
-		c.assign[key] = heir
-		c.jobs[key] = &tracked{handler: heir, job: job}
-		sh.rebalancedIn++
-		c.rebalances++
-		rep.Requeued[heir]++
-		c.rebalVec.With(id, heir).Inc()
-	}
-	return rep, nil
+	return out
 }
 
 // SyncJournals flushes every live handler's journal buffer to disk so an
@@ -733,6 +741,7 @@ type Status struct {
 	Steals     uint64          `json:"steals"`
 	Rebalances uint64          `json:"rebalances"`
 	Jobs       uint64          `json:"jobs"`
+	Transport  transport.Stats `json:"transport"`
 }
 
 // Status reports membership, the stripe->handler partition table, and
@@ -747,6 +756,7 @@ func (c *Cluster) Status() Status {
 		Steals:     c.steals,
 		Rebalances: c.rebalances,
 		Jobs:       c.nextKey,
+		Transport:  c.bus.Stats(),
 	}
 	counts := c.ring.Counts()
 	for _, id := range c.order {
@@ -797,8 +807,8 @@ func (c *Cluster) Survey() []HandlerSurvey {
 	return out
 }
 
-// scrape mirrors per-handler load into the labeled gauges at registry
-// scrape time.
+// scrape mirrors per-handler load and cumulative transport events into the
+// labeled gauges at registry scrape time.
 func (c *Cluster) scrape() {
 	c.mu.Lock()
 	live := c.liveLocked()
@@ -810,4 +820,69 @@ func (c *Cluster) scrape() {
 		c.freeVec.With(h.id).Set(float64(len(h.g.Cluster.AvailableMinors())))
 		c.stripesVec.With(h.id).Set(float64(counts[h.id]))
 	}
+	ts := c.bus.Stats()
+	for _, e := range []struct {
+		name string
+		v    uint64
+	}{
+		{"sent", ts.Sent}, {"delivered", ts.Delivered}, {"dropped", ts.Dropped},
+		{"duplicated", ts.Duplicated}, {"delayed", ts.Delayed},
+		{"reordered", ts.Reordered}, {"partitioned", ts.Partitioned},
+		{"lost_to_kill", ts.LostToKill},
+	} {
+		c.transportVec.With(e.name).Set(float64(e.v))
+	}
+}
+
+// MemberProtocol is one member's protocol-state snapshot in
+// TransportStatus.
+type MemberProtocol struct {
+	ID    string `json:"id"`
+	Alive bool   `json:"alive"`
+	// Leases maps each peer to the seconds remaining on its lease
+	// (negative: lapsed but not yet swept by the detector).
+	Leases map[string]float64 `json:"leases,omitempty"`
+	// DeadSeen lists the peers this member has declared dead.
+	DeadSeen []string `json:"dead_seen,omitempty"`
+	// OutXfers / UnretiredIn / PendingDead count in-flight protocol state:
+	// unresolved outbound prepares, accepted-but-unretired inbound
+	// transfers, and orphaned prepares awaiting an anti-entropy verdict.
+	OutXfers    int `json:"out_xfers"`
+	UnretiredIn int `json:"unretired_in"`
+	PendingDead int `json:"pending_dead"`
+}
+
+// TransportStatus is the bus-and-protocol view (the /api/cluster/transport
+// payload).
+type TransportStatus struct {
+	Bus     transport.Stats  `json:"bus"`
+	Members []MemberProtocol `json:"members"`
+}
+
+// TransportStatus reports cumulative bus statistics and each live member's
+// protocol state: lease table, declared-dead set, and in-flight transfers.
+func (c *Cluster) TransportStatus() TransportStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts := TransportStatus{Bus: c.bus.Stats()}
+	for _, id := range c.order {
+		h := c.handlers[id]
+		mp := MemberProtocol{ID: id, Alive: h.alive}
+		if h.alive {
+			m := h.proto
+			mp.Leases = make(map[string]float64, len(m.leases))
+			for p, exp := range m.leases {
+				mp.Leases[p] = (exp - c.now).Seconds()
+			}
+			for d := range m.deadSeen {
+				mp.DeadSeen = append(mp.DeadSeen, d)
+			}
+			sort.Strings(mp.DeadSeen)
+			mp.OutXfers = len(m.out)
+			mp.UnretiredIn = len(m.unretiredIn)
+			mp.PendingDead = len(m.pendingDead)
+		}
+		ts.Members = append(ts.Members, mp)
+	}
+	return ts
 }

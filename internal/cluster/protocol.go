@@ -1,0 +1,746 @@
+package cluster
+
+import (
+	"sort"
+	"time"
+
+	"gyan/internal/galaxy"
+	"gyan/internal/journal"
+	"gyan/internal/sim"
+	"gyan/internal/smi"
+	"gyan/internal/transport"
+)
+
+// The cluster's member-to-member protocol, run over the simulated message
+// bus (internal/transport). PR 7's coordinator decided steals and
+// rebalances under one lock with a god's-eye view; here every decision a
+// real deployment would have to make over a network is made over the bus,
+// by the members themselves, from state they learned through messages:
+//
+//   - Membership is a lease table. Every member broadcasts lease renewals
+//     (carrying load gossip: queue depth, free GPUs) every RenewEvery of
+//     virtual time; each member tracks every peer's lease expiry and
+//     declares a peer dead when its lease lapses — no coordinator assist.
+//     A rebalance-claim broadcast lets slower members learn of a death
+//     before their own detector fires.
+//
+//   - Work stealing is a two-phase handoff. A backlogged victim detaches
+//     juniors under journaled prepare records (galaxy.PrepareSteal: the
+//     jobs leave the scheduler with a tentative owner) and sends
+//     steal-prepare messages; the thief journals its accept (a durable
+//     submit+adopt pair) and acks; the victim then journals the retire,
+//     making the transfer final. Timeouts with jittered faults.Backoff
+//     retries resend the prepare; an exhausted budget switches to an
+//     abort exchange, and the victim requeues only after the thief
+//     acknowledges it never accepted — an accept always outranks an
+//     abort, so a transfer can finish or roll back but never both.
+//     Duplicate deliveries are deduped by (victim, transfer-ID) epochs on
+//     the thief and by the in-flight table on the victim.
+//
+//   - A dead member's stripes are claimed by the survivors the ring
+//     assigns them to, each journaling a rebalance-claim record and
+//     replaying the dead journal for the non-terminal keys it now owns.
+//     A trail that ends in an unresolved prepare is NOT requeued from the
+//     replay alone — only the tentative thief knows whether the handoff
+//     completed — so the claimer parks it and lets the anti-entropy sweep
+//     (antientropy.go) query the thief and repair it within a bounded
+//     number of rounds.
+//
+// Everything here runs at tick boundaries in member order under c.mu,
+// which keeps an N-member run with message faults bit-for-bit
+// deterministic for a fixed seed.
+
+// peerLoad is the load gossip a lease renewal carries.
+type peerLoad struct {
+	Depth int `json:"depth"`
+	Free  int `json:"free"`
+}
+
+// Message bodies. The bus carries them in-process; fields are exported so
+// a future serializing transport could marshal them unchanged.
+type renewBody struct {
+	Load peerLoad
+}
+
+type prepareBody struct {
+	Xfer uint64
+	Key  uint64
+	T    galaxy.TransferredJob
+}
+
+type acceptBody struct{ Xfer uint64 }
+type retireBody struct{ Xfer uint64 }
+type abortBody struct{ Xfer uint64 }
+
+type abortAckBody struct {
+	Xfer uint64
+	// Accepted reports the thief had already accepted the transfer: the
+	// abort is refused and the victim must retire instead.
+	Accepted bool
+}
+
+type claimBody struct {
+	Dead    string
+	Stripes []int
+}
+
+// inKey names one transfer from the thief's side: transfer IDs are
+// allocated per victim, so the pair is globally unique.
+type inKey struct {
+	victim string
+	xfer   uint64
+}
+
+// outXfer is the victim's record of one in-flight outbound transfer.
+type outXfer struct {
+	xferID uint64
+	jobID  int
+	key    uint64
+	thief  string
+	t      galaxy.TransferredJob
+	// aborting flips when the prepare retry budget is exhausted: from then
+	// on the victim pushes the abort exchange instead.
+	aborting bool
+	attempts int
+	nextSend time.Duration
+}
+
+// deadPrepare is a claimer's parked orphaned prepare: a trail in a dead
+// victim's journal that ends mid-transfer. The anti-entropy sweep resolves
+// it by asking the tentative thief.
+type deadPrepare struct {
+	victim string
+	xfer   uint64
+	key    uint64
+	jobID  int
+	submit journal.Record
+	thief  string
+}
+
+// protoState is one member's protocol brain: everything it knows about its
+// peers, learned only through bus messages (plus the shared dead-journal
+// archive, the in-process stand-in for reading a dead peer's disk).
+type protoState struct {
+	rng      *sim.RNG
+	leases   map[string]time.Duration
+	gossip   map[string]peerLoad
+	deadSeen map[string]bool
+
+	renewedOnce bool
+	lastRenew   time.Duration
+
+	// Victim side: transfer-ID allocator and in-flight table.
+	nextXfer uint64
+	out      map[uint64]*outXfer
+
+	// Thief side: per-transfer dedupe epochs ("accepted", "aborted",
+	// "refused"), the local job each accepted transfer became, and the
+	// accepted transfers whose retire has not arrived.
+	inSeen      map[inKey]string
+	inJob       map[inKey]int
+	unretiredIn map[inKey]uint64
+
+	// Claimer side: orphaned prepares awaiting thief confirmation.
+	pendingDead map[inKey]*deadPrepare
+
+	aeIdx     int
+	aeStarted bool
+	lastAE    time.Duration
+}
+
+func newProtoState(seed uint64, peers []string, self string, ttl time.Duration) *protoState {
+	m := &protoState{
+		rng:         sim.NewRNG(seed),
+		leases:      make(map[string]time.Duration),
+		gossip:      make(map[string]peerLoad),
+		deadSeen:    make(map[string]bool),
+		nextXfer:    1,
+		out:         make(map[uint64]*outXfer),
+		inSeen:      make(map[inKey]string),
+		inJob:       make(map[inKey]int),
+		unretiredIn: make(map[inKey]uint64),
+		pendingDead: make(map[inKey]*deadPrepare),
+	}
+	// Boot grace: every peer starts with a full lease so the detector
+	// cannot fire before first renewals have had a chance to arrive.
+	for _, p := range peers {
+		if p != self {
+			m.leases[p] = ttl
+		}
+	}
+	return m
+}
+
+// deadTrail is one job's folded trail in a dead member's replayed journal.
+type deadTrail struct {
+	submit   journal.Record
+	owner    string
+	terminal bool
+	prepared *journal.Record
+}
+
+// deadMemberInfo is the shared archive for one dead member: built once by
+// the first declarer (ring removal + journal replay), then consulted by
+// every claimer.
+type deadMemberInfo struct {
+	moved   map[int]string
+	trails  map[int]*deadTrail
+	order   []int
+	records int
+	torn    int
+}
+
+// protocolPass runs one tick of the member protocol, in member order.
+func (c *Cluster) protocolPass(now time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.order {
+		h := c.handlers[id]
+		if !h.alive {
+			continue
+		}
+		c.deliverLocked(h, now)
+		c.detectFailuresLocked(h, now)
+		c.renewLeaseLocked(h, now)
+		c.stealDecisionLocked(h, now)
+		c.resendLocked(h, now)
+		c.antiEntropyLocked(h, now)
+	}
+}
+
+// deliverLocked drains and processes this member's inbound messages.
+func (c *Cluster) deliverLocked(h *handler, now time.Duration) {
+	for _, msg := range c.bus.Receive(now, h.id) {
+		switch msg.Type {
+		case transport.MsgLeaseRenew:
+			c.onRenewLocked(h, msg)
+		case transport.MsgStealPrepare:
+			c.onPrepareLocked(h, msg, now)
+		case transport.MsgStealAccept:
+			c.onAcceptLocked(h, msg, now)
+		case transport.MsgStealRetire:
+			c.onRetireLocked(h, msg)
+		case transport.MsgStealAbort:
+			c.onAbortLocked(h, msg, now)
+		case transport.MsgAbortAck:
+			c.onAbortAckLocked(h, msg, now)
+		case transport.MsgClaim:
+			c.onClaimLocked(h, msg, now)
+		case transport.MsgAEDigest:
+			c.onAEDigestLocked(h, msg, now)
+		case transport.MsgAEReply:
+			c.onAEReplyLocked(h, msg, now)
+		}
+	}
+}
+
+// onRenewLocked folds one lease renewal into the member's lease table. The
+// lease extends from the renewal's SEND time — a delayed message proves
+// liveness only as of when it left the sender.
+func (c *Cluster) onRenewLocked(h *handler, msg transport.Message) {
+	m := h.proto
+	if m.deadSeen[msg.From] {
+		return // no resurrection: a declared member stays dead
+	}
+	body := msg.Body.(renewBody)
+	if exp := msg.SentAt + c.memberTTL; exp > m.leases[msg.From] {
+		m.leases[msg.From] = exp
+	}
+	m.gossip[msg.From] = body.Load
+}
+
+// renewLeaseLocked broadcasts this member's lease renewal with load gossip.
+func (c *Cluster) renewLeaseLocked(h *handler, now time.Duration) {
+	m := h.proto
+	if m.renewedOnce && now < m.lastRenew+c.renewEvery {
+		return
+	}
+	m.renewedOnce = true
+	m.lastRenew = now
+	u := smi.UsageFromReport(smi.Snapshot(h.g.Cluster, now))
+	c.lastSurveys[h.id] = u
+	load := peerLoad{Depth: h.g.QueuedBacklog(), Free: len(u.AvailableGPUs)}
+	for _, p := range c.order {
+		if p == h.id || m.deadSeen[p] {
+			continue
+		}
+		c.bus.Send(now, transport.MsgLeaseRenew, h.id, p, renewBody{Load: load})
+	}
+	c.renewVec.With(h.id).Inc()
+}
+
+// detectFailuresLocked declares every peer whose lease has lapsed.
+func (c *Cluster) detectFailuresLocked(h *handler, now time.Duration) {
+	m := h.proto
+	for _, p := range c.order {
+		if p == h.id || m.deadSeen[p] {
+			continue
+		}
+		if exp, ok := m.leases[p]; ok && now >= exp {
+			c.expiryVec.With(h.id, p).Inc()
+			c.declareDeadLocked(h, p, now)
+		}
+	}
+}
+
+// stealDecisionLocked starts a two-phase steal when this member is
+// backlogged and gossip shows an idle peer. One batch in flight at a time.
+func (c *Cluster) stealDecisionLocked(h *handler, now time.Duration) {
+	m := h.proto
+	if len(m.out) > 0 {
+		return
+	}
+	depth := h.g.QueuedBacklog()
+	if depth < c.cfg.StealThreshold {
+		return
+	}
+	var thief string
+	bestFree := 0
+	for _, p := range c.order {
+		if p == h.id || m.deadSeen[p] {
+			continue
+		}
+		gl, ok := m.gossip[p]
+		if !ok {
+			continue
+		}
+		if gl.Depth == 0 && gl.Free > bestFree {
+			thief, bestFree = p, gl.Free
+		}
+	}
+	if thief == "" {
+		return
+	}
+	take := bestFree
+	if take > depth {
+		take = depth
+	}
+	prepared := h.g.PrepareSteal(take, thief, m.nextXfer)
+	m.nextXfer += uint64(len(prepared))
+	for _, ps := range prepared {
+		key, _ := keyOfParams(ps.T.Params)
+		m.out[ps.Xfer] = &outXfer{
+			xferID: ps.Xfer, jobID: ps.JobID, key: key, thief: thief, t: ps.T,
+			attempts: 1, nextSend: now + c.stealBackoff.Delay(1, m.rng),
+		}
+		c.bus.Send(now, transport.MsgStealPrepare, h.id, thief,
+			prepareBody{Xfer: ps.Xfer, Key: key, T: ps.T})
+		c.prepVec.With(h.id, thief).Inc()
+	}
+	// Don't immediately re-target the same peer from stale gossip.
+	if gl, ok := m.gossip[thief]; ok {
+		gl.Free -= len(prepared)
+		if gl.Free < 0 {
+			gl.Free = 0
+		}
+		m.gossip[thief] = gl
+	}
+}
+
+// onPrepareLocked is the thief's phase one: journal the accept (a durable
+// submit+adopt pair under this member's epoch) and ack. Duplicate prepares
+// re-ack idempotently; prepares from members this one has declared dead
+// are refused — their journals have already been claimed, and accepting
+// now could double-run a job a claimer requeued.
+func (c *Cluster) onPrepareLocked(h *handler, msg transport.Message, now time.Duration) {
+	m := h.proto
+	body := msg.Body.(prepareBody)
+	k := inKey{victim: msg.From, xfer: body.Xfer}
+	if m.deadSeen[msg.From] {
+		if m.inSeen[k] == "" {
+			m.inSeen[k] = "refused"
+		}
+		c.bus.Send(now, transport.MsgAbortAck, h.id, msg.From, abortAckBody{Xfer: body.Xfer})
+		return
+	}
+	switch m.inSeen[k] {
+	case "accepted":
+		c.bus.Send(now, transport.MsgStealAccept, h.id, msg.From, acceptBody{Xfer: body.Xfer})
+	case "aborted", "refused":
+		c.bus.Send(now, transport.MsgAbortAck, h.id, msg.From, abortAckBody{Xfer: body.Xfer})
+	default:
+		job, err := h.g.AcceptTransfer(body.T)
+		if err != nil {
+			m.inSeen[k] = "refused"
+			c.bus.Send(now, transport.MsgAbortAck, h.id, msg.From, abortAckBody{Xfer: body.Xfer})
+			return
+		}
+		m.inSeen[k] = "accepted"
+		m.inJob[k] = job.ID
+		m.unretiredIn[k] = body.Key
+		h.stolenIn++
+		c.steals++
+		c.stealsVec.With(h.id, msg.From).Inc()
+		c.acceptVec.With(h.id, msg.From).Inc()
+		c.assign[body.Key] = h.id
+		c.jobs[body.Key] = &tracked{handler: h.id, job: job}
+		c.bus.Send(now, transport.MsgStealAccept, h.id, msg.From, acceptBody{Xfer: body.Xfer})
+	}
+}
+
+// onAcceptLocked is the victim's phase two: journal the retire, making the
+// transfer final, and tell the thief. An accept for an unknown transfer
+// means the retire already happened and the earlier retire message may
+// have been lost — re-send it.
+func (c *Cluster) onAcceptLocked(h *handler, msg transport.Message, now time.Duration) {
+	m := h.proto
+	body := msg.Body.(acceptBody)
+	o := m.out[body.Xfer]
+	if o == nil {
+		c.bus.Send(now, transport.MsgStealRetire, h.id, msg.From, retireBody{Xfer: body.Xfer})
+		return
+	}
+	c.retireOutLocked(h, o, now)
+}
+
+// retireOutLocked finalizes one outbound transfer: journal the retire,
+// notify the thief, drop the in-flight entry.
+func (c *Cluster) retireOutLocked(h *handler, o *outXfer, now time.Duration) {
+	h.g.RetireSteal(o.jobID)
+	h.stolenOut++
+	c.retireVec.With(h.id, o.thief).Inc()
+	delete(h.proto.out, o.xferID)
+	c.bus.Send(now, transport.MsgStealRetire, h.id, o.thief, retireBody{Xfer: o.xferID})
+}
+
+// onRetireLocked clears the thief-side unretired marker. Idempotent.
+func (c *Cluster) onRetireLocked(h *handler, msg transport.Message) {
+	body := msg.Body.(retireBody)
+	delete(h.proto.unretiredIn, inKey{victim: msg.From, xfer: body.Xfer})
+}
+
+// onAbortLocked is the thief's answer to a victim giving up: if this
+// member already accepted, the abort is refused (Accepted: true) and the
+// victim retires instead; otherwise the transfer is fenced as aborted so a
+// late prepare cannot resurrect it.
+func (c *Cluster) onAbortLocked(h *handler, msg transport.Message, now time.Duration) {
+	m := h.proto
+	body := msg.Body.(abortBody)
+	k := inKey{victim: msg.From, xfer: body.Xfer}
+	if m.inSeen[k] == "accepted" {
+		c.bus.Send(now, transport.MsgAbortAck, h.id, msg.From, abortAckBody{Xfer: body.Xfer, Accepted: true})
+		return
+	}
+	if m.inSeen[k] == "" {
+		m.inSeen[k] = "aborted"
+	}
+	c.bus.Send(now, transport.MsgAbortAck, h.id, msg.From, abortAckBody{Xfer: body.Xfer})
+}
+
+// onAbortAckLocked resolves the victim's abort exchange: a refused abort
+// (the thief accepted first) retires; a confirmed one requeues locally at
+// original seniority.
+func (c *Cluster) onAbortAckLocked(h *handler, msg transport.Message, now time.Duration) {
+	m := h.proto
+	body := msg.Body.(abortAckBody)
+	o := m.out[body.Xfer]
+	if o == nil {
+		return
+	}
+	if body.Accepted {
+		c.retireOutLocked(h, o, now)
+		return
+	}
+	h.g.AbortSteal(o.jobID, "thief never accepted the transfer")
+	delete(m.out, body.Xfer)
+	c.abortVec.With(h.id, o.thief).Inc()
+}
+
+// resendLocked drives timeouts: prepares are re-sent on a jittered
+// exponential backoff; an exhausted budget flips the transfer into the
+// abort exchange, whose sends retry indefinitely at the capped delay
+// (abort must eventually land or the thief must die — either resolves).
+func (c *Cluster) resendLocked(h *handler, now time.Duration) {
+	m := h.proto
+	if len(m.out) == 0 {
+		return
+	}
+	xfers := make([]uint64, 0, len(m.out))
+	for x := range m.out {
+		xfers = append(xfers, x)
+	}
+	sort.Slice(xfers, func(i, j int) bool { return xfers[i] < xfers[j] })
+	for _, x := range xfers {
+		o := m.out[x]
+		if o == nil || now < o.nextSend {
+			continue
+		}
+		if !o.aborting && o.attempts >= c.stealBackoff.Attempts() {
+			o.aborting = true
+			o.attempts = 0
+		}
+		o.attempts++
+		if o.aborting {
+			c.bus.Send(now, transport.MsgStealAbort, h.id, o.thief, abortBody{Xfer: x})
+		} else {
+			c.bus.Send(now, transport.MsgStealPrepare, h.id, o.thief,
+				prepareBody{Xfer: x, Key: o.key, T: o.t})
+		}
+		c.retryVec.With(h.id).Inc()
+		o.nextSend = now + c.stealBackoff.Delay(o.attempts, m.rng)
+	}
+}
+
+// onClaimLocked: a peer announced a member's death and its stripe claims.
+// Treat it as a detection trigger — learning of a death from a claim is
+// faster than waiting for the local lease to lapse.
+func (c *Cluster) onClaimLocked(h *handler, msg transport.Message, now time.Duration) {
+	body := msg.Body.(claimBody)
+	if body.Dead == h.id {
+		return // "reports of my death": nothing to do, no resurrection path
+	}
+	if !h.proto.deadSeen[body.Dead] {
+		c.declareDeadLocked(h, body.Dead, now)
+	}
+}
+
+// declareDeadLocked is one member's reaction to a peer's death: ensure the
+// shared archive (ring removal + dead journal replay) exists, journal a
+// rebalance-claim for the stripes this member inherited, broadcast the
+// claim, requeue the dead member's non-terminal keys this member now owns,
+// and park orphaned prepares for the anti-entropy sweep. Also resolves
+// this member's own in-flight transfers that named the dead peer.
+func (c *Cluster) declareDeadLocked(h *handler, dead string, now time.Duration) {
+	m := h.proto
+	m.deadSeen[dead] = true
+	delete(m.leases, dead)
+	delete(m.gossip, dead)
+	// Thief-side closure: an accepted transfer is final on the thief's
+	// durable accept; a retire from a dead victim will never arrive.
+	for k := range m.unretiredIn {
+		if k.victim == dead {
+			delete(m.unretiredIn, k)
+		}
+	}
+
+	di := c.ensureDeadInfoLocked(dead)
+
+	// Claim the inherited stripes, durably.
+	var stripes []int
+	for s, owner := range di.moved {
+		if owner == h.id {
+			stripes = append(stripes, s)
+		}
+	}
+	sort.Ints(stripes)
+	if len(stripes) > 0 {
+		rec := journal.Record{
+			Type: journal.TypeClaim, At: now, Handler: h.id, From: dead, Stripes: stripes,
+		}
+		if err := h.jr.Append(rec); err == nil {
+			c.claimVec.With(h.id, dead).Inc()
+		}
+	}
+	for _, p := range c.order {
+		if p == h.id || p == dead || m.deadSeen[p] {
+			continue
+		}
+		c.bus.Send(now, transport.MsgClaim, h.id, p, claimBody{Dead: dead, Stripes: stripes})
+	}
+
+	// Rehome the dead member's still-owned non-terminal keys that the ring
+	// now assigns to this member.
+	for _, jid := range di.order {
+		t := di.trails[jid]
+		if t.terminal || t.owner != dead {
+			continue
+		}
+		key, ok := keyOfParams(t.submit.Params)
+		if !ok {
+			continue
+		}
+		if c.assign[key] != dead {
+			continue // already re-homed (stolen away before the death)
+		}
+		if c.ring.OwnerOfKey(key) != h.id {
+			continue // another claimer's stripe
+		}
+		if t.prepared != nil {
+			c.parkOrphanedPrepareLocked(h, dead, jid, t, key, now)
+			continue
+		}
+		c.requeueDeadKeyLocked(h, dead, jid, t.submit, key, now)
+	}
+
+	// Resolve this member's own protocol state that referenced the dead:
+	// outbound transfers whose thief died, and parked prepares whose
+	// tentative thief died.
+	c.resolveDeadThiefLocked(h, dead, now)
+}
+
+// ensureDeadInfoLocked builds (once) the shared post-mortem archive for a
+// dead member: the ring gives up exactly its stripes, and its journal is
+// replayed tolerant of torn tails.
+func (c *Cluster) ensureDeadInfoLocked(dead string) *deadMemberInfo {
+	if di := c.dead[dead]; di != nil {
+		return di
+	}
+	dh := c.handlers[dead]
+	di := &deadMemberInfo{moved: map[int]string{}, trails: map[int]*deadTrail{}}
+	if c.ring.isMember(dead) {
+		di.moved = c.ring.Remove(dead)
+	}
+	if dh != nil {
+		recs, corrupts, err := journal.ReplayAll(dh.dir)
+		if err == nil {
+			di.records = len(recs)
+			di.torn = len(corrupts)
+			di.trails, di.order = foldDeadJournal(recs)
+		}
+	}
+	c.dead[dead] = di
+	return di
+}
+
+// foldDeadJournal folds a dead member's record stream into per-job trails.
+func foldDeadJournal(recs []journal.Record) (map[int]*deadTrail, []int) {
+	trails := make(map[int]*deadTrail)
+	var order []int
+	for i := range recs {
+		rec := recs[i]
+		if rec.Job == 0 {
+			continue
+		}
+		t := trails[rec.Job]
+		if t == nil {
+			if rec.Type != journal.TypeSubmit {
+				continue
+			}
+			trails[rec.Job] = &deadTrail{submit: rec, owner: rec.Handler}
+			order = append(order, rec.Job)
+			continue
+		}
+		switch rec.Type {
+		case journal.TypeComplete, journal.TypeDeadLetter:
+			t.terminal = true
+		case journal.TypeAdopt:
+			t.owner = rec.Handler
+		case journal.TypeStealPrepare:
+			t.prepared = &recs[i]
+		case journal.TypeStealRetire:
+			t.owner = rec.Handler
+			t.prepared = nil
+		case journal.TypeStealAbort:
+			t.prepared = nil
+		case journal.TypeResubmit:
+			t.terminal = false
+		}
+	}
+	sort.Ints(order)
+	return trails, order
+}
+
+// requeueDeadKeyLocked resubmits one of a dead member's jobs on this one,
+// at original seniority.
+func (c *Cluster) requeueDeadKeyLocked(h *handler, dead string, jid int, sub journal.Record, key uint64, now time.Duration) {
+	job, err := h.g.AcceptTransfer(galaxy.TransferredJob{
+		From: dead, FromJob: jid, ToolID: sub.Tool, Params: sub.Params,
+		Dataset: c.datasets[sub.Dataset], DatasetName: sub.Dataset,
+		Runtime: sub.Runtime, User: sub.User, Priority: sub.Priority,
+		GPUs: sub.GPUs, EstRuntime: sub.EstRuntime, Submitted: sub.Submitted,
+	})
+	if err != nil {
+		return // registry mismatch; the audit will surface the key as lost
+	}
+	c.assign[key] = h.id
+	c.jobs[key] = &tracked{handler: h.id, job: job}
+	h.rebalancedIn++
+	c.rebalances++
+	c.rebalVec.With(dead, h.id).Inc()
+}
+
+// parkOrphanedPrepareLocked handles a dead victim's trail that ends
+// mid-transfer. If this member IS the tentative thief it resolves locally
+// from its own dedupe table; otherwise the anti-entropy sweep will query
+// the thief. A dead thief is resolved immediately from its archive.
+func (c *Cluster) parkOrphanedPrepareLocked(h *handler, dead string, jid int, t *deadTrail, key uint64, now time.Duration) {
+	m := h.proto
+	thief := t.prepared.Handler
+	xfer := t.prepared.Xfer
+	k := inKey{victim: dead, xfer: xfer}
+	if thief == h.id {
+		// The claimer is the tentative thief: its own table is the truth.
+		if m.inSeen[k] == "accepted" {
+			return // already accepted and tracked under this member's trail
+		}
+		m.inSeen[k] = "refused" // fence any late duplicate prepare
+		c.requeueDeadKeyLocked(h, dead, jid, t.submit, key, now)
+		c.aeRepairVec.With(h.id, "orphaned_prepare").Inc()
+		return
+	}
+	if m.deadSeen[thief] {
+		c.resolveOrphanAgainstDeadThiefLocked(h, dead, jid, t, key, thief, now)
+		return
+	}
+	m.pendingDead[k] = &deadPrepare{
+		victim: dead, xfer: xfer, key: key, jobID: jid, submit: t.submit, thief: thief,
+	}
+}
+
+// resolveOrphanAgainstDeadThiefLocked decides an orphaned prepare when the
+// tentative thief is ALSO dead: its replayed journal is the truth. An
+// accepted transfer appears there as a trail for the same key adopted from
+// the victim; absent that, the handoff never happened and the key requeues
+// here.
+func (c *Cluster) resolveOrphanAgainstDeadThiefLocked(h *handler, dead string, jid int, t *deadTrail, key uint64, thief string, now time.Duration) {
+	tdi := c.ensureDeadInfoLocked(thief)
+	for _, tj := range tdi.order {
+		tt := tdi.trails[tj]
+		tkey, ok := keyOfParams(tt.submit.Params)
+		if ok && tkey == key {
+			return // the thief accepted; its own claimer rehomes the key
+		}
+	}
+	c.requeueDeadKeyLocked(h, dead, jid, t.submit, key, now)
+	c.aeRepairVec.With(h.id, "orphaned_prepare").Inc()
+}
+
+// resolveDeadThiefLocked cleans up this member's in-flight state that
+// named the dead peer: outbound transfers consult the dead thief's journal
+// (accepted → retire; never accepted → abort and requeue), and parked
+// orphan queries resolve against the archive.
+func (c *Cluster) resolveDeadThiefLocked(h *handler, dead string, now time.Duration) {
+	m := h.proto
+	var xfers []uint64
+	for x, o := range m.out {
+		if o.thief == dead {
+			xfers = append(xfers, x)
+		}
+	}
+	sort.Slice(xfers, func(i, j int) bool { return xfers[i] < xfers[j] })
+	if len(xfers) > 0 {
+		tdi := c.ensureDeadInfoLocked(dead)
+		acceptedKeys := make(map[uint64]bool)
+		for _, tj := range tdi.order {
+			if k, ok := keyOfParams(tdi.trails[tj].submit.Params); ok {
+				acceptedKeys[k] = true
+			}
+		}
+		for _, x := range xfers {
+			o := m.out[x]
+			if acceptedKeys[o.key] {
+				h.g.RetireSteal(o.jobID)
+				h.stolenOut++
+				c.retireVec.With(h.id, dead).Inc()
+			} else {
+				h.g.AbortSteal(o.jobID, "thief died before accepting")
+				c.abortVec.With(h.id, dead).Inc()
+			}
+			delete(m.out, x)
+		}
+	}
+	for k, pd := range m.pendingDead {
+		if pd.thief != dead {
+			continue
+		}
+		delete(m.pendingDead, k)
+		if c.assign[pd.key] != pd.victim {
+			continue
+		}
+		if c.ring.OwnerOfKey(pd.key) != h.id {
+			continue
+		}
+		t := &deadTrail{submit: pd.submit}
+		c.resolveOrphanAgainstDeadThiefLocked(h, pd.victim, pd.jobID, t, pd.key, dead, now)
+	}
+}

@@ -102,7 +102,11 @@ func runScalingPhase(opt Options, handlers, jobs int) (float64, error) {
 
 // runKillPhase replays the chaos suite's kill at experiment scale with
 // durable journals: h1 dies kill -9 style (torn tail) mid-workload, the
-// survivors absorb its partition, and the cross-journal audit must hold.
+// survivors detect the death by lease expiry, claim its stripes through
+// journaled rebalance-claims, and the cross-journal audit must hold.
+// Submissions routed to the dead partition fail until the claims land, so
+// the submit loop retries them on later ticks, exactly like a client
+// facing a crashed node.
 func runKillPhase(opt Options, jobs int) (map[string]float64, error) {
 	rs, err := clusterReadSet(opt)
 	if err != nil {
@@ -124,19 +128,22 @@ func runKillPhase(opt Options, jobs int) (map[string]float64, error) {
 	interval := time.Duration(float64(time.Second) / rate)
 	arrival := func(i int) time.Duration { return time.Duration(i) * interval }
 	killAt := jobs * 2 / 5
-	var rep *cluster.RebalanceReport
+	killed := false
 	submitted := 0
 	for {
 		for submitted < jobs && arrival(submitted) <= c.Now()+time.Second {
 			if err := submitMixed(c, submitted, 0); err != nil {
-				return nil, err
+				// Ring owner mid-failover: retry on a later tick once the
+				// survivors have claimed the dead partition.
+				break
 			}
 			submitted++
 		}
-		if rep == nil && submitted >= killAt {
-			if rep, err = c.KillHandler("h1", []byte{0x13, 0x37, 0xde, 0xad}); err != nil {
+		if !killed && submitted >= killAt {
+			if err := c.KillHandler("h1", []byte{0x13, 0x37, 0xde, 0xad}); err != nil {
 				return nil, err
 			}
+			killed = true
 		}
 		if busy := c.Step(); !busy && submitted >= jobs {
 			break
@@ -157,17 +164,15 @@ func runKillPhase(opt Options, jobs int) (map[string]float64, error) {
 	}
 	survivors := 0
 	requeued := 0
-	for h, n := range rep.Requeued {
-		if h != "h1" && n > 0 {
+	for _, hs := range c.Status().Handlers {
+		if hs.ID != "h1" && hs.RebalancedIn > 0 {
 			survivors++
-			requeued += n
+			requeued += int(hs.RebalancedIn)
 		}
 	}
 	torn := 0.0
-	for _, h := range audit.TornTails {
-		if h == "h1" {
-			torn = 1
-		}
+	if audit.TornTailCounts["h1"] > 0 {
+		torn = 1
 	}
 	return map[string]float64{
 		"kill_jobs":           float64(jobs),

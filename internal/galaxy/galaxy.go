@@ -100,6 +100,11 @@ type Galaxy struct {
 	schedJobs map[int]*schedEntry
 	qmon      *monitor.QueueMonitor
 
+	// preparedSteals holds jobs detached under phase one of a two-phase
+	// steal (see steal.go): out of the scheduler, tentative owner journaled,
+	// awaiting RetireSteal or AbortSteal. Guarded by g.mu.
+	preparedSteals map[int]*preparedSteal
+
 	// DAG workflows (see dag.go): live runs by ID; nextWF allocates
 	// workflow IDs. The map is guarded by g.mu; each run carries its own
 	// leaf mutex for caller-facing reads.
@@ -188,22 +193,23 @@ func New(cluster *gpu.Cluster, opts ...Option) *Galaxy {
 		cluster = gpu.NewPaperTestbed(nil)
 	}
 	g := &Galaxy{
-		Conf:        jobconf.Default(),
-		Cluster:     cluster,
-		Engine:      sim.NewEngine(cluster.Clock()),
-		Mapper:      &core.Mapper{},
-		Containers:  container.NewEngine(),
-		Deps:        depres.NewResolver(depres.Bioconda()),
-		tools:       make(map[string]*ToolBinding),
-		running:     make(map[string]int),
-		waiting:     make(map[string][]*pendingStart),
-		userRunning: make(map[string]int),
-		userWaiting: make(map[string][]*pendingStart),
-		schedJobs:   make(map[int]*schedEntry),
-		workflows:   make(map[int]*WorkflowRun),
-		retryRNG:    newRetryRNG(),
-		surveyCache: smi.NewCache(0),
-		obsv:        obs.NewObserver(),
+		Conf:           jobconf.Default(),
+		Cluster:        cluster,
+		Engine:         sim.NewEngine(cluster.Clock()),
+		Mapper:         &core.Mapper{},
+		Containers:     container.NewEngine(),
+		Deps:           depres.NewResolver(depres.Bioconda()),
+		tools:          make(map[string]*ToolBinding),
+		running:        make(map[string]int),
+		waiting:        make(map[string][]*pendingStart),
+		userRunning:    make(map[string]int),
+		userWaiting:    make(map[string][]*pendingStart),
+		schedJobs:      make(map[int]*schedEntry),
+		workflows:      make(map[int]*WorkflowRun),
+		preparedSteals: make(map[int]*preparedSteal),
+		retryRNG:       newRetryRNG(),
+		surveyCache:    smi.NewCache(0),
+		obsv:           obs.NewObserver(),
 	}
 	for _, opt := range opts {
 		opt(g)

@@ -34,6 +34,13 @@ const (
 	// Job.owner records who took it, so both the live state and the
 	// journaled adopt record agree on ownership.
 	StateStolen JobState = "stolen"
+	// StatePrepared marks a queued job detached under the first phase of a
+	// two-phase steal (PrepareSteal): it is out of the local scheduler with
+	// a tentative new owner journaled, but the transfer is not final until
+	// the thief's accept is acknowledged (RetireSteal) — or it is rolled
+	// back into the queue (AbortSteal). Not terminal: the job still belongs
+	// here until retired.
+	StatePrepared JobState = "prepared"
 )
 
 // Job is one submitted tool execution.

@@ -308,6 +308,15 @@ type RecoverOptions struct {
 	// wholesale by whichever handler recovers first. Nil preserves the
 	// legacy single-standby behavior: adopt everything whose lease expired.
 	AdoptFilter func(submit journal.Record) bool
+	// OrphanedPrepare resolves a job whose trail ends in a steal prepare
+	// with no retire or abort — the victim crashed mid-transfer, and only
+	// the thief's journal knows whether the handoff completed. Return true
+	// to treat the transfer as done (the thief accepted; the job is theirs,
+	// recovered as foreign), false to requeue it here with an abort record
+	// closing the trail. Nil requeues: safe standalone, where no thief
+	// exists to double-run it. The cluster layer passes a closure that
+	// consults the thief's journal (see internal/cluster).
+	OrphanedPrepare func(jobID int, thief string, xfer uint64) bool
 }
 
 // jobHistory is one job's folded record trail.
@@ -320,6 +329,9 @@ type jobHistory struct {
 	terminal    *journal.Record
 	owner       string
 	attemptBase int
+	// prepared is the newest unresolved steal-prepare record: a tentative
+	// ownership transfer that no retire or abort has closed.
+	prepared *journal.Record
 }
 
 // Recover rebuilds this Galaxy from a journal replay. It must be called on
@@ -423,6 +435,13 @@ func (g *Galaxy) Recover(recs []journal.Record, replayErr error, opts RecoverOpt
 			h.terminal = &recs[i]
 		case journal.TypeAdopt:
 			h.owner = rec.Handler
+		case journal.TypeStealPrepare:
+			h.prepared = &recs[i]
+		case journal.TypeStealRetire:
+			h.owner = rec.Handler
+			h.prepared = nil
+		case journal.TypeStealAbort:
+			h.prepared = nil
 		case journal.TypeResubmit:
 			h.terminal = nil
 			h.attemptBase = len(h.attempts)
@@ -496,6 +515,22 @@ func (g *Galaxy) Recover(recs []journal.Record, replayErr error, opts RecoverOpt
 			g.jobs.insert(job)
 			rep.Jobs = append(rep.Jobs, rj)
 			continue
+		}
+
+		if h.prepared != nil {
+			// The trail ends mid-transfer: a steal prepare with no retire
+			// or abort. Only the thief's journal knows whether the handoff
+			// completed; the hook (cluster-provided) consults it.
+			thief := h.prepared.Handler
+			if opts.OrphanedPrepare != nil && opts.OrphanedPrepare(id, thief, h.prepared.Xfer) {
+				h.owner = thief // the thief accepted; theirs now
+			} else {
+				g.logJournal(journal.Record{
+					Type: journal.TypeStealAbort, At: now, Job: id,
+					Handler: thief, From: g.handlerID, Xfer: h.prepared.Xfer,
+					Msg: "recovery: orphaned prepare requeued",
+				})
+			}
 		}
 
 		// Non-terminal: ownership decides. A foreign job is requeued only
@@ -806,6 +841,16 @@ func (g *Galaxy) SnapshotJournal() error {
 			recs = append(recs, journal.Record{
 				Type: journal.TypeDeadLetter, At: j.Finished, Job: j.ID, Msg: j.Info,
 			})
+		case StatePrepared:
+			// An in-flight two-phase steal must survive compaction: without
+			// the prepare record, replay would see a plain queued job and
+			// requeue it while the thief may be running it.
+			if p := g.preparedSteals[j.ID]; p != nil {
+				recs = append(recs, journal.Record{
+					Type: journal.TypeStealPrepare, At: now, Job: j.ID,
+					Handler: p.to, From: g.handlerID, Xfer: p.xfer,
+				})
+			}
 		}
 	}
 	return g.journal.WriteSnapshot(recs)

@@ -65,6 +65,35 @@ type TransferredJob struct {
 func (g *Galaxy) DetachQueued(max int, to string) []TransferredJob {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	cands := g.stealCandidatesLocked(max, to)
+	now := g.Engine.Clock().Now()
+	out := make([]TransferredJob, 0, len(cands))
+	for _, e := range cands {
+		job := e.pending.job
+		g.sched.Remove(job.ID)
+		delete(g.schedJobs, job.ID)
+		job.State = StateStolen
+		job.owner = to
+		job.Finished = now
+		job.Info = fmt.Sprintf("stolen by handler %q", to)
+		g.logJournal(journal.Record{
+			Type: journal.TypeAdopt, At: now, Job: job.ID,
+			Handler: to, From: g.handlerID, Msg: "work steal",
+		})
+		out = append(out, g.packageTransferLocked(e))
+	}
+	if len(out) > 0 {
+		g.recordQueueLocked(now)
+	}
+	return out
+}
+
+// stealCandidatesLocked selects up to max safely movable jobs for transfer
+// to `to`: queued (never started), not killed, locally owned, and free of
+// cross-handler entanglements (workflow steps and destination-pinned
+// resubmissions stay put). Juniors first — stealing the youngest costs the
+// least seniority.
+func (g *Galaxy) stealCandidatesLocked(max int, to string) []*schedEntry {
 	if g.sched == nil || max <= 0 || to == "" || to == g.handlerID {
 		return nil
 	}
@@ -91,43 +120,161 @@ func (g *Galaxy) DetachQueued(max int, to string) []TransferredJob {
 	if len(cands) > max {
 		cands = cands[:max]
 	}
+	return cands
+}
+
+// packageTransferLocked builds the TransferredJob envelope for one entry.
+func (g *Galaxy) packageTransferLocked(e *schedEntry) TransferredJob {
+	job := e.pending.job
+	sub := job.Submitted
+	if sub == 0 {
+		// A true t=0 submission must not collapse into the thief's
+		// zero-means-now default and lose its seniority.
+		sub = time.Nanosecond
+	}
+	return TransferredJob{
+		From:        g.handlerID,
+		FromJob:     job.ID,
+		ToolID:      job.ToolID,
+		Params:      job.Params,
+		Dataset:     job.Dataset,
+		DatasetName: job.datasetName,
+		Runtime:     job.Runtime,
+		User:        job.User,
+		Priority:    e.req.Priority,
+		GPUs:        e.req.GPUs,
+		EstRuntime:  e.req.EstRuntime,
+		Submitted:   sub,
+	}
+}
+
+// preparedSteal tracks one job between PrepareSteal and its resolution,
+// keeping the scheduler entry so an abort can requeue it in place.
+type preparedSteal struct {
+	entry *schedEntry
+	to    string
+	xfer  uint64
+}
+
+// PreparedSteal is one job detached under phase one of a two-phase steal.
+type PreparedSteal struct {
+	// JobID is the job's local ID on the victim.
+	JobID int
+	// Xfer is the cluster-assigned transfer ID that names this transfer in
+	// journal records and protocol messages (duplicate-delivery dedupe key).
+	Xfer uint64
+	// T is the envelope the thief will accept.
+	T TransferredJob
+}
+
+// PrepareSteal is phase one of the two-phase steal protocol: up to max
+// movable jobs are detached from the local scheduler, marked StatePrepared
+// with `to` journaled as the tentative owner (TypeStealPrepare), and
+// returned packaged for the wire. The transfer is not final — the jobs
+// still belong here — until RetireSteal journals the handoff, or
+// AbortSteal rolls them back into the queue. Transfer IDs are xferBase,
+// xferBase+1, ... in return order.
+func (g *Galaxy) PrepareSteal(max int, to string, xferBase uint64) []PreparedSteal {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cands := g.stealCandidatesLocked(max, to)
 	now := g.Engine.Clock().Now()
-	out := make([]TransferredJob, 0, len(cands))
+	out := make([]PreparedSteal, 0, len(cands))
 	for _, e := range cands {
 		job := e.pending.job
+		xfer := xferBase + uint64(len(out))
 		g.sched.Remove(job.ID)
 		delete(g.schedJobs, job.ID)
-		job.State = StateStolen
-		job.owner = to
-		job.Finished = now
-		job.Info = fmt.Sprintf("stolen by handler %q", to)
+		job.State = StatePrepared
+		job.Info = fmt.Sprintf("steal prepared: tentative owner %q (xfer %d)", to, xfer)
+		g.preparedSteals[job.ID] = &preparedSteal{entry: e, to: to, xfer: xfer}
 		g.logJournal(journal.Record{
-			Type: journal.TypeAdopt, At: now, Job: job.ID,
-			Handler: to, From: g.handlerID, Msg: "work steal",
+			Type: journal.TypeStealPrepare, At: now, Job: job.ID,
+			Handler: to, From: g.handlerID, Xfer: xfer,
 		})
-		sub := job.Submitted
-		if sub == 0 {
-			// A true t=0 submission must not collapse into the thief's
-			// zero-means-now default and lose its seniority.
-			sub = time.Nanosecond
-		}
-		out = append(out, TransferredJob{
-			From:        g.handlerID,
-			FromJob:     job.ID,
-			ToolID:      job.ToolID,
-			Params:      job.Params,
-			Dataset:     job.Dataset,
-			DatasetName: job.datasetName,
-			Runtime:     job.Runtime,
-			User:        job.User,
-			Priority:    e.req.Priority,
-			GPUs:        e.req.GPUs,
-			EstRuntime:  e.req.EstRuntime,
-			Submitted:   sub,
-		})
+		out = append(out, PreparedSteal{JobID: job.ID, Xfer: xfer, T: g.packageTransferLocked(e)})
 	}
 	if len(out) > 0 {
 		g.recordQueueLocked(now)
+	}
+	return out
+}
+
+// RetireSteal is the victim's phase two after the thief's accept: the
+// prepared job becomes StateStolen with ownership journaled to the thief
+// (TypeStealRetire), exactly as a single-phase DetachQueued adopt would
+// have recorded. Returns false if the job is not in the prepared set —
+// already retired (duplicate accept) or already aborted.
+func (g *Galaxy) RetireSteal(jobID int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p := g.preparedSteals[jobID]
+	if p == nil {
+		return false
+	}
+	delete(g.preparedSteals, jobID)
+	now := g.Engine.Clock().Now()
+	job := p.entry.pending.job
+	job.State = StateStolen
+	job.owner = p.to
+	job.Finished = now
+	job.Info = fmt.Sprintf("stolen by handler %q", p.to)
+	g.logJournal(journal.Record{
+		Type: journal.TypeStealRetire, At: now, Job: jobID,
+		Handler: p.to, From: g.handlerID, Xfer: p.xfer, Msg: "work steal",
+	})
+	return true
+}
+
+// AbortSteal rolls a prepared job back into the local queue: the thief
+// never acknowledged (or refused), so the tentative transfer is journaled
+// closed (TypeStealAbort) and the job requeues with its original
+// submission time — seniority intact, exactly like a preemption victim.
+// Returns false if the job is not in the prepared set.
+func (g *Galaxy) AbortSteal(jobID int, reason string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p := g.preparedSteals[jobID]
+	if p == nil {
+		return false
+	}
+	delete(g.preparedSteals, jobID)
+	now := g.Engine.Clock().Now()
+	e := p.entry
+	job := e.pending.job
+	g.logJournal(journal.Record{
+		Type: journal.TypeStealAbort, At: now, Job: jobID,
+		Handler: p.to, From: g.handlerID, Xfer: p.xfer, Msg: reason,
+	})
+	job.State = StateQueued
+	job.owner = ""
+	job.Info = fmt.Sprintf("steal aborted: %s", reason)
+	if e.req.Submitted == 0 {
+		e.req.Submitted = time.Nanosecond
+	}
+	if err := g.sched.Submit(e.req, now); err != nil {
+		job.Info = err.Error()
+		job.finish(StateError, now)
+		return true
+	}
+	g.schedJobs[jobID] = e
+	g.recordQueueLocked(now)
+	g.scheduleCycle(0)
+	return true
+}
+
+// PreparedStealIDs returns the transfer IDs of every in-flight prepared
+// steal, keyed by local job ID — the victim-side half of the anti-entropy
+// digest.
+func (g *Galaxy) PreparedStealIDs() map[int]uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.preparedSteals) == 0 {
+		return nil
+	}
+	out := make(map[int]uint64, len(g.preparedSteals))
+	for id, p := range g.preparedSteals {
+		out[id] = p.xfer
 	}
 	return out
 }

@@ -263,6 +263,19 @@ func (j *Journal) writeEncodedLocked(buf []byte) error {
 	return nil
 }
 
+// durableType reports whether a record type is on the DurableSubmits fsync
+// list: submissions and every ownership move. A crash must never un-ack a
+// submit, and it must never leave two handlers believing they own the same
+// job — adopt, steal-prepare/retire/abort and stripe claims are exactly the
+// records whose loss would reopen that window.
+func durableType(t Type) bool {
+	switch t {
+	case TypeSubmit, TypeAdopt, TypeStealPrepare, TypeStealRetire, TypeStealAbort, TypeClaim:
+		return true
+	}
+	return false
+}
+
 // Append writes one record. Depending on the options and the record type
 // the write may be buffered (group commit) or fsynced before returning. In
 // GroupCommit mode the record is staged for the flusher goroutine instead;
@@ -272,7 +285,7 @@ func (j *Journal) Append(rec Record) error {
 	if err != nil {
 		return err
 	}
-	durable := j.opts.DurableSubmits && (rec.Type == TypeSubmit || rec.Type == TypeAdopt)
+	durable := j.opts.DurableSubmits && durableType(rec.Type)
 	if j.gc != nil {
 		return j.gc.append(buf, durable, rec.Job)
 	}
@@ -484,30 +497,49 @@ func (j *Journal) WriteSnapshot(recs []Record) error {
 // there and returns an error with IsSnapshot() true, which callers must
 // treat as data loss, not as a routine crash artifact.
 func Replay(dir string) ([]Record, error) {
-	snaps, err := listSeqs(dir, snapPrefix, snapSuffix)
+	out, corrupt, err := ReplayAll(dir)
 	if err != nil {
 		return nil, err
 	}
+	if len(corrupt) > 0 {
+		return out, corrupt[0]
+	}
+	return out, nil
+}
+
+// ReplayAll is Replay with full corruption accounting: instead of reporting
+// only the first anomaly, it returns every torn or corrupt record found, one
+// per affected segment. A journal that crashed (kill -9) several incarnations
+// in a row carries one torn tail per crashed incarnation's segment; audits
+// that want to assert "this kill really tore a tail" count them here. A
+// snapshot read failure or directory error is still returned as err; snapshot
+// corruption is reported as the first (and only) entry of corrupt, with
+// IsSnapshot() true, and ends the replay.
+func ReplayAll(dir string) ([]Record, []*CorruptRecordError, error) {
+	snaps, err := listSeqs(dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return nil, nil, err
+	}
 	var out []Record
+	var corrupt []*CorruptRecordError
 	base := 0
 	if len(snaps) > 0 {
 		base = snaps[len(snaps)-1]
 		name := snapName(base)
 		b, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
-			return nil, fmt.Errorf("journal: read snapshot: %w", err)
+			return nil, nil, fmt.Errorf("journal: read snapshot: %w", err)
 		}
 		recs, cerr := decodeStream(b, name)
 		out = append(out, recs...)
 		if cerr != nil {
-			return out, cerr
+			return out, []*CorruptRecordError{cerr}, nil
 		}
 	}
 	segs, err := listSeqs(dir, segPrefix, segSuffix)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var firstCorrupt *CorruptRecordError
 	for _, s := range segs {
 		if s < base {
 			continue
@@ -515,16 +547,13 @@ func Replay(dir string) ([]Record, error) {
 		name := segName(s)
 		b, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
-			return nil, fmt.Errorf("journal: read segment: %w", err)
+			return nil, nil, fmt.Errorf("journal: read segment: %w", err)
 		}
 		recs, cerr := decodeStream(b, name)
 		out = append(out, recs...)
-		if cerr != nil && firstCorrupt == nil {
-			firstCorrupt = cerr
+		if cerr != nil {
+			corrupt = append(corrupt, cerr)
 		}
 	}
-	if firstCorrupt != nil {
-		return out, firstCorrupt
-	}
-	return out, nil
+	return out, corrupt, nil
 }

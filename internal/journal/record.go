@@ -76,6 +76,26 @@ const (
 	// TypeAdopt records a handler taking over a job whose owner's lease
 	// expired (From is the previous owner).
 	TypeAdopt Type = "adopt"
+	// TypeStealPrepare is the first phase of a two-phase work steal: the
+	// victim detaches the job from its scheduler and durably names a
+	// tentative new owner (Handler is the thief, From the victim, Xfer the
+	// victim-local transfer ID). Ownership does NOT move yet — a trail
+	// ending in a prepare is an in-flight transfer whose outcome depends on
+	// whether the thief's journal shows a matching accept.
+	TypeStealPrepare Type = "steal_prepare"
+	// TypeStealRetire is the final phase: the victim, having seen the
+	// thief's accept, retires the trail. Ownership moves to Handler (the
+	// thief), exactly as a TypeAdopt record would move it.
+	TypeStealRetire Type = "steal_retire"
+	// TypeStealAbort cancels an in-flight prepare: the thief never
+	// acknowledged (or refused), and the victim requeued the job locally.
+	TypeStealAbort Type = "steal_abort"
+	// TypeClaim records a survivor claiming a dead member's ring stripes
+	// after a lease-table eviction (From is the dead member, Stripes the
+	// claimed stripe IDs). It is the durable half of the rebalance-claim
+	// message: replaying any survivor's journal shows which slice of the
+	// dead partition it took responsibility for.
+	TypeClaim Type = "claim"
 	// TypeResubmit records an admin replaying a dead-lettered job as a
 	// fresh epoch (the failure log stays attached).
 	TypeResubmit Type = "resubmit"
@@ -156,8 +176,18 @@ type Record struct {
 	TTL    time.Duration `json:"ttl,omitempty"`
 	Wall   int64         `json:"wall,omitempty"`
 
-	// From is the previous owner on TypeAdopt records.
+	// From is the previous owner on TypeAdopt records, the victim on
+	// TypeStealPrepare/TypeStealRetire records, and the dead member on
+	// TypeClaim records.
 	From string `json:"from,omitempty"`
+
+	// Xfer is the victim-local transfer ID a two-phase steal rides
+	// (TypeStealPrepare/TypeStealRetire/TypeStealAbort on the victim, and
+	// echoed on the thief's accept-side submit record), so duplicate
+	// message delivery folds idempotently.
+	Xfer uint64 `json:"xfer,omitempty"`
+	// Stripes lists the ring stripes a TypeClaim record takes over.
+	Stripes []int `json:"stripes,omitempty"`
 
 	// Workflow membership. Workflow is the owning workflow's ID (on
 	// TypeWorkflow records and on member jobs' TypeSubmit records); Step

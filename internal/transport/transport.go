@@ -1,0 +1,235 @@
+// Package transport is the in-process simulated message bus the cluster
+// members talk over. It models an asymmetric, unreliable datacenter network
+// on the same deterministic footing as the rest of the simulator: every
+// message pays a seeded base latency, and a faults.MsgPlan can drop, delay,
+// duplicate, reorder, or one-way-partition messages at named sites. The bus
+// never invokes receivers — members poll Receive at tick boundaries, which
+// keeps delivery order a pure function of (seed, send sequence) and makes
+// every chaos run replayable.
+package transport
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"gyan/internal/faults"
+	"gyan/internal/sim"
+)
+
+// Message type names. These are the protocol vocabulary of the cluster:
+// the two-phase steal exchange, lease renewal, rebalance claims, and the
+// anti-entropy digest/repair sweep.
+const (
+	MsgStealPrepare = "steal-prepare" // victim -> thief: take these jobs (tentative)
+	MsgStealAccept  = "steal-accept"  // thief -> victim: accepted and journaled
+	MsgStealRetire  = "steal-retire"  // victim -> thief: transfer is final
+	MsgStealAbort   = "steal-abort"   // victim -> thief: prepare timed out, requeued
+	MsgAbortAck     = "steal-abort-ack"
+	MsgLeaseRenew   = "lease-renew"     // member -> all: I'm alive, plus load gossip
+	MsgClaim        = "rebalance-claim" // survivor -> all: I claimed these stripes
+	MsgAEDigest     = "ae-digest"       // member -> peer: per-stripe trail digest
+	MsgAEReply      = "ae-reply"        // peer -> member: divergence report
+)
+
+// Message is one typed envelope in flight or delivered.
+type Message struct {
+	Type     string
+	From, To string
+	// Seq is the bus-global send sequence (1-based). A duplicated copy
+	// shares the original's Seq with Dup set.
+	Seq uint64
+	Dup bool
+	// SentAt and DeliverAt are sim-clock stamps.
+	SentAt    time.Duration
+	DeliverAt time.Duration
+	// Body is the typed payload; receivers type-assert on Type.
+	Body any
+}
+
+// Options configures a Bus.
+type Options struct {
+	// Seed drives latency jitter; the fault plan has its own seed.
+	Seed uint64
+	// BaseDelay is the one-way latency floor; zero defaults to 5ms.
+	BaseDelay time.Duration
+	// JitterFrac spreads latency uniformly in ±frac/2 around BaseDelay;
+	// zero means fixed latency.
+	JitterFrac float64
+	// Plan injects message faults; nil means a perfect network.
+	Plan *faults.MsgPlan
+}
+
+// Stats counts bus traffic and injected faults.
+type Stats struct {
+	Sent        uint64 `json:"sent"`
+	Delivered   uint64 `json:"delivered"`
+	Dropped     uint64 `json:"dropped"`
+	Duplicated  uint64 `json:"duplicated"`
+	Delayed     uint64 `json:"delayed"`
+	Reordered   uint64 `json:"reordered"`
+	Partitioned uint64 `json:"partitioned"`
+	LostToKill  uint64 `json:"lost_to_kill"`
+}
+
+// Bus is the simulated network. Safe for concurrent use, though under the
+// cluster's lockstep tick discipline sends happen in deterministic order.
+type Bus struct {
+	mu     sync.Mutex
+	opts   Options
+	rng    *sim.RNG
+	seq    uint64
+	queues map[string][]Message
+	dead   map[string]bool
+	stats  Stats
+}
+
+// New builds a bus.
+func New(opts Options) *Bus {
+	if opts.BaseDelay <= 0 {
+		opts.BaseDelay = 5 * time.Millisecond
+	}
+	return &Bus{
+		opts:   opts,
+		rng:    sim.NewRNG(opts.Seed ^ 0x7472616e73706f72), // "transpor"
+		queues: make(map[string][]Message),
+		dead:   make(map[string]bool),
+	}
+}
+
+// Send enqueues one typed message. The fault plan is consulted once per
+// send; a Drop loses it, Delay adds latency, Duplicate enqueues a second
+// copy one base-delay later, and Reorder holds the message back by two
+// base delays so traffic sent after it overtakes it.
+func (b *Bus) Send(now time.Duration, typ, from, to string, body any) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seq++
+	b.stats.Sent++
+	if b.dead[to] {
+		b.stats.LostToKill++
+		return
+	}
+	plan := b.opts.Plan
+	if plan.Partitioned(from, to) {
+		b.stats.Partitioned++
+		return
+	}
+	lat := b.opts.BaseDelay
+	if f := b.opts.JitterFrac; f > 0 {
+		lat += time.Duration(float64(b.opts.BaseDelay) * f * (b.rng.Float64() - 0.5))
+	}
+	if lat < time.Nanosecond {
+		lat = time.Nanosecond
+	}
+	msg := Message{Type: typ, From: from, To: to, Seq: b.seq, SentAt: now, Body: body}
+	fault, fired := plan.CheckMsg(now, faults.MsgSite{Type: typ, From: from, To: to, Seq: b.seq})
+	if fired {
+		if fault.Drop {
+			b.stats.Dropped++
+			return
+		}
+		if fault.Delay > 0 {
+			lat += fault.Delay
+			b.stats.Delayed++
+		}
+		if fault.Reorder {
+			lat += 2 * b.opts.BaseDelay
+			b.stats.Reordered++
+		}
+		if fault.Duplicate {
+			dup := msg
+			dup.Dup = true
+			dup.DeliverAt = now + lat + b.opts.BaseDelay
+			b.queues[to] = append(b.queues[to], dup)
+			b.stats.Duplicated++
+		}
+	}
+	msg.DeliverAt = now + lat
+	b.queues[to] = append(b.queues[to], msg)
+}
+
+// Receive pops every message addressed to `to` whose delivery time has
+// arrived, ordered by (DeliverAt, Seq). Later messages stay queued.
+func (b *Bus) Receive(now time.Duration, to string) []Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q := b.queues[to]
+	if len(q) == 0 {
+		return nil
+	}
+	var due, rest []Message
+	for _, m := range q {
+		if m.DeliverAt <= now {
+			due = append(due, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	if len(due) == 0 {
+		return nil
+	}
+	b.queues[to] = rest
+	sort.SliceStable(due, func(i, j int) bool {
+		if due[i].DeliverAt != due[j].DeliverAt {
+			return due[i].DeliverAt < due[j].DeliverAt
+		}
+		return due[i].Seq < due[j].Seq
+	})
+	b.stats.Delivered += uint64(len(due))
+	return due
+}
+
+// Kill models a kill -9 of a member: its inbound queue is destroyed
+// (messages in flight to it are lost) and future sends to it are counted
+// as lost instead of queued forever.
+func (b *Bus) Kill(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats.LostToKill += uint64(len(b.queues[id]))
+	delete(b.queues, id)
+	b.dead[id] = true
+}
+
+// Pending reports how many messages are queued bus-wide (in flight).
+func (b *Bus) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, q := range b.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// PendingFor reports how many messages are queued for one member.
+func (b *Bus) PendingFor(id string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queues[id])
+}
+
+// NextDeliveryAfter returns the earliest DeliverAt strictly after now, or
+// zero if nothing is queued — the cluster uses it to know whether another
+// tick of message pumping can make progress.
+func (b *Bus) NextDeliveryAfter(now time.Duration) (time.Duration, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var best time.Duration
+	found := false
+	for _, q := range b.queues {
+		for _, m := range q {
+			if m.DeliverAt > now && (!found || m.DeliverAt < best) {
+				best, found = m.DeliverAt, true
+			}
+		}
+	}
+	return best, found
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (b *Bus) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
