@@ -11,7 +11,7 @@ FUZZ_TARGETS ?= ./internal/toolxml:FuzzParseTool \
                 ./internal/workflow:FuzzBuildDAG
 FUZZTIME     ?= 10s
 
-.PHONY: check build vet test test-race test-crash test-workflow test-cluster test-transport fuzz-short bench bench-dispatch bench-cluster bench-cluster-quick obs-smoke
+.PHONY: check build vet test test-race test-crash test-journal test-workflow test-cluster test-transport fuzz-short bench bench-dispatch bench-cluster bench-cluster-quick obs-smoke
 
 check: build vet test-race
 
@@ -37,6 +37,16 @@ test-race:
 test-crash:
 	$(GO) test ./internal/experiments -run 'TestCrashRecovery' -v
 	$(GO) test ./internal/galaxy -run 'TestCrashMidWorkload|TestLeaseExpiry' -v
+
+# test-journal is the sharded-journal durability suite under the race
+# detector: the per-stripe crash-table (each stripe torn independently and
+# two at once), staged-loss isolation, async-durable ack semantics (crash
+# between stage and flush must not acknowledge), watermark monotonicity
+# under concurrent flushers, and the sharded crash-requeue scenario at the
+# engine level.
+test-journal:
+	$(GO) test -race ./internal/journal -run 'TestSharded|TestAsyncDurable|TestWatermark|TestAdaptive|TestShardStats|TestGroupCommit' -v
+	$(GO) test -race ./internal/galaxy -run 'TestAsyncDurable|TestWithAsyncDurable|TestShardedCrash' -v
 
 # test-workflow exercises the DAG engine end to end: graph validation and
 # scheduling in internal/workflow, the galaxy-level DAG surface (fan-out,
@@ -92,14 +102,15 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # bench-dispatch measures the submit hot path (legacy global lock vs the
-# lock-split engine with group-commit journaling), writes the numbers to
-# BENCH_dispatch.json, and fails if jobs/sec at 16 concurrent submitters
-# fell more than 20% below the committed baseline.
+# lock-split engine with the sharded group-commit journal, sync and async
+# acks), writes the numbers to BENCH_dispatch.json, and fails if durable
+# jobs/sec at any swept concurrency fell more than 20% below the committed
+# baseline.
 bench-dispatch:
 	$(GO) run ./cmd/gyanbench -experiment dispatch-throughput -quick \
 		-out BENCH_dispatch.json \
 		-baseline BENCH_dispatch.baseline.json \
-		-baseline-metric jobs_per_sec_c16_journal
+		-baseline-metric jobs_per_sec_c1_journal,jobs_per_sec_c4_journal,jobs_per_sec_c16_journal,jobs_per_sec_c64_journal
 
 # bench-cluster regenerates BENCH_cluster.json at full scale — the 10k-job
 # mixed workload on 1 vs 3 handlers (the >= 2.4x scaling gate lives inside

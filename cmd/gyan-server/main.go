@@ -47,6 +47,8 @@ func main() {
 		policy      = flag.String("policy", "pid", "multi-GPU allocation policy: pid, memory, utilization")
 		seed        = flag.Uint64("seed", 42, "synthetic dataset seed")
 		journalDir  = flag.String("journal", "", "job-state journal directory (empty disables durability)")
+		shards      = flag.Int("journal-shards", journal.DefaultShards, "journal stripe count: independent write+fsync pipelines (1 pins the flat single-pipeline layout)")
+		asyncAck    = flag.Bool("async-durable", false, "acknowledge submits at journal stage time; durability is tracked by the commit watermark (GET /api/recovery)")
 		handler     = flag.String("handler", "main", "handler ID stamped on journal records and leases")
 		leaseTTL    = flag.Duration("lease-ttl", galaxy.DefaultLeaseTTL, "heartbeat lease TTL; a standby may adopt this handler's jobs after it expires")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, mutex profiles)")
@@ -56,12 +58,12 @@ func main() {
 	)
 	flag.Parse()
 	if *clusterSize > 1 {
-		if err := runCluster(*addr, *clusterSize, *handlerID, *seed, *journalDir, *leaseTTL, *memberTTL); err != nil {
+		if err := runCluster(*addr, *clusterSize, *handlerID, *seed, *journalDir, *shards, *leaseTTL, *memberTTL); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	if err := run(*addr, *policy, *seed, *journalDir, *handler, *leaseTTL, *pprofOn); err != nil {
+	if err := run(*addr, *policy, *seed, *journalDir, *handler, *shards, *asyncAck, *leaseTTL, *pprofOn); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -72,12 +74,13 @@ func main() {
 // With -journal set, every member journals durably under its own
 // subdirectory of that path; without it, journals live in a throwaway
 // temp directory.
-func runCluster(addr string, size int, idPrefix string, seed uint64, journalDir string, leaseTTL, memberTTL time.Duration) error {
+func runCluster(addr string, size int, idPrefix string, seed uint64, journalDir string, shards int, leaseTTL, memberTTL time.Duration) error {
 	c, err := cluster.New(cluster.Config{
 		Handlers:              size,
 		BaseID:                idPrefix,
 		Dir:                   journalDir,
 		DisableDurableSubmits: journalDir == "",
+		Journal:               journal.Options{GroupCommit: true, Shards: shards, Adaptive: true},
 		LeaseTTL:              leaseTTL,
 		Seed:                  seed,
 		MemberTTL:             memberTTL,
@@ -107,7 +110,7 @@ func runCluster(addr string, size int, idPrefix string, seed uint64, journalDir 
 	return http.ListenAndServe(addr, s.Handler())
 }
 
-func run(addr, policyName string, seed uint64, journalDir, handler string, leaseTTL time.Duration, pprofOn bool) error {
+func run(addr, policyName string, seed uint64, journalDir, handler string, shards int, asyncAck bool, leaseTTL time.Duration, pprofOn bool) error {
 	var pol core.Policy
 	switch policyName {
 	case "pid":
@@ -147,9 +150,16 @@ func run(addr, policyName string, seed uint64, journalDir, handler string, lease
 		// must come first). A missing directory replays as empty; a directory
 		// locked by a live handler refuses to open — that handler owns it.
 		recs, rerr := journal.Replay(journalDir)
-		// GroupCommit batches concurrent durable submits into shared fsyncs;
-		// the ack still waits for its batch to reach disk.
-		j, err := journal.Open(journalDir, journal.Options{DurableSubmits: true, GroupCommit: true})
+		// GroupCommit batches concurrent durable submits into shared fsyncs
+		// across -journal-shards independent stripe pipelines; the adaptive
+		// controller tunes batch size and flush delay to the disk's observed
+		// fsync cost. A sync ack waits for its batch to reach disk; with
+		// -async-durable the ack returns at stage time and durability is
+		// tracked by the commit watermark.
+		j, err := journal.Open(journalDir, journal.Options{
+			DurableSubmits: true, GroupCommit: true,
+			Shards: shards, Adaptive: true,
+		})
 		if err != nil {
 			return err
 		}
@@ -157,6 +167,9 @@ func run(addr, policyName string, seed uint64, journalDir, handler string, lease
 			galaxy.WithJournal(j, handler),
 			galaxy.WithLeaseTTL(leaseTTL),
 			galaxy.WithWallClock(time.Now))
+		if asyncAck {
+			gopts = append(gopts, galaxy.WithAsyncDurable())
+		}
 		g := galaxy.New(nil, gopts...)
 		if err := g.RegisterDefaultTools(); err != nil {
 			return err

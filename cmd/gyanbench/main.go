@@ -36,6 +36,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync"
 
 	"gyan/internal/experiments"
@@ -59,7 +60,7 @@ func main() {
 		asJSON     = flag.Bool("json", false, "emit results as JSON (one array of {id, caption, metrics})")
 		outFile    = flag.String("out", "", "also write the JSON results array to this file")
 		baseline   = flag.String("baseline", "", "baseline JSON results file for the regression gate")
-		baseMetric = flag.String("baseline-metric", "", "metric the gate compares against -baseline (higher is better)")
+		baseMetric = flag.String("baseline-metric", "", "comma-separated metrics the gate compares against -baseline (higher is better)")
 		baseTol    = flag.Float64("baseline-tolerance", 0.20, "max allowed relative regression before the gate fails")
 		mutexProf  = flag.String("mutexprofile", "", "write a pprof mutex contention profile to this file")
 	)
@@ -192,9 +193,10 @@ func findMetric(results []jsonResult, name string) (float64, bool) {
 }
 
 // gateAgainstBaseline fails when a higher-is-better metric fell more than
-// tol below the committed baseline value.
-func gateAgainstBaseline(current []jsonResult, baselinePath, metric string, tol float64) error {
-	if metric == "" {
+// tol below the committed baseline value. metrics is a comma-separated
+// list; every metric must clear its floor.
+func gateAgainstBaseline(current []jsonResult, baselinePath, metrics string, tol float64) error {
+	if metrics == "" {
 		return fmt.Errorf("-baseline requires -baseline-metric")
 	}
 	raw, err := os.ReadFile(baselinePath)
@@ -205,20 +207,26 @@ func gateAgainstBaseline(current []jsonResult, baselinePath, metric string, tol 
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("%s: %w", baselinePath, err)
 	}
-	want, ok := findMetric(base, metric)
-	if !ok {
-		return fmt.Errorf("metric %q not in baseline %s", metric, baselinePath)
+	for _, metric := range strings.Split(metrics, ",") {
+		metric = strings.TrimSpace(metric)
+		if metric == "" {
+			continue
+		}
+		want, ok := findMetric(base, metric)
+		if !ok {
+			return fmt.Errorf("metric %q not in baseline %s", metric, baselinePath)
+		}
+		got, ok := findMetric(current, metric)
+		if !ok {
+			return fmt.Errorf("metric %q not in this run (did the experiment run?)", metric)
+		}
+		floor := want * (1 - tol)
+		if got < floor {
+			return fmt.Errorf("%s = %.1f, below the %.0f%% floor of the baseline %.1f (floor %.1f)",
+				metric, got, tol*100, want, floor)
+		}
+		fmt.Fprintf(os.Stderr, "gyanbench: gate ok: %s = %.1f vs baseline %.1f (floor %.1f)\n",
+			metric, got, want, floor)
 	}
-	got, ok := findMetric(current, metric)
-	if !ok {
-		return fmt.Errorf("metric %q not in this run (did the experiment run?)", metric)
-	}
-	floor := want * (1 - tol)
-	if got < floor {
-		return fmt.Errorf("%s = %.1f, below the %.0f%% floor of the baseline %.1f (floor %.1f)",
-			metric, got, tol*100, want, floor)
-	}
-	fmt.Fprintf(os.Stderr, "gyanbench: gate ok: %s = %.1f vs baseline %.1f (floor %.1f)\n",
-		metric, got, want, floor)
 	return nil
 }

@@ -339,7 +339,11 @@ type recoveryResponse struct {
 	Recovered  bool                   `json:"recovered"`
 	Report     *galaxy.RecoveryReport `json:"report,omitempty"`
 	Stats      *journal.Stats         `json:"journal_stats,omitempty"`
-	Error      string                 `json:"journal_error,omitempty"`
+	// Watermark is the journal's durable commit watermark: every record
+	// ticketed at or below it has been fsynced. With async-durable acks this
+	// is the boundary clients compare DurableTicket against.
+	Watermark uint64 `json:"watermark,omitempty"`
+	Error     string `json:"journal_error,omitempty"`
 }
 
 // handleRecovery serves the durability status (GET) and triggers a
@@ -353,6 +357,7 @@ func (s *Server) handleRecovery(w http.ResponseWriter, r *http.Request) {
 		if stats, ok := s.g.JournalStats(); ok {
 			resp.Journaling = true
 			resp.Stats = &stats
+			resp.Watermark = stats.Watermark
 		}
 		if rep := s.g.LastRecovery(); rep != nil {
 			resp.Recovered = true

@@ -134,6 +134,9 @@ type Galaxy struct {
 	handlerID string
 	leaseTTL  time.Duration
 	wallNow   func() time.Time
+	// asyncDurable makes every submit behave as if
+	// SubmitOptions.AsyncDurable were set (the -async-durable server flag).
+	asyncDurable bool
 
 	leaseMu      sync.Mutex
 	lastLease    time.Duration
@@ -219,6 +222,7 @@ func New(cluster *gpu.Cluster, opts ...Option) *Galaxy {
 	}
 	if g.journal != nil {
 		g.journal.SetSyncObserver(g.obsv.ObserveFsync)
+		g.journal.SetShardSyncObserver(g.obsv.ObserveShardFsync)
 	}
 	g.installObsScrape()
 	return g
@@ -363,6 +367,15 @@ type SubmitOptions struct {
 	// already hold the job's input (a workflow step's upstream outputs).
 	// Honored only under WithScheduler with a LocalityBonus configured.
 	PreferDevices []int
+	// AsyncDurable trades the per-submit durability ack for throughput:
+	// instead of blocking until the submit record's fsync, Submit returns
+	// as soon as the record is staged and stamps Job.DurableTicket with its
+	// commit ticket. The caller awaits durability in bulk —
+	// Galaxy.AwaitDurable(ticket) or the journal's commit watermark — and
+	// must not acknowledge the job to its own users before that returns: a
+	// crash between stage and flush drops the submit exactly as it drops
+	// any staged record. No-op without a journal.
+	AsyncDurable bool
 
 	// resubmitDest, when non-empty, pins the job to the named destination
 	// instead of the mapper's choice. Set internally when a destination's
@@ -453,7 +466,11 @@ func (g *Galaxy) submitJob(toolID string, params map[string]string, dataset any,
 	// Publish before journaling: the insert is the job's release barrier,
 	// and the logJournal epoch bump after it invalidates cached snapshots.
 	g.jobs.insert(job)
-	g.logJournal(job.submit)
+	if opts.AsyncDurable || g.asyncDurable {
+		job.DurableTicket = g.logJournalAsync(job.submit)
+	} else {
+		g.logJournal(job.submit)
+	}
 	if opts.transferFrom != "" {
 		g.logJournal(journal.Record{
 			Type: journal.TypeAdopt, At: now, Job: job.ID,

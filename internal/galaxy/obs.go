@@ -7,6 +7,8 @@ package galaxy
 // registry only when a scrape or snapshot actually reads it.
 
 import (
+	"strconv"
+
 	"gyan/internal/monitor"
 	"gyan/internal/obs"
 	"gyan/internal/workflow"
@@ -66,6 +68,22 @@ func (g *Galaxy) installObsScrape() {
 		"Journal segment rotations.")
 	bytes := reg.Counter("gyan_journal_bytes_total",
 		"Encoded record bytes written to the journal.")
+	watermark := reg.Gauge("gyan_journal_watermark",
+		"Highest commit ticket at or below which every record is fsynced.")
+	tick := reg.Gauge("gyan_journal_tick",
+		"Highest commit ticket issued by the journal.")
+	flushDelay := reg.Gauge("gyan_journal_flush_delay_seconds",
+		"Adaptive group-commit flush deadline currently in effect.")
+	fsyncEWMA := reg.Gauge("gyan_journal_fsync_ewma_seconds",
+		"EWMA of observed fsync duration driving the adaptive controller.")
+	shardSegments := reg.GaugeVec("gyan_journal_shard_segments",
+		"Live segment files per journal stripe.", "shard")
+	shardStaged := reg.GaugeVec("gyan_journal_shard_staged",
+		"Records staged in group-commit rings awaiting a stripe's flusher.", "shard")
+	shardAppends := reg.GaugeVec("gyan_journal_shard_appends_total",
+		"Records appended per journal stripe.", "shard")
+	shardSyncs := reg.GaugeVec("gyan_journal_shard_syncs_total",
+		"Fsync calls issued per journal stripe.", "shard")
 	hits := reg.Counter("gyan_smi_cache_hits_total",
 		"nvidia-smi survey cache hits (shared parses).")
 	misses := reg.Counter("gyan_smi_cache_misses_total",
@@ -86,6 +104,17 @@ func (g *Galaxy) installObsScrape() {
 			syncs.Set(uint64(st.Syncs))
 			rotations.Set(uint64(st.Rotations))
 			bytes.Set(uint64(st.Bytes))
+			watermark.Set(float64(st.Watermark))
+			tick.Set(float64(st.Tick))
+			flushDelay.Set(st.FlushDelay.Seconds())
+			fsyncEWMA.Set(st.FsyncEWMA.Seconds())
+			for _, ss := range st.Shards {
+				l := strconv.Itoa(ss.Shard)
+				shardSegments.With(l).Set(float64(ss.Segments))
+				shardStaged.With(l).Set(float64(ss.Staged))
+				shardAppends.With(l).Set(float64(ss.Appends))
+				shardSyncs.With(l).Set(float64(ss.Syncs))
+			}
 		}
 		h, m, inv := g.SurveyCacheStats()
 		hits.Set(uint64(h))

@@ -66,6 +66,14 @@ func WithJournal(j *journal.Journal, handlerID string) Option {
 	}
 }
 
+// WithAsyncDurable makes every submit async-durable by default: Submit
+// returns at stage time with Job.DurableTicket set instead of blocking on
+// the submit record's fsync. See SubmitOptions.AsyncDurable for the
+// contract the caller takes on.
+func WithAsyncDurable() Option {
+	return func(g *Galaxy) { g.asyncDurable = true }
+}
+
 // WithLeaseTTL sets how long a handler heartbeat asserts job ownership.
 // Non-positive values keep the default.
 func WithLeaseTTL(d time.Duration) Option {
@@ -152,6 +160,51 @@ func (g *Galaxy) logJournal(rec journal.Record) {
 	if err := g.journal.Append(rec); err != nil {
 		g.latchJournalErr(err)
 	}
+}
+
+// logJournalAsync is logJournal without the durability wait: the record is
+// staged (group commit) or buffered and its commit ticket returned, so the
+// caller can await the fsync in bulk via AwaitDurable. Returns 0 with no
+// journal attached.
+func (g *Galaxy) logJournalAsync(rec journal.Record) uint64 {
+	g.bumpJobs()
+	if g.obsv != nil {
+		g.obsv.Transition(rec)
+	}
+	if g.journal == nil {
+		return 0
+	}
+	if rec.Handler == "" {
+		rec.Handler = g.handlerID
+	}
+	g.maybeHeartbeat(rec.At)
+	tick, err := g.journal.AppendAsync(rec)
+	if err != nil {
+		g.latchJournalErr(err)
+	}
+	return tick
+}
+
+// AwaitDurable blocks until the journal's commit watermark covers the given
+// ticket (a Job.DurableTicket from an async-durable submit): the submit
+// record, and everything staged before it, is then fsynced. It returns an
+// error if the journal closed or crashed with the ticket still un-fsynced —
+// the submit was dropped and must not be treated as acknowledged. A zero
+// ticket or a missing journal returns immediately.
+func (g *Galaxy) AwaitDurable(tick uint64) error {
+	if g.journal == nil {
+		return nil
+	}
+	return g.journal.AwaitDurable(tick)
+}
+
+// JournalWatermark returns the journal's commit watermark and whether a
+// journal is attached. Every ticket at or below the watermark is fsynced.
+func (g *Galaxy) JournalWatermark() (uint64, bool) {
+	if g.journal == nil {
+		return 0, false
+	}
+	return g.journal.Watermark(), true
 }
 
 // maybeHeartbeat writes a lease record if the newest one is stale. The

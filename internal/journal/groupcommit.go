@@ -3,44 +3,61 @@ package journal
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Group commit moves the fsync off the caller's critical path. With
-// Options.GroupCommit set, Append no longer writes under the journal's file
-// lock: the encoded record is staged into one of a small set of bounded
-// per-stripe rings (striped by job ID, so concurrent submitters rarely
-// contend on the same ring) and a dedicated flusher goroutine drains every
-// stripe, writes the whole batch in one pass, and issues a single fsync for
-// however many durable records the batch carried.
+// Options.GroupCommit set, Append no longer writes under a file lock: the
+// record is ticketed and encoded into one of the shard's bounded staging
+// lanes (the window clustering in shardFor picks the shard, a finer job
+// modulo picks the lane, so concurrent submitters into one shard rarely
+// share a lane mutex) and a dedicated flusher goroutine per shard drains
+// the lanes it owns, writes the whole batch to its shard in one pass, and
+// issues a single fsync for however many durable records the batch
+// carried. With Options.Shards > 1 the flushers run truly in parallel — N
+// independent write+fsync pipelines instead of one.
 //
 // The durability contract is unchanged: a DurableSubmits submit or adopt
 // record does not return from Append until the batch holding it has been
 // fsynced — the caller blocks on a commit-notify channel instead of doing
 // the fsync itself, so N concurrent submitters share one fsync where they
-// used to pay N.
+// used to pay N. AppendAsync opts out of the wait and relies on the commit
+// watermark instead.
 //
-// Ordering is total, not merely per-stripe: every staged entry takes a
-// ticket from a global sequence counter *while holding its stripe lock*, and
-// the flusher sorts each drained batch by ticket before writing. Because
-// drains are serialized (flushMu) and a drain holds each stripe lock while
-// emptying it, any entry a drain does not see was staged after the drain
-// swept its stripe and necessarily carries a higher ticket than everything
-// the drain took — so batch N's highest ticket is below batch N+1's lowest,
-// and the on-disk order equals ticket order. Per-job order follows a
-// fortiori, which is what Replay's last-record-wins folding relies on.
+// Ordering is total per lane and per job, not per shard file: every staged
+// entry takes a ticket from the journal's global sequence counter *while
+// holding its lane lock*, so within one lane staging order equals ticket
+// order, and the flusher sorts each drained batch by ticket before
+// writing. Across lanes of the same shard a drain can race a producer —
+// batch N may carry a ticket above one that batch N+1 sweeps from a lane
+// drained earlier in the pass — so a shard file is only approximately
+// ticket-ordered. Two things still hold exactly. First, a job's records
+// always map to one lane, so each job's records appear in its shard file
+// in ticket order, and a torn tail (a file-suffix loss) can only lose a
+// per-job ticket suffix — which is what Replay's last-record-wins folding
+// and the crash-recovery audits rely on. Second, the commit watermark
+// never passes a staged ticket: the watermark scan reads the lanes under
+// their locks, and a ticket is staged under the same lock that issued it.
+// Replay restores the global total order with a full sort by ticket, not a
+// sorted-stream merge, so local inversions never reach the engine.
 //
 // Crash semantics match the inline path: records staged but not yet flushed
 // are exactly the "buffered" records Crash drops, and durable waiters parked
 // on those entries are unblocked with an error (in a real crash the process
 // dies and nobody is acknowledged).
 
-// gcStripes is the number of staging rings. A small power of two: stripes
-// only exist to keep concurrent producers off one mutex, not to partition
-// the data.
-const gcStripes = 16
+// gcLanes is the number of staging rings per shard. Lanes exist only to
+// keep concurrent producers off one mutex — the record is ticketed and
+// encoded under the lane lock, so a burst of submitters into one shard
+// would otherwise serialize on that critical section. The lane is chosen
+// by job modulo (fine-grained), independent of the window clustering that
+// picks the shard (coarse-grained): batching wants neighbors together,
+// contention wants them apart.
+const gcLanes = 8
 
 // defaultGCRing bounds each stripe's staged-entry count. A full stripe
 // blocks its producers (backpressure) until the flusher drains it, so a
@@ -55,11 +72,11 @@ var errGCClosed = errors.New("journal: append to closed journal")
 
 // gcEntry is one staged record.
 type gcEntry struct {
-	seq     uint64
-	buf     []byte
-	durable bool
-	// done receives the batch's write+fsync outcome; nil for non-durable
-	// entries, which return as soon as they are staged.
+	seq uint64
+	buf []byte
+	// done receives the batch's write+fsync outcome; nil for entries that
+	// do not wait (non-durable, or async-durable), which return as soon as
+	// they are staged.
 	done chan error
 }
 
@@ -75,13 +92,8 @@ type committer struct {
 	j    *Journal
 	ring int
 
-	seq     atomic.Uint64
-	stripes [gcStripes]gcStripe
-
-	// flushMu serializes drains: the flusher's periodic flush, the explicit
-	// drains from Sync/Close/WriteSnapshot, and Crash's drop all exclude
-	// each other, which is what makes the ticket-order argument airtight.
-	flushMu sync.Mutex
+	stripes  []gcStripe
+	flushers []*flusher
 
 	// closed flips once (Close or Crash); closeErr is what late appenders
 	// get. Guarded by every stripe observing it under its own lock after a
@@ -90,39 +102,95 @@ type committer struct {
 	closed   bool
 	closeErr error
 
-	kick chan struct{} // buffered(1): wake the flusher
-	quit chan struct{} // closed to stop the flusher
-	exit chan struct{} // closed by the flusher on return
-
-	// holdFlush, when non-nil, parks the flusher before each drain until
+	// holdFlush, when non-nil, parks every flusher before each drain until
 	// the channel is closed — the deterministic window tests use to crash
 	// a journal with records staged but not yet flushed.
 	holdFlush chan struct{}
+}
+
+// flusher drains one shard's staging lanes into its segment files. Each
+// shard has exactly one flusher, so shard drains are single-writer and
+// batches land on disk in drain order.
+type flusher struct {
+	c     *committer
+	s     *shard
+	rings []int
+
+	// flushMu serializes this shard's drains: the flusher's own flushes,
+	// the explicit drains from Sync/Close/WriteSnapshot, and Crash's drop
+	// all exclude each other.
+	flushMu sync.Mutex
+
+	// inflightMin is the lowest ticket in the batch currently between ring
+	// drain and fsync (0: none). It is set before the rings are emptied and
+	// cleared only after the batch's write+fsync settles, so the watermark
+	// scan never loses sight of a staged ticket mid-flush.
+	inflightMin atomic.Uint64
+
+	// queued mirrors the total entry count across this flusher's lanes
+	// (maintained under the lane locks, read without them) so the pace
+	// loop's poll is one atomic load instead of eight mutex acquisitions —
+	// a spinning flusher must not contend with the producers it is waiting
+	// for.
+	queued atomic.Int64
+
+	kick chan struct{} // buffered(1): wake the flusher
+	quit chan struct{} // closed to stop the flusher
+	exit chan struct{} // closed by the flusher on return
 }
 
 func newCommitter(j *Journal, ring int) *committer {
 	if ring <= 0 {
 		ring = defaultGCRing
 	}
+	// Each shard owns a contiguous block of gcLanes lanes: lane l of shard s
+	// is stripe s*gcLanes+l, and append derives both indices from the job ID
+	// (window → shard, modulo → lane), so the GC path and shardFor agree on
+	// every key.
+	nstripes := gcLanes * len(j.shards)
 	c := &committer{
-		j:    j,
-		ring: ring,
-		kick: make(chan struct{}, 1),
-		quit: make(chan struct{}),
-		exit: make(chan struct{}),
+		j:       j,
+		ring:    ring,
+		stripes: make([]gcStripe, nstripes),
 	}
 	for i := range c.stripes {
 		c.stripes[i].notFull = sync.NewCond(&c.stripes[i].mu)
 	}
-	go c.run()
+	for _, s := range j.shards {
+		f := &flusher{
+			c:    c,
+			s:    s,
+			kick: make(chan struct{}, 1),
+			quit: make(chan struct{}),
+			exit: make(chan struct{}),
+		}
+		for l := 0; l < gcLanes; l++ {
+			f.rings = append(f.rings, s.id*gcLanes+l)
+		}
+		c.flushers = append(c.flushers, f)
+	}
+	for _, f := range c.flushers {
+		go f.run()
+	}
 	return c
 }
 
-// setHoldFlush installs (or clears) the test-only flusher gate.
+// setHoldFlush installs (or clears) the test-only flusher gate. Taking
+// every flusher's flushMu first makes the install a barrier: a drain that
+// already passed its gate check finishes before the hold lands (it holds
+// its flushMu throughout — see flushGated), and every drain that starts
+// afterwards re-checks the gate under flushMu, so no drain can sweep
+// records staged after this call returns.
 func (c *committer) setHoldFlush(ch chan struct{}) {
+	for _, f := range c.flushers {
+		f.flushMu.Lock()
+	}
 	c.stateMu.Lock()
 	c.holdFlush = ch
 	c.stateMu.Unlock()
+	for _, f := range c.flushers {
+		f.flushMu.Unlock()
+	}
 }
 
 func (c *committer) holdGate() chan struct{} {
@@ -140,77 +208,238 @@ func (c *committer) terminalErr() error {
 	return nil
 }
 
-// append stages one encoded record. key selects the stripe (the record's
-// job ID; lease records share stripe 0). Durable entries block until their
-// batch is on disk.
-func (c *committer) append(buf []byte, durable bool, key int) error {
-	s := &c.stripes[uint(key)%gcStripes]
+// stagedFor counts the entries staged in the rings one shard's flusher
+// owns, for Stats.
+func (c *committer) stagedFor(shardID int) int {
+	f := c.flushers[shardID]
+	n := 0
+	for _, ri := range f.rings {
+		s := &c.stripes[ri]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// append stages one record. The record's job ID selects the shard through
+// the same window clustering as shardFor (lease records share shard 0) and
+// a lane within it by modulo, so the GC path and the inline path agree on
+// every job's shard while a burst into one shard spreads over gcLanes
+// mutexes instead of funneling through one. Durable entries block until
+// their batch is on disk unless wait is false (async-durable), in which
+// case the returned ticket is the caller's handle for AwaitDurable.
+func (c *committer) append(rec Record, durable, wait bool) (uint64, error) {
+	si := int((uint(rec.Job) / shardWindow) % uint(len(c.flushers)))
+	ri := si*gcLanes + int(uint(rec.Job)%gcLanes)
+	f := c.flushers[si]
+	s := &c.stripes[ri]
 	s.mu.Lock()
 	for len(s.entries) >= c.ring {
 		if err := c.terminalErr(); err != nil {
 			s.mu.Unlock()
-			return err
+			return 0, err
 		}
 		s.notFull.Wait()
 	}
 	if err := c.terminalErr(); err != nil {
 		s.mu.Unlock()
-		return err
+		return 0, err
 	}
-	// The ticket is taken under the stripe lock: a drain holding this lock
-	// has either already taken this entry or will observe it with a ticket
-	// above everything the drain swept — never in between.
-	e := gcEntry{seq: c.seq.Add(1), buf: buf, durable: durable}
-	if durable {
+	// The ticket is taken — and the record encoded with it — under the
+	// lane lock: within this lane, staging order equals ticket order, and
+	// the watermark scan takes the same lock, so it never sees the ticket
+	// counter ahead of the staged entry.
+	rec.Tick = c.j.tick.Add(1)
+	buf, err := encodePooled(rec)
+	if err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	e := gcEntry{seq: rec.Tick, buf: buf}
+	if durable && wait {
 		e.done = make(chan error, 1)
 	}
 	s.entries = append(s.entries, e)
+	queued := f.queued.Add(1)
 	s.mu.Unlock()
 
-	select {
-	case c.kick <- struct{}{}:
-	default: // a wake-up is already pending
+	// Kick only on the empty→non-empty transition: during a burst the
+	// flusher is already awake (pacing or draining), and waking it per
+	// record is a futex round-trip per append on the hot path. A record
+	// staged mid-drain that this misses is caught by the flusher's own
+	// post-drain recheck in run.
+	if queued == 1 {
+		select {
+		case f.kick <- struct{}{}:
+		default: // a wake-up is already pending
+		}
 	}
-	if durable {
-		return <-e.done
+	if e.done != nil {
+		return rec.Tick, <-e.done
 	}
-	return nil
+	return rec.Tick, nil
 }
 
-// run is the flusher goroutine: drain on every kick, final drain on quit.
-func (c *committer) run() {
-	defer close(c.exit)
+// run is one shard's flusher goroutine: drain on every kick, final drain
+// on quit.
+func (f *flusher) run() {
+	defer close(f.exit)
 	for {
 		select {
-		case <-c.kick:
-			if gate := c.holdGate(); gate != nil {
+		case <-f.kick:
+			f.pace()
+			if !f.flushGated() {
+				return
+			}
+			// Producers only kick on the empty→non-empty transition, so an
+			// entry staged after the drain swept its lane may carry no
+			// pending wake-up — recheck and self-kick rather than sleep on
+			// staged work.
+			if f.staged() > 0 {
 				select {
-				case <-gate:
-				case <-c.quit:
-					// Same as the main quit branch: one final drain. After a
-					// crash the rings are already empty (crash dropped them
-					// under flushMu before closing quit), so this flushes
-					// nothing; after a close it is the staged tail.
-					c.flush()
-					return
+				case f.kick <- struct{}{}:
+				default:
 				}
 			}
-			c.flush()
-		case <-c.quit:
-			c.flush()
+		case <-f.quit:
+			f.flush()
 			return
 		}
 	}
 }
 
-// take empties every stripe and returns the union, waking blocked producers.
-func (c *committer) take() []gcEntry {
+// flushGated is the flusher-goroutine drain: it honors the test-only hold
+// gate, parking before the drain while a hold is installed. The gate is
+// read under flushMu and the drain runs without releasing it, which —
+// paired with setHoldFlush's all-flushMu barrier — closes the straddle
+// race: a drain that saw no gate cannot sweep records staged after a hold
+// was installed. Returns false when quit was observed while parked (the
+// flusher must exit).
+func (f *flusher) flushGated() bool {
+	f.flushMu.Lock()
+	gate := f.c.holdGate()
+	if gate == nil {
+		f.flushLocked()
+		f.flushMu.Unlock()
+		return true
+	}
+	f.flushMu.Unlock()
+	select {
+	case <-gate:
+		// Hold released: drain normally (a closed gate stays closed, so
+		// subsequent kicks flow straight through above or here).
+		f.flush()
+		return true
+	case <-f.quit:
+		// Same as the main quit branch: one final drain. After a crash the
+		// rings are already empty (crash dropped them under flushMu before
+		// closing quit), so this flushes nothing; after a close it is the
+		// staged tail.
+		f.flush()
+		return false
+	}
+}
+
+// pace is the adaptive flush deadline: wait for the burst of concurrent
+// producers to finish staging before paying the fsync, so the whole burst
+// shares one. Three exits — the batch target filled, the arrivals went
+// quiet (a sync-ack producer blocks until the drain, so once staging stops
+// no further wait can grow the batch), or the deadline (half an fsync)
+// expired. A no-op without Options.Adaptive, so deterministic tests see
+// the eager flusher.
+func (f *flusher) pace() {
+	ctl := f.c.j.ctl
+	if ctl == nil {
+		return
+	}
+	d := ctl.flushDelay()
+	if d <= 0 {
+		return
+	}
+	// Waiting only pays when a batch can actually grow: either recent
+	// drains carried multiple records (concurrent producers are active), or
+	// more than one record is already staged right now (the bootstrap — a
+	// fresh journal's batch history is empty even under heavy concurrency).
+	// A lone producer skips the delay entirely, keeping single-submitter
+	// ack latency at the eager-flush floor.
+	if !ctl.paceWorthwhile() && f.staged() <= 1 {
+		return
+	}
+	// Kicks coalesce (the channel holds one token), so everything may
+	// already be staged by the time the flusher wakes: check the target
+	// before the gather loop, not only inside it.
+	target := ctl.batchTarget(f.c.ring * len(f.rings))
+	last := f.staged()
+	if last == 0 || last >= target {
+		return
+	}
+	// Gather by polling, not timers: the quiet window is tens of
+	// microseconds and OS timer granularity would stretch it to ~100µs+,
+	// which at batch sizes of 2-8 costs more than the fsync it saves. The
+	// flusher is a dedicated goroutine, the spin is bounded by the
+	// deadline, and Gosched keeps producers running on a busy box.
+	const quiet = 15 * time.Microsecond
+	start := time.Now()
+	lastGrow := start
+	for {
+		select {
+		case <-f.quit:
+			return
+		default:
+		}
+		runtime.Gosched()
+		n := f.staged()
+		if n >= target {
+			return
+		}
+		now := time.Now()
+		if n > last {
+			last, lastGrow = n, now
+			continue
+		}
+		// No growth for a quiet beat: the burst is fully staged and every
+		// producer in it is parked waiting on this flush — more waiting
+		// cannot grow the batch.
+		if now.Sub(lastGrow) >= quiet || now.Sub(start) >= d {
+			return
+		}
+	}
+}
+
+// staged reads the entry count currently parked in this flusher's lanes
+// from the mirror counter — lock-free, because pace polls it in a loop.
+func (f *flusher) staged() int {
+	return int(f.queued.Load())
+}
+
+// take empties this flusher's stripes and returns the union, waking blocked
+// producers. Two phases keep every ticket visible to the watermark scan: the
+// lowest staged ticket is published as inflightMin before any ring is
+// emptied, and nothing is drained if the first sweep saw nothing (a record
+// staged mid-drain keeps its pending kick, so it is picked up next round
+// with its own inflight marker).
+func (f *flusher) take() []gcEntry {
+	min := uint64(0)
+	for _, ri := range f.rings {
+		s := &f.c.stripes[ri]
+		s.mu.Lock()
+		if len(s.entries) > 0 && (min == 0 || s.entries[0].seq < min) {
+			min = s.entries[0].seq
+		}
+		s.mu.Unlock()
+	}
+	if min == 0 {
+		return nil
+	}
+	f.inflightMin.Store(min)
 	var out []gcEntry
-	for i := range c.stripes {
-		s := &c.stripes[i]
+	for _, ri := range f.rings {
+		s := &f.c.stripes[ri]
 		s.mu.Lock()
 		if len(s.entries) > 0 {
 			out = append(out, s.entries...)
+			f.queued.Add(-int64(len(s.entries)))
 			s.entries = nil
 			s.notFull.Broadcast()
 		}
@@ -219,17 +448,25 @@ func (c *committer) take() []gcEntry {
 	return out
 }
 
-// flush drains all stripes and writes the batch in ticket order with one
-// trailing fsync decision. Waiters are notified with the batch's outcome.
-func (c *committer) flush() error {
-	c.flushMu.Lock()
-	defer c.flushMu.Unlock()
-	batch := c.take()
+// flush drains this flusher's stripes and writes the batch to its shard in
+// ticket order with one trailing fsync decision. Waiters are notified with
+// the batch's outcome.
+func (f *flusher) flush() error {
+	f.flushMu.Lock()
+	defer f.flushMu.Unlock()
+	return f.flushLocked()
+}
+
+// flushLocked is flush with flushMu already held.
+func (f *flusher) flushLocked() error {
+	batch := f.take()
 	if len(batch) == 0 {
 		return nil
 	}
 	sort.Slice(batch, func(i, k int) bool { return batch[i].seq < batch[k].seq })
-	err := c.j.writeBatch(batch)
+	err := f.s.writeBatch(batch)
+	f.inflightMin.Store(0)
+	f.c.j.advanceWatermark()
 	for _, e := range batch {
 		if e.done != nil {
 			e.done <- err
@@ -238,21 +475,39 @@ func (c *committer) flush() error {
 	return err
 }
 
-// close drains whatever is staged and stops the flusher. Later appends get
+// flush drains every shard's staged tail synchronously (Sync, Close,
+// WriteSnapshot).
+func (c *committer) flush() error {
+	var first error
+	for _, f := range c.flushers {
+		if err := f.flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// close drains whatever is staged and stops the flushers. Later appends get
 // errGCClosed.
 func (c *committer) close() error {
 	c.stateMu.Lock()
 	if c.closed {
 		c.stateMu.Unlock()
-		<-c.exit
+		for _, f := range c.flushers {
+			<-f.exit
+		}
 		return nil
 	}
 	c.closed = true
 	c.closeErr = errGCClosed
 	c.stateMu.Unlock()
 	c.wakeProducers()
-	close(c.quit) // the flusher's final flush drains the staged tail
-	<-c.exit
+	for _, f := range c.flushers {
+		close(f.quit) // the flusher's final flush drains the staged tail
+	}
+	for _, f := range c.flushers {
+		<-f.exit
+	}
 	return nil
 }
 
@@ -268,19 +523,27 @@ func (c *committer) crash() {
 	c.closeErr = fmt.Errorf("journal: crash on closed journal")
 	c.stateMu.Unlock()
 	c.wakeProducers()
-	// Excluding the flusher via flushMu means any in-flight batch finishes
-	// its write first (it was handed to the OS before the "power cut");
-	// everything still staged after that is dropped on the floor.
-	c.flushMu.Lock()
-	dropped := c.take()
-	for _, e := range dropped {
-		if e.done != nil {
-			e.done <- errGCCrashed
+	// Excluding each flusher via its flushMu means any in-flight batch
+	// finishes its write first (it was handed to the OS before the "power
+	// cut"); everything still staged after that is dropped on the floor.
+	for _, f := range c.flushers {
+		f.flushMu.Lock()
+		dropped := f.take()
+		f.inflightMin.Store(0)
+		for _, e := range dropped {
+			if e.done != nil {
+				e.done <- errGCCrashed
+			}
+			recycleFrame(e.buf)
 		}
+		f.flushMu.Unlock()
 	}
-	c.flushMu.Unlock()
-	close(c.quit)
-	<-c.exit
+	for _, f := range c.flushers {
+		close(f.quit)
+	}
+	for _, f := range c.flushers {
+		<-f.exit
+	}
 }
 
 // wakeProducers unparks every producer blocked on a full stripe so it can
@@ -294,27 +557,26 @@ func (c *committer) wakeProducers() {
 	}
 }
 
-// writeBatch appends a drained batch under the journal's file lock: every
-// record is written (rotating segments as needed), then a single fsync
-// covers the whole batch if it carried durable records or the SyncEvery
-// budget filled up.
-func (j *Journal) writeBatch(batch []gcEntry) error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.closed {
+// writeBatch appends a drained batch under the shard's lock: every record
+// is written (rotating segments as needed), then a single fsync covers the
+// whole batch. Always fsyncing the batch — not only when it carries
+// durable-class records — is what the commit watermark leans on: once a
+// flush cycle completes, every ticket it drained is durable and the
+// watermark may pass it, so async-durable waiters converge instead of
+// hanging behind a non-durable record parked in the OS cache. The cost
+// stays amortized: one fsync per drain, shared by however many producers
+// staged into it.
+func (s *shard) writeBatch(batch []gcEntry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
 		return errGCClosed
 	}
-	durable := false
 	for _, e := range batch {
-		if err := j.writeEncodedLocked(e.buf); err != nil {
+		if err := s.writeEncodedLocked(e.buf, e.seq); err != nil {
 			return err
 		}
-		if e.durable {
-			durable = true
-		}
+		recycleFrame(e.buf)
 	}
-	if durable || (j.opts.SyncEvery > 0 && j.pending >= j.opts.SyncEvery) {
-		return j.syncLocked()
-	}
-	return nil
+	return s.syncLocked()
 }

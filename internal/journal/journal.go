@@ -2,6 +2,7 @@ package journal
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,8 +30,8 @@ type Options struct {
 	// record only costs a re-execution, never a job.
 	DurableSubmits bool
 	// GroupCommit moves writes and fsyncs off the appender's path: records
-	// are staged into bounded per-stripe rings and a dedicated flusher
-	// goroutine batches them into single write+fsync passes. The
+	// are staged into bounded per-stripe rings and dedicated flusher
+	// goroutines batch them into single write+fsync passes. The
 	// DurableSubmits contract is preserved — a durable Append still blocks
 	// until its batch's fsync — but concurrent submitters share one fsync
 	// instead of serializing on one each. See groupcommit.go.
@@ -37,10 +39,54 @@ type Options struct {
 	// GroupCommitRing bounds each staging stripe (backpressure); zero
 	// defaults to 1024 entries.
 	GroupCommitRing int
+	// Shards splits the journal into that many independent write+fsync
+	// pipelines, each with its own segment files (under dir/shard-NN/),
+	// rotation and fsync cadence, so concurrent appenders stop funneling
+	// into one file lock. Global order is preserved logically: every record
+	// carries a commit ticket, on-disk order equals ticket order within a
+	// shard, and Replay merges the shards back into total ticket order.
+	// Zero and one both mean the single-pipeline legacy layout (segments
+	// directly in dir); production wiring passes DefaultShards.
+	Shards int
+	// Adaptive enables the adaptive group-commit controller: each shard's
+	// flusher tunes its flush deadline and batch target online from the
+	// observed fsync-duration EWMA — long fsyncs buy bigger batches, short
+	// ones buy lower latency. Only meaningful with GroupCommit.
+	Adaptive bool
+}
+
+// DefaultShards is the shard count production wiring uses (gyan-server,
+// cluster members, the dispatch experiment). Options' zero value stays at
+// one shard so existing single-pipeline journals keep their on-disk layout.
+const DefaultShards = 8
+
+// maxShards bounds Options.Shards (shard directories are two-digit).
+const maxShards = 64
+
+// ShardStats counts one stripe pipeline's write-side activity.
+type ShardStats struct {
+	// Shard is the stripe index.
+	Shard int
+	// Appends is the number of records appended to this stripe.
+	Appends int
+	// Syncs is the number of fsync calls this stripe issued.
+	Syncs int
+	// Rotations is the number of segment rotations.
+	Rotations int
+	// Bytes is the total encoded record bytes written.
+	Bytes int64
+	// Segment is the stripe's current segment sequence number.
+	Segment int
+	// Segments is the number of live segment files on disk.
+	Segments int
+	// Staged is the number of group-commit entries currently staged in
+	// this stripe's rings (zero without GroupCommit).
+	Staged int
 }
 
 // Stats counts a journal's write-side activity, for the overhead benchmark
-// and the recovery status API.
+// and the recovery status API. The aggregate fields sum over every shard;
+// Shards carries the per-stripe breakdown.
 type Stats struct {
 	// Appends is the number of records appended.
 	Appends int
@@ -50,49 +96,115 @@ type Stats struct {
 	Rotations int
 	// Bytes is the total encoded record bytes written.
 	Bytes int64
-	// Segment is the current segment sequence number.
+	// Segment is the highest current segment sequence number.
 	Segment int
+	// Watermark is the commit watermark: the highest ticket below which
+	// every issued ticket has been fsynced. See Journal.Watermark.
+	Watermark uint64
+	// Tick is the highest ticket issued so far.
+	Tick uint64
+	// FsyncEWMA and FlushDelay expose the adaptive controller's state
+	// (zero unless Options.Adaptive): the fsync-duration estimate and the
+	// flush deadline derived from it.
+	FsyncEWMA  time.Duration `json:",omitempty"`
+	FlushDelay time.Duration `json:",omitempty"`
+	// Shards is the per-stripe breakdown (one entry even for a
+	// single-pipeline journal).
+	Shards []ShardStats `json:",omitempty"`
+}
+
+// shard is one independent write+fsync pipeline: its own segment files,
+// bufio writer, rotation state and counters, all guarded by its own mutex so
+// shards never contend with each other.
+type shard struct {
+	j   *Journal
+	id  int
+	dir string
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	seq     int
+	size    int64
+	pending int // appends since the last fsync
+	stats   ShardStats
+	closed  bool
+	// unsyncedMin is the lowest ticket written to this shard since its
+	// last fsync (0: none) — the shard's contribution to the commit
+	// watermark. Written under mu; the watermark scan reads it lock-free,
+	// after scanning the staging rings and the in-flight batch, so a
+	// ticket is visible in at least one of the three until it is durable.
+	// Atomic rather than mu-guarded so the scan never parks behind another
+	// shard's in-flight fsync (mu is held across write+fsync) — that stall
+	// would serialize the stripe pipelines against each other.
+	unsyncedMin atomic.Uint64
 }
 
 // Journal is the append side of a write-ahead log directory. It is safe
 // for concurrent use.
 type Journal struct {
-	dir  string
-	opts Options
+	dir    string
+	opts   Options
+	lock   *os.File // held flock on the directory's LOCK file
+	shards []*shard
 
-	mu      sync.Mutex
-	f       *os.File
-	w       *bufio.Writer
-	lock    *os.File // held flock on the directory's LOCK file
-	seq     int
-	size    int64
-	pending int // appends since the last fsync
-	stats   Stats
+	// tick issues commit tickets: a journal-wide total order over records.
+	// The high bits hold the incarnation epoch (see Open), so tickets from
+	// a restarted process always outrank its predecessor's.
+	tick atomic.Uint64
+	// wm is the published commit watermark; it only ever grows.
+	wm atomic.Uint64
+
+	// wmMu/wmCond park AwaitDurable callers; wmErr terminates them when
+	// the journal closes or crashes with tickets still un-fsynced.
+	wmMu   sync.Mutex
+	wmCond *sync.Cond
+	wmErr  error
+
+	stateMu sync.Mutex
 	closed  bool
 
-	// onSync, when set, observes each fsync that made appended records
-	// durable: the batch size (appends since the previous fsync) and how
-	// long the disk took. Guarded by j.mu like the rest of the write side;
-	// the callback runs with j.mu held and must not call back into the
-	// journal.
-	onSync func(records int, took time.Duration)
+	// stageGate serializes ticket issue against WriteSnapshot: appenders
+	// hold it shared for the stage/write, the snapshot holds it exclusive
+	// while stamping its own tickets, so no in-flight append can take a
+	// ticket below the snapshot's cutoff and then be wrongly dropped by
+	// the tick-filtered replay.
+	stageGate sync.RWMutex
+
+	// onSync/onShardSync, when set, observe each fsync that made appended
+	// records durable: the batch size (appends since the previous fsync)
+	// and how long the disk took. The callbacks run with the shard's mu
+	// held and must not call back into the journal.
+	obsMu       sync.Mutex
+	onSync      func(records int, took time.Duration)
+	onShardSync func(shard, records int, took time.Duration)
+
+	// ctl is the adaptive group-commit controller (nil unless
+	// Options.Adaptive).
+	ctl *adaptiveCtl
 
 	// gc is the group-commit machinery (nil unless Options.GroupCommit).
-	// It lives outside j.mu: Append stages records through it without
-	// touching the file, and its flusher goroutine calls back into
-	// writeBatch under j.mu.
+	// It lives outside the shard mutexes: Append stages records through it
+	// without touching any file, and its per-shard flusher goroutines call
+	// back into writeBatch under their shard's mu.
 	gc *committer
 }
 
 const (
-	segPrefix  = "wal-"
-	segSuffix  = ".seg"
-	snapPrefix = "snap-"
-	snapSuffix = ".json"
+	segPrefix   = "wal-"
+	segSuffix   = ".seg"
+	snapPrefix  = "snap-"
+	snapSuffix  = ".json"
+	shardPrefix = "shard-"
 )
 
-func segName(seq int) string  { return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix) }
-func snapName(seq int) string { return fmt.Sprintf("%s%08d%s", snapPrefix, seq, snapSuffix) }
+// tickEpochShift positions the incarnation epoch in a ticket's high bits:
+// 2^24 restarts, 2^40 tickets per incarnation.
+const tickEpochShift = 40
+
+func segName(seq int) string    { return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix) }
+func snapName(seq int) string   { return fmt.Sprintf("%s%08d%s", snapPrefix, seq, snapSuffix) }
+func shardDirName(i int) string { return fmt.Sprintf("%s%02d", shardPrefix, i) }
 
 // parseSeq extracts the sequence number from a segment or snapshot file
 // name; ok is false for foreign files.
@@ -127,10 +239,33 @@ func listSeqs(dir, prefix, suffix string) ([]int, error) {
 	return out, nil
 }
 
+// listShardDirs returns the sorted shard subdirectory names of a journal
+// directory (empty for a single-pipeline journal).
+func listShardDirs(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: list %s: %w", dir, err)
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, ok := parseSeq(e.Name(), shardPrefix, ""); ok {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
 // Open creates (or reopens) a journal directory for appending. Existing
-// segments are never written to again: appends go to a fresh segment after
-// the highest existing sequence, so a torn tail from a previous crash stays
-// isolated in its own file.
+// segments are never written to again: each shard's appends go to a fresh
+// segment after that shard's highest existing sequence, so a torn tail from
+// a previous crash stays isolated in its own file.
 //
 // Open takes an exclusive flock(2) on the directory's LOCK file and holds
 // it until Close (or Crash, which models process death). A second live
@@ -145,6 +280,12 @@ func Open(dir string, opts Options) (*Journal, error) {
 	if opts.SyncEvery == 0 {
 		opts.SyncEvery = 64
 	}
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	if opts.Shards > maxShards {
+		opts.Shards = maxShards
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: create %s: %w", dir, err)
 	}
@@ -152,23 +293,71 @@ func Open(dir string, opts Options) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	seq := 0
-	if segs, err := listSeqs(dir, segPrefix, segSuffix); err != nil {
+	fail := func(err error) (*Journal, error) {
 		releaseLock(lock)
 		return nil, err
-	} else if len(segs) > 0 {
-		seq = segs[len(segs)-1]
 	}
-	if snaps, err := listSeqs(dir, snapPrefix, snapSuffix); err != nil {
-		releaseLock(lock)
-		return nil, err
-	} else if len(snaps) > 0 && snaps[len(snaps)-1] > seq {
-		seq = snaps[len(snaps)-1]
+	// The incarnation epoch must outrank every sequence number any previous
+	// incarnation could have issued a ticket under: segment and snapshot
+	// seqs only ever grow (compaction reopens past them, never below), so
+	// 1 + the max over every stream is strictly above all prior epochs.
+	maxSeq := 0
+	bump := func(seqs []int) {
+		if len(seqs) > 0 && seqs[len(seqs)-1] > maxSeq {
+			maxSeq = seqs[len(seqs)-1]
+		}
 	}
-	j := &Journal{dir: dir, opts: opts, seq: seq, lock: lock}
-	if err := j.openSegment(seq + 1); err != nil {
-		releaseLock(lock)
-		return nil, err
+	topSegs, err := listSeqs(dir, segPrefix, segSuffix)
+	if err != nil {
+		return fail(err)
+	}
+	bump(topSegs)
+	snaps, err := listSeqs(dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return fail(err)
+	}
+	bump(snaps)
+	shardDirs, err := listShardDirs(dir)
+	if err != nil {
+		return fail(err)
+	}
+	for _, sd := range shardDirs {
+		segs, err := listSeqs(filepath.Join(dir, sd), segPrefix, segSuffix)
+		if err != nil {
+			return fail(err)
+		}
+		bump(segs)
+	}
+
+	j := &Journal{dir: dir, opts: opts, lock: lock}
+	j.wmCond = sync.NewCond(&j.wmMu)
+	j.tick.Store(uint64(maxSeq+1) << tickEpochShift)
+	j.wm.Store(j.tick.Load())
+	if opts.Adaptive {
+		j.ctl = &adaptiveCtl{}
+	}
+	for i := 0; i < opts.Shards; i++ {
+		sdir := dir
+		seq := maxSeq // legacy layout: shares the seq space with snapshots
+		if opts.Shards > 1 {
+			sdir = filepath.Join(dir, shardDirName(i))
+			if err := os.MkdirAll(sdir, 0o755); err != nil {
+				return fail(fmt.Errorf("journal: create %s: %w", sdir, err))
+			}
+			segs, err := listSeqs(sdir, segPrefix, segSuffix)
+			if err != nil {
+				return fail(err)
+			}
+			seq = 0
+			if len(segs) > 0 {
+				seq = segs[len(segs)-1]
+			}
+		}
+		s := &shard{j: j, id: i, dir: sdir, stats: ShardStats{Shard: i}}
+		j.shards = append(j.shards, s)
+		if err := s.openSegment(seq + 1); err != nil {
+			return fail(err)
+		}
 	}
 	if opts.GroupCommit {
 		j.gc = newCommitter(j, opts.GroupCommitRing)
@@ -179,48 +368,107 @@ func Open(dir string, opts Options) (*Journal, error) {
 // Dir returns the journal's directory.
 func (j *Journal) Dir() string { return j.dir }
 
-// Stats returns a snapshot of the write-side counters.
-func (j *Journal) Stats() Stats {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	s := j.stats
-	s.Segment = j.seq
-	return s
+// shardWindow clusters consecutive append keys onto one pipeline: keys
+// [0,W) share a shard, [W,2W) the next, and so on. Job IDs are issued
+// sequentially, so the jobs in flight at any moment span a narrow ID range
+// — windowing maps a burst of concurrent submissions to a handful of
+// shards, where they share group-commit batches (and their fsyncs), while
+// the rotation still spreads sustained load across every pipeline. A pure
+// modulo would scatter each burst one record per shard, capping every
+// batch at the per-shard occupancy and paying near-per-record fsyncs.
+// The width trades batch size against pipeline spread: W concurrent
+// submitters occupy one pipeline at full batch, and filesystems whose
+// fsyncs degrade under file-level parallelism (a shared journal head)
+// favor fewer, fuller pipelines over maximal spread.
+const shardWindow = 16
+
+// shardFor maps an append key (the record's job ID) to its pipeline. The
+// mapping is stable, so one job's records always land in one shard and
+// per-job order on disk follows from per-shard ticket order.
+func (j *Journal) shardFor(key int) *shard {
+	return j.shards[(uint(key)/shardWindow)%uint(len(j.shards))]
 }
 
-// openSegment starts a fresh segment with j.mu held (or before the journal
+// Stats returns a snapshot of the write-side counters across all shards.
+func (j *Journal) Stats() Stats {
+	var out Stats
+	for _, s := range j.shards {
+		s.mu.Lock()
+		ss := s.stats
+		ss.Segment = s.seq
+		s.mu.Unlock()
+		if segs, err := listSeqs(s.dir, segPrefix, segSuffix); err == nil {
+			ss.Segments = len(segs)
+		}
+		if j.gc != nil {
+			ss.Staged = j.gc.stagedFor(s.id)
+		}
+		out.Appends += ss.Appends
+		out.Syncs += ss.Syncs
+		out.Rotations += ss.Rotations
+		out.Bytes += ss.Bytes
+		if ss.Segment > out.Segment {
+			out.Segment = ss.Segment
+		}
+		out.Shards = append(out.Shards, ss)
+	}
+	out.Watermark = j.wm.Load()
+	out.Tick = j.tick.Load()
+	if j.ctl != nil {
+		out.FsyncEWMA = j.ctl.ewma()
+		out.FlushDelay = j.ctl.flushDelay()
+	}
+	return out
+}
+
+// openSegment starts a fresh segment with s.mu held (or before the journal
 // is shared).
-func (j *Journal) openSegment(seq int) error {
-	f, err := os.OpenFile(filepath.Join(j.dir, segName(seq)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+func (s *shard) openSegment(seq int) error {
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(seq)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: open segment: %w", err)
 	}
-	j.f = f
-	j.w = bufio.NewWriter(f)
-	j.seq = seq
-	j.size = 0
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	s.seq = seq
+	s.size = 0
 	return nil
 }
 
-// syncLocked flushes the buffer and fsyncs the current segment.
-func (j *Journal) syncLocked() error {
-	if j.w != nil {
-		if err := j.w.Flush(); err != nil {
+// syncLocked flushes the buffer and fsyncs the current segment. On success
+// every ticket written to this shard is durable, so its watermark
+// contribution clears.
+func (s *shard) syncLocked() error {
+	if s.w != nil {
+		if err := s.w.Flush(); err != nil {
 			return fmt.Errorf("journal: flush: %w", err)
 		}
 	}
-	if j.f != nil {
-		batch := j.pending
+	if s.f != nil {
+		batch := s.pending
 		t0 := time.Now()
-		if err := j.f.Sync(); err != nil {
+		if err := s.f.Sync(); err != nil {
 			return fmt.Errorf("journal: fsync: %w", err)
 		}
-		j.stats.Syncs++
-		if j.onSync != nil && batch > 0 {
-			j.onSync(batch, time.Since(t0))
+		s.stats.Syncs++
+		took := time.Since(t0)
+		if batch > 0 {
+			if s.j.ctl != nil {
+				s.j.ctl.observe(batch, took)
+			}
+			s.j.obsMu.Lock()
+			onSync, onShardSync := s.j.onSync, s.j.onShardSync
+			s.j.obsMu.Unlock()
+			if onSync != nil {
+				onSync(batch, took)
+			}
+			if onShardSync != nil {
+				onShardSync(s.id, batch, took)
+			}
 		}
 	}
-	j.pending = 0
+	s.pending = 0
+	s.unsyncedMin.Store(0)
 	return nil
 }
 
@@ -228,38 +476,51 @@ func (j *Journal) syncLocked() error {
 // engine wires its metrics registry here so every fsync reports its batch
 // size and wall-clock duration; see syncLocked for the callback contract.
 func (j *Journal) SetSyncObserver(fn func(records int, took time.Duration)) {
-	j.mu.Lock()
+	j.obsMu.Lock()
 	j.onSync = fn
-	j.mu.Unlock()
+	j.obsMu.Unlock()
+}
+
+// SetShardSyncObserver installs the per-shard fsync observer: like
+// SetSyncObserver but with the stripe index, so metrics can carry a shard
+// label.
+func (j *Journal) SetShardSyncObserver(fn func(shard, records int, took time.Duration)) {
+	j.obsMu.Lock()
+	j.onShardSync = fn
+	j.obsMu.Unlock()
 }
 
 // rotateLocked seals the current segment and opens the next one.
-func (j *Journal) rotateLocked() error {
-	if err := j.syncLocked(); err != nil {
+func (s *shard) rotateLocked() error {
+	if err := s.syncLocked(); err != nil {
 		return err
 	}
-	if err := j.f.Close(); err != nil {
+	if err := s.f.Close(); err != nil {
 		return fmt.Errorf("journal: close segment: %w", err)
 	}
-	j.stats.Rotations++
-	return j.openSegment(j.seq + 1)
+	s.stats.Rotations++
+	return s.openSegment(s.seq + 1)
 }
 
-// writeEncodedLocked writes one already-encoded record with j.mu held:
+// writeEncodedLocked writes one already-encoded record with s.mu held:
 // segment rotation, buffered write and counter updates, no fsync decision.
-func (j *Journal) writeEncodedLocked(buf []byte) error {
-	if j.size > 0 && j.size+int64(len(buf)) > j.opts.SegmentBytes {
-		if err := j.rotateLocked(); err != nil {
+// tick registers the record in the shard's watermark accounting.
+func (s *shard) writeEncodedLocked(buf []byte, tick uint64) error {
+	if s.size > 0 && s.size+int64(len(buf)) > s.j.opts.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
 			return err
 		}
 	}
-	if _, err := j.w.Write(buf); err != nil {
+	if _, err := s.w.Write(buf); err != nil {
 		return fmt.Errorf("journal: append: %w", err)
 	}
-	j.size += int64(len(buf))
-	j.stats.Appends++
-	j.stats.Bytes += int64(len(buf))
-	j.pending++
+	s.size += int64(len(buf))
+	s.stats.Appends++
+	s.stats.Bytes += int64(len(buf))
+	s.pending++
+	if m := s.unsyncedMin.Load(); tick != 0 && (m == 0 || tick < m) {
+		s.unsyncedMin.Store(tick)
+	}
 	return nil
 }
 
@@ -276,66 +537,236 @@ func durableType(t Type) bool {
 	return false
 }
 
+var errClosed = errors.New("journal: append to closed journal")
+
 // Append writes one record. Depending on the options and the record type
 // the write may be buffered (group commit) or fsynced before returning. In
-// GroupCommit mode the record is staged for the flusher goroutine instead;
-// a durable record still blocks until its batch reaches disk.
+// GroupCommit mode the record is staged for its shard's flusher goroutine
+// instead; a durable record still blocks until its batch reaches disk.
 func (j *Journal) Append(rec Record) error {
-	buf, err := encode(rec)
-	if err != nil {
-		return err
-	}
+	_, err := j.append(rec, true)
+	return err
+}
+
+// AppendAsync stages rec like Append but never waits for the fsync: even a
+// durable-class record returns as soon as it is staged, with the commit
+// ticket it was assigned. The caller trades the per-record durability ack
+// for throughput and awaits durability in bulk instead — AwaitDurable(tick)
+// (or polling Watermark) reports when the record is on disk. A crash before
+// the flush drops the record exactly as it drops staged records today; the
+// ticket then never reaches the watermark. Without GroupCommit there is no
+// flusher to complete the ack later, so the call degrades to the
+// synchronous fsync and the ticket is durable on return.
+func (j *Journal) AppendAsync(rec Record) (uint64, error) {
+	return j.append(rec, false)
+}
+
+func (j *Journal) append(rec Record, wait bool) (uint64, error) {
+	j.stageGate.RLock()
+	defer j.stageGate.RUnlock()
 	durable := j.opts.DurableSubmits && durableType(rec.Type)
 	if j.gc != nil {
-		return j.gc.append(buf, durable, rec.Job)
+		return j.gc.append(rec, durable, wait)
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.closed {
-		return fmt.Errorf("journal: append to closed journal")
+	s := j.shardFor(rec.Job)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, errClosed
 	}
-	if err := j.writeEncodedLocked(buf); err != nil {
-		return err
+	// The ticket is taken under the shard lock, so the shard's on-disk
+	// order equals ticket order and the watermark scan (which also takes
+	// this lock) never observes the ticket counter ahead of the record.
+	rec.Tick = j.tick.Add(1)
+	buf, err := encodePooled(rec)
+	if err != nil {
+		s.mu.Unlock()
+		return 0, err
 	}
-	if durable || (j.opts.SyncEvery > 0 && j.pending >= j.opts.SyncEvery) {
-		return j.syncLocked()
+	tick := rec.Tick
+	err = s.writeEncodedLocked(buf, tick)
+	recycleFrame(buf)
+	if err != nil {
+		s.mu.Unlock()
+		return tick, err
 	}
-	return nil
+	synced := false
+	// A durable-class record fsyncs here even for AppendAsync: without
+	// group commit there is no flusher to make it durable later, so the
+	// async ack degrades gracefully to the synchronous one.
+	if durable || (j.opts.SyncEvery > 0 && s.pending >= j.opts.SyncEvery) {
+		if err := s.syncLocked(); err != nil {
+			s.mu.Unlock()
+			return tick, err
+		}
+		synced = true
+	}
+	s.mu.Unlock()
+	if synced {
+		j.advanceWatermark()
+	}
+	return tick, nil
 }
 
 // Sync forces buffered (and, in GroupCommit mode, staged) records to
-// stable storage.
+// stable storage across every shard.
 func (j *Journal) Sync() error {
 	if j.gc != nil {
 		if err := j.gc.flush(); err != nil {
 			return err
 		}
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.closed {
+	for _, s := range j.shards {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			continue
+		}
+		if err := s.syncLocked(); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.mu.Unlock()
+	}
+	j.advanceWatermark()
+	return nil
+}
+
+// Watermark returns the commit watermark: the highest ticket t such that
+// every ticket issued up to and including t has been fsynced. It is
+// monotonic — once a ticket is at or below the watermark it is durable
+// forever — which is what lets async-durable submitters await durability in
+// bulk instead of per record.
+func (j *Journal) Watermark() uint64 { return j.wm.Load() }
+
+// AwaitDurable blocks until the commit watermark reaches tick — i.e. until
+// the record that Append/AppendAsync assigned that ticket is fsynced, along
+// with everything staged before it. It returns an error if the journal
+// closes or crashes first with the ticket still un-fsynced: the caller's
+// record was dropped and must not be treated as acknowledged.
+func (j *Journal) AwaitDurable(tick uint64) error {
+	if tick == 0 || j.wm.Load() >= tick {
 		return nil
 	}
-	return j.syncLocked()
+	j.wmMu.Lock()
+	for j.wm.Load() < tick && j.wmErr == nil {
+		j.wmCond.Wait()
+	}
+	err := j.wmErr
+	j.wmMu.Unlock()
+	if j.wm.Load() >= tick {
+		return nil
+	}
+	return err
+}
+
+// advanceWatermark recomputes and publishes the commit watermark. The tick
+// counter is read before scanning pending state: any ticket issued after
+// the read is above the candidate watermark by construction, and any ticket
+// issued before it is visible in a staging ring, the in-flight batch marker
+// or a shard's unsynced minimum (in that scan order — state only ever moves
+// forward along that chain, and each move makes the next location visible
+// before clearing the previous one) until it is durable.
+func (j *Journal) advanceWatermark() {
+	w := j.tick.Load()
+	for _, s := range j.shards {
+		if m := j.shardMinPending(s); m != 0 && m-1 < w {
+			w = m - 1
+		}
+	}
+	for {
+		old := j.wm.Load()
+		if w <= old {
+			return
+		}
+		if j.wm.CompareAndSwap(old, w) {
+			j.wmMu.Lock()
+			j.wmCond.Broadcast()
+			j.wmMu.Unlock()
+			return
+		}
+	}
+}
+
+// shardMinPending returns the lowest not-yet-durable ticket owned by the
+// shard (0: none). Scan order matters; see advanceWatermark.
+func (j *Journal) shardMinPending(s *shard) uint64 {
+	min := uint64(0)
+	merge := func(v uint64) {
+		if v != 0 && (min == 0 || v < min) {
+			min = v
+		}
+	}
+	if j.gc != nil {
+		f := j.gc.flushers[s.id]
+		for _, ri := range f.rings {
+			st := &j.gc.stripes[ri]
+			st.mu.Lock()
+			if len(st.entries) > 0 {
+				merge(st.entries[0].seq)
+			}
+			st.mu.Unlock()
+		}
+		merge(f.inflightMin.Load())
+	}
+	merge(s.unsyncedMin.Load())
+	return min
+}
+
+// failWaiters terminates parked AwaitDurable callers whose tickets will
+// never reach the watermark.
+func (j *Journal) failWaiters(err error) {
+	j.wmMu.Lock()
+	if j.wmErr == nil {
+		j.wmErr = err
+	}
+	j.wmCond.Broadcast()
+	j.wmMu.Unlock()
+}
+
+// HoldFlush parks every group-commit flusher before its next drain until ch
+// is closed (nil clears the gate). It is a deterministic test hook — the
+// window it opens (records staged but not yet flushed) is exactly what
+// crash tests need to exist reliably — and a no-op without GroupCommit.
+func (j *Journal) HoldFlush(ch chan struct{}) {
+	if j.gc != nil {
+		j.gc.setHoldFlush(ch)
+	}
 }
 
 // Close syncs and closes the journal, releasing the directory lock. In
-// GroupCommit mode the staged tail is drained first and the flusher stops.
+// GroupCommit mode the staged tail is drained first and the flushers stop.
 func (j *Journal) Close() error {
-	if j.gc != nil {
-		_ = j.gc.close() // final flush runs inside; write errors surface via syncLocked below
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
+	j.stateMu.Lock()
 	if j.closed {
+		j.stateMu.Unlock()
 		return nil
 	}
 	j.closed = true
-	serr := j.syncLocked()
-	var cerr error
-	if j.f != nil {
-		cerr = j.f.Close()
+	j.stateMu.Unlock()
+	if j.gc != nil {
+		_ = j.gc.close() // final flush runs inside; write errors surface via syncLocked below
 	}
+	var serr, cerr error
+	for _, s := range j.shards {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			continue
+		}
+		s.closed = true
+		if err := s.syncLocked(); err != nil && serr == nil {
+			serr = err
+		}
+		if s.f != nil {
+			if err := s.f.Close(); err != nil && cerr == nil {
+				cerr = err
+			}
+		}
+		s.mu.Unlock()
+	}
+	j.advanceWatermark()
+	j.failWaiters(errClosed)
 	releaseLock(j.lock)
 	j.lock = nil
 	if serr != nil {
@@ -345,58 +776,107 @@ func (j *Journal) Close() error {
 }
 
 // Crash abandons the journal the way a killed process would: buffered
-// (un-fsynced) records are dropped on the floor and the file handle is
+// (un-fsynced) records are dropped on the floor and the file handles are
 // closed without flushing. Tests and the crash-recovery experiment use it
 // to model a handler dying mid-write.
 func (j *Journal) Crash() error { return j.CrashTorn(nil) }
 
 // CrashTorn is Crash plus a torn in-flight write: after dropping the
-// buffer, the given garbage bytes are appended raw to the current segment,
-// modeling a record that made it partially to disk before the power went
-// out. Replay must detect and discard the torn tail.
+// buffers, the given garbage bytes are appended raw to shard 0's current
+// segment (the only segment of a single-pipeline journal), modeling a
+// record that made it partially to disk before the power went out. Replay
+// must detect and discard the torn tail.
 func (j *Journal) CrashTorn(garbage []byte) error {
+	if len(garbage) == 0 {
+		return j.crashTorn(nil)
+	}
+	return j.crashTorn(map[int][]byte{0: garbage})
+}
+
+// CrashTornShards is CrashTorn for a sharded journal: each entry's garbage
+// is appended to that shard's current segment, so tests can tear any subset
+// of the stripes independently — including several at once.
+func (j *Journal) CrashTornShards(garbage map[int][]byte) error {
+	return j.crashTorn(garbage)
+}
+
+func (j *Journal) crashTorn(garbage map[int][]byte) error {
+	j.stateMu.Lock()
+	if j.closed {
+		j.stateMu.Unlock()
+		return fmt.Errorf("journal: crash on closed journal")
+	}
+	j.closed = true
+	j.stateMu.Unlock()
 	if j.gc != nil {
 		// Staged-but-unflushed records are exactly what a killed process
 		// loses; durable waiters parked on them are unblocked with an error.
 		j.gc.crash()
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.closed {
-		return fmt.Errorf("journal: crash on closed journal")
+	j.failWaiters(errGCCrashed)
+	var firstErr error
+	for _, s := range j.shards {
+		s.mu.Lock()
+		s.closed = true
+		s.w = nil // drop the buffer: un-synced records vanish
+		path := s.f.Name()
+		err := s.f.Close()
+		s.mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if g := garbage[s.id]; len(g) > 0 {
+			if err := appendGarbage(path, g); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
 	}
-	j.closed = true
-	j.w = nil // drop the buffer: un-synced records vanish
 	releaseLock(j.lock) // the kernel would drop a dead process's flock
 	j.lock = nil
-	path := j.f.Name()
-	if err := j.f.Close(); err != nil {
+	return firstErr
+}
+
+// appendGarbage writes raw bytes to the end of a sealed segment, modeling
+// the torn half-record a power cut leaves behind.
+func appendGarbage(path string, g []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
 		return err
 	}
-	if len(garbage) > 0 {
-		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return err
-		}
-		if _, err := f.Write(garbage); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+	if _, err := f.Write(g); err != nil {
+		f.Close()
+		return err
 	}
-	return nil
+	return f.Close()
 }
 
 // WriteSnapshot condenses history: the caller provides the records that
 // recreate the current state (typically far fewer than the log holds), and
-// the journal atomically installs them as a snapshot, rotates to a fresh
-// segment, and deletes every older segment and snapshot. Replay afterwards
-// sees the snapshot records followed by whatever is appended next.
+// the journal atomically installs them as a snapshot, rotates every shard
+// to a fresh segment, and deletes every older segment and snapshot. Replay
+// afterwards sees the snapshot records followed by whatever is appended
+// next.
+//
+// Snapshot records are stamped with fresh tickets under the stage gate —
+// held exclusively, so no concurrent append can take a lower ticket — which
+// is what lets the sharded replay drop superseded shard records by ticket
+// comparison alone.
 func (j *Journal) WriteSnapshot(recs []Record) error {
 	// Drain the group-commit stage first: the snapshot must supersede every
 	// record appended before it, including staged ones. Records staged
-	// after this drain simply land in the fresh post-snapshot segment.
+	// after this drain simply land in the fresh post-snapshot segments.
 	if j.gc != nil {
+		if err := j.gc.flush(); err != nil {
+			return err
+		}
+	}
+	j.stageGate.Lock()
+	defer j.stageGate.Unlock()
+	if j.gc != nil {
+		// Entries staged between the drain above and the gate acquisition.
 		if err := j.gc.flush(); err != nil {
 			return err
 		}
@@ -405,32 +885,48 @@ func (j *Journal) WriteSnapshot(recs []Record) error {
 	// journal fully intact.
 	var buf []byte
 	for _, rec := range recs {
+		rec.Tick = j.tick.Add(1)
 		b, err := encode(rec)
 		if err != nil {
 			return err
 		}
 		buf = append(buf, b...)
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.closed {
-		return fmt.Errorf("journal: snapshot on closed journal")
+	// Seal every shard's current segment; the snapshot replaces them and
+	// everything before them. The stage gate excludes appenders and the
+	// rings are drained, so no write can race the seal.
+	sealed := make([]int, len(j.shards))
+	for _, s := range j.shards {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return fmt.Errorf("journal: snapshot on closed journal")
+		}
+		if err := s.syncLocked(); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		if err := s.f.Close(); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("journal: close segment: %w", err)
+		}
+		s.f, s.w = nil, nil
+		sealed[s.id] = s.seq
+		s.mu.Unlock()
 	}
-	// Seal the current segment; the snapshot replaces it and everything
-	// before it.
-	if err := j.syncLocked(); err != nil {
-		return err
+	base := sealed[0] + 1
+	if len(j.shards) > 1 {
+		// Sharded snapshots have their own top-level seq space; replay
+		// supersession runs on tickets, the seq only has to grow.
+		base = 1
+		if snaps, err := listSeqs(j.dir, snapPrefix, snapSuffix); err == nil && len(snaps) > 0 {
+			base = snaps[len(snaps)-1] + 1
+		}
 	}
-	if err := j.f.Close(); err != nil {
-		return fmt.Errorf("journal: close segment: %w", err)
-	}
-	j.f, j.w = nil, nil
-	sealed := j.seq
-	base := sealed + 1
 
-	// From here on the old segment is sealed: whatever happens, Append must
-	// end up with either a live segment to write to or a latched journal
-	// that errors loudly — never a buffer draining into a closed file.
+	// From here on the old segments are sealed: whatever happens, Append
+	// must end up with live segments to write to or a latched journal that
+	// errors loudly — never a buffer draining into a closed file.
 	install := func() error {
 		tmp := filepath.Join(j.dir, snapName(base)+".tmp")
 		if err := os.WriteFile(tmp, buf, 0o644); err != nil {
@@ -448,48 +944,76 @@ func (j *Journal) WriteSnapshot(recs []Record) error {
 		return nil
 	}
 	ierr := install()
-	if err := j.openSegment(base); err != nil {
-		j.closed = true
-		releaseLock(j.lock)
-		j.lock = nil
-		if ierr != nil {
-			return ierr
+	for _, s := range j.shards {
+		s.mu.Lock()
+		err := s.openSegment(sealed[s.id] + 1)
+		s.mu.Unlock()
+		if err != nil {
+			j.stateMu.Lock()
+			j.closed = true
+			j.stateMu.Unlock()
+			for _, s2 := range j.shards {
+				s2.mu.Lock()
+				s2.closed = true
+				s2.mu.Unlock()
+			}
+			j.failWaiters(errClosed)
+			releaseLock(j.lock)
+			j.lock = nil
+			if ierr != nil {
+				return ierr
+			}
+			return err
 		}
-		return err
 	}
 	if ierr != nil {
 		// Snapshot failed but the journal is appendable again; the sealed
 		// segments stay on disk, so no history was lost.
 		return ierr
 	}
-	// Compaction: everything the snapshot covers is garbage now.
-	if segs, err := listSeqs(j.dir, segPrefix, segSuffix); err == nil {
-		for _, s := range segs {
-			if s <= sealed {
-				_ = os.Remove(filepath.Join(j.dir, segName(s)))
+	// Compaction: everything the snapshot covers is garbage now — every
+	// sealed shard segment, every pre-sharding top-level segment, and every
+	// older snapshot.
+	for _, s := range j.shards {
+		if segs, err := listSeqs(s.dir, segPrefix, segSuffix); err == nil {
+			for _, seq := range segs {
+				if seq <= sealed[s.id] {
+					_ = os.Remove(filepath.Join(s.dir, segName(seq)))
+				}
+			}
+		}
+	}
+	if len(j.shards) > 1 {
+		if segs, err := listSeqs(j.dir, segPrefix, segSuffix); err == nil {
+			for _, seq := range segs {
+				_ = os.Remove(filepath.Join(j.dir, segName(seq)))
 			}
 		}
 	}
 	if snaps, err := listSeqs(j.dir, snapPrefix, snapSuffix); err == nil {
-		for _, s := range snaps {
-			if s < base {
-				_ = os.Remove(filepath.Join(j.dir, snapName(s)))
+		for _, seq := range snaps {
+			if seq < base {
+				_ = os.Remove(filepath.Join(j.dir, snapName(seq)))
 			}
 		}
 	}
+	j.advanceWatermark()
 	return nil
 }
 
 // Replay reads a journal directory back: the newest snapshot (if any)
-// followed by the segments it does not cover, in sequence order. A missing
-// or empty directory replays as no records, and Replay never panics on
-// corrupt input.
+// followed by the segment records it does not cover — in sequence order for
+// a single-pipeline journal, in global ticket order (a k-way merge across
+// the shard streams) for a sharded one. A missing or empty directory
+// replays as no records, and Replay never panics on corrupt input.
 //
 // Corruption is handled per layer. A corrupt record inside a segment ends
 // only that segment: it is the torn tail a crashed writer leaves behind,
 // and because every process incarnation appends to its own fresh segment
 // (Open never reopens an old file), any later segment was written after
-// the crash and is still trusted — replay skips to it and keeps going.
+// the crash and is still trusted — replay skips to it and keeps going. In
+// a sharded journal a torn tail costs only its own stripe's staged records;
+// the other stripes' records still merge in ticket order around the gap.
 // The first such anomaly is reported as a typed *CorruptRecordError
 // alongside the recovered records so callers can surface it and compact
 // the torn segment away. A corrupt snapshot, by contrast, destroys the
@@ -516,6 +1040,19 @@ func Replay(dir string) ([]Record, error) {
 // corruption is reported as the first (and only) entry of corrupt, with
 // IsSnapshot() true, and ends the replay.
 func ReplayAll(dir string) ([]Record, []*CorruptRecordError, error) {
+	shardDirs, err := listShardDirs(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(shardDirs) == 0 {
+		return replayFlat(dir)
+	}
+	return replaySharded(dir, shardDirs)
+}
+
+// replayFlat reads a single-pipeline journal directory: the newest snapshot
+// plus the segments it does not cover, in sequence order.
+func replayFlat(dir string) ([]Record, []*CorruptRecordError, error) {
 	snaps, err := listSeqs(dir, snapPrefix, snapSuffix)
 	if err != nil {
 		return nil, nil, err
@@ -555,5 +1092,79 @@ func ReplayAll(dir string) ([]Record, []*CorruptRecordError, error) {
 			corrupt = append(corrupt, cerr)
 		}
 	}
+	return out, corrupt, nil
+}
+
+// replaySharded reads a sharded journal directory: the newest top-level
+// snapshot, then the per-shard segment streams (plus any pre-sharding
+// top-level segments) merged into global ticket order, with records the
+// snapshot supersedes — ticket below the snapshot's lowest — dropped.
+func replaySharded(dir string, shardDirs []string) ([]Record, []*CorruptRecordError, error) {
+	snaps, err := listSeqs(dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []Record
+	var corrupt []*CorruptRecordError
+	minSnapTick := uint64(0)
+	if len(snaps) > 0 {
+		name := snapName(snaps[len(snaps)-1])
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, nil, fmt.Errorf("journal: read snapshot: %w", err)
+		}
+		recs, cerr := decodeStream(b, name)
+		out = append(out, recs...)
+		if cerr != nil {
+			return out, []*CorruptRecordError{cerr}, nil
+		}
+		for _, r := range recs {
+			if minSnapTick == 0 || r.Tick < minSnapTick {
+				minSnapTick = r.Tick
+			}
+		}
+	}
+	// readStream collects one directory's segment records. Each stream is
+	// already in ticket order on disk.
+	var all []Record
+	readStream := func(sdir, label string) error {
+		segs, err := listSeqs(sdir, segPrefix, segSuffix)
+		if err != nil {
+			return err
+		}
+		for _, s := range segs {
+			name := segName(s)
+			b, err := os.ReadFile(filepath.Join(sdir, name))
+			if err != nil {
+				return fmt.Errorf("journal: read segment: %w", err)
+			}
+			recs, cerr := decodeStream(b, filepath.Join(label, name))
+			for _, r := range recs {
+				// The snapshot supersedes every ticket below its own.
+				if minSnapTick > 0 && r.Tick < minSnapTick {
+					continue
+				}
+				all = append(all, r)
+			}
+			if cerr != nil {
+				corrupt = append(corrupt, cerr)
+			}
+		}
+		return nil
+	}
+	if err := readStream(dir, ""); err != nil {
+		return nil, nil, err
+	}
+	for _, sd := range shardDirs {
+		if err := readStream(filepath.Join(dir, sd), sd); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Merge by ticket with a full stable sort, not a sorted-stream merge: a
+	// shard file is only approximately ticket-ordered (group-commit lanes
+	// can race a drain), and ties — only possible for pre-sharding records
+	// with ticket 0 — keep stream order.
+	sort.SliceStable(all, func(i, k int) bool { return all[i].Tick < all[k].Tick })
+	out = append(out, all...)
 	return out, corrupt, nil
 }

@@ -16,6 +16,14 @@
 // loads the newest snapshot and then the segments with sequence >= B, so
 // compaction can delete everything older.
 //
+// Sharding. With Options.Shards > 1 the segment files live under per-stripe
+// subdirectories (shard-00/wal-...seg, shard-01/...), each an independent
+// write+fsync pipeline. Every record carries a global commit ticket
+// (Record.Tick); on-disk order equals ticket order within a shard, and
+// replay merges the shard streams back into the journal-wide total order by
+// ticket. Snapshots stay top-level and supersede by ticket: shard records
+// below the snapshot's lowest ticket are dropped at replay.
+//
 // Corruption. Appends are buffered and fsynced in batches, so a crash can
 // leave a torn record at the tail of the last segment (and fault injection
 // or disk rot can flip bits anywhere). Replay never panics on bad input: a
@@ -29,11 +37,13 @@
 package journal
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -138,6 +148,13 @@ type Record struct {
 	// Handler is the handler that wrote the record (job ownership flows
 	// from the submit record's handler, overridden by adopt records).
 	Handler string `json:"h,omitempty"`
+	// Tick is the record's global commit ticket, stamped by Append. Within
+	// one shard's segment stream the on-disk order equals tick order, and a
+	// sharded Replay restores the journal-wide total order with a
+	// tick-ordered merge across shards. The high bits carry the writer
+	// incarnation's epoch, so tickets stay monotonic across restarts.
+	// Records written before sharding existed carry 0 and sort first.
+	Tick uint64 `json:"k,omitempty"`
 
 	// Job identity and submission parameters (TypeSubmit).
 	Job        int               `json:"job,omitempty"`
@@ -272,6 +289,68 @@ func encode(rec Record) ([]byte, error) {
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
 	copy(buf[headerSize:], payload)
 	return buf, nil
+}
+
+// encScratch is one pooled encoder: a reusable JSON payload buffer with an
+// encoder bound to it, plus the frame buffer the caller hands back through
+// recycleFrame. Append-path encoding is the engine's per-record allocation
+// hot spot — the payload and frame otherwise become garbage on every
+// submit, and on a small machine the collector's scan time competes
+// directly with the submitters.
+type encScratch struct {
+	payload bytes.Buffer
+	enc     *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	s := &encScratch{}
+	s.enc = json.NewEncoder(&s.payload)
+	return s
+}}
+
+var framePool sync.Pool // of *[]byte
+
+// encodePooled is encode for the append hot paths: the JSON scratch comes
+// from a pool and the returned frame from another. The caller owns the
+// frame until the record is written (or dropped), then returns it with
+// recycleFrame; the inline and group-commit writers both copy the frame
+// into the segment's buffered writer before recycling.
+func encodePooled(rec Record) ([]byte, error) {
+	s := encPool.Get().(*encScratch)
+	s.payload.Reset()
+	if err := s.enc.Encode(rec); err != nil {
+		encPool.Put(s)
+		return nil, fmt.Errorf("journal: encode record: %w", err)
+	}
+	payload := s.payload.Bytes()
+	payload = payload[:len(payload)-1] // Encoder appends '\n'; the frame format has none
+	if len(payload) > MaxRecord {
+		encPool.Put(s)
+		return nil, fmt.Errorf("journal: record of %d bytes exceeds the %d-byte limit", len(payload), MaxRecord)
+	}
+	var buf []byte
+	if p, ok := framePool.Get().(*[]byte); ok && cap(*p) >= headerSize+len(payload) {
+		buf = (*p)[:headerSize+len(payload)]
+	} else {
+		buf = make([]byte, headerSize+len(payload), headerSize+len(payload)+64)
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[headerSize:], payload)
+	encPool.Put(s)
+	return buf, nil
+}
+
+// recycleFrame returns an encodePooled frame once the record is on its way
+// to disk (copied into the segment writer) or dropped by a crash. Frames
+// above a sane cap are left to the collector so one oversized record does
+// not pin memory in the pool.
+func recycleFrame(buf []byte) {
+	if cap(buf) > 64<<10 {
+		return
+	}
+	b := buf[:0]
+	framePool.Put(&b)
 }
 
 // decodeStream decodes framed records from b until the end or the first

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strconv"
 	"time"
 
 	"gyan/internal/journal"
@@ -38,6 +39,9 @@ type Observer struct {
 	submitToComplete *Histogram
 	fsyncBatch       *Histogram
 	fsyncSeconds     *Histogram
+
+	shardFsyncBatch   HistogramVec // by shard
+	shardFsyncSeconds HistogramVec // by shard
 }
 
 // NewObserver builds an observer with a fresh registry and tracer and the
@@ -85,6 +89,12 @@ func NewObserver() *Observer {
 		fsyncSeconds: r.Histogram("gyan_journal_fsync_seconds",
 			"Wall-clock duration of journal fsyncs.",
 			[]float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}),
+		shardFsyncBatch: r.HistogramVec("gyan_journal_shard_fsync_batch_records",
+			"Records made durable per fsync on one journal stripe.",
+			DefBatchBuckets(), "shard"),
+		shardFsyncSeconds: r.HistogramVec("gyan_journal_shard_fsync_seconds",
+			"Wall-clock duration of fsyncs on one journal stripe.",
+			[]float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}, "shard"),
 	}
 	return o
 }
@@ -173,4 +183,13 @@ func (o *Observer) Transition(rec journal.Record) {
 func (o *Observer) ObserveFsync(records int, took time.Duration) {
 	o.fsyncBatch.Observe(float64(records))
 	o.fsyncSeconds.ObserveDuration(took)
+}
+
+// ObserveShardFsync records one fsync on a single journal stripe, labelled
+// by shard index. Wired into journal.SetShardSyncObserver alongside the
+// aggregate ObserveFsync.
+func (o *Observer) ObserveShardFsync(shard, records int, took time.Duration) {
+	l := strconv.Itoa(shard)
+	o.shardFsyncBatch.With(l).Observe(float64(records))
+	o.shardFsyncSeconds.With(l).ObserveDuration(took)
 }
