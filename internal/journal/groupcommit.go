@@ -464,15 +464,31 @@ func (f *flusher) flushLocked() error {
 		return nil
 	}
 	sort.Slice(batch, func(i, k int) bool { return batch[i].seq < batch[k].seq })
-	err := f.s.writeBatch(batch)
+	if err := f.s.writeBatch(batch); err != nil {
+		// The batch is already drained from the rings, so its tickets can
+		// never reach disk through a later flush. Latch the journal failed —
+		// reject further appends, fail parked AwaitDurable callers — and
+		// leave inflightMin set so the watermark can never pass the lost
+		// tickets: clearing it here would let async-durable producers (no
+		// done channel) observe false durability after an I/O error such as
+		// ENOSPC.
+		f.c.fail(err)
+		f.c.j.failWaiters(err)
+		for _, e := range batch {
+			if e.done != nil {
+				e.done <- err
+			}
+		}
+		return err
+	}
 	f.inflightMin.Store(0)
 	f.c.j.advanceWatermark()
 	for _, e := range batch {
 		if e.done != nil {
-			e.done <- err
+			e.done <- nil
 		}
 	}
-	return err
+	return nil
 }
 
 // flush drains every shard's staged tail synchronously (Sync, Close,
@@ -509,6 +525,28 @@ func (c *committer) close() error {
 		<-f.exit
 	}
 	return nil
+}
+
+// fail latches the committer after a flusher write/fsync error: appends are
+// rejected with the error from here on and every flusher is told to stop
+// (each drains its remaining staged tail on the way out, notifying any
+// waiters with that attempt's outcome). Safe to call from inside a flusher —
+// quit is closed, not waited on, and the caller observes it at its next
+// select. A second call, or a racing close/crash, is a no-op: whoever flips
+// closed first owns the quit channels.
+func (c *committer) fail(err error) {
+	c.stateMu.Lock()
+	if c.closed {
+		c.stateMu.Unlock()
+		return
+	}
+	c.closed = true
+	c.closeErr = err
+	c.stateMu.Unlock()
+	c.wakeProducers()
+	for _, f := range c.flushers {
+		close(f.quit)
+	}
 }
 
 // crash drops everything staged — the group-commit buffer is exactly what a

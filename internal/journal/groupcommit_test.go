@@ -24,6 +24,51 @@ func gcOpen(t *testing.T, dir string, opts Options) *Journal {
 	return j
 }
 
+// TestFlushErrorLatchesJournal forces a flusher write/fsync failure (the
+// segment file is closed out from under the shard, the ENOSPC stand-in) with
+// a record staged async-durable. The failed batch is already drained from the
+// staging rings, so its ticket can never reach disk: the watermark must not
+// pass it, AwaitDurable must fail rather than report durability, and the
+// journal must latch — further appends are rejected with the I/O error
+// instead of silently staging into a dead pipeline.
+func TestFlushErrorLatchesJournal(t *testing.T) {
+	dir := t.TempDir()
+	j := gcOpen(t, dir, Options{DurableSubmits: true})
+	hold := make(chan struct{})
+	j.HoldFlush(hold)
+	tick, err := j.AppendAsync(Record{Type: TypeSubmit, Job: 7, Tool: "racon", Handler: "h1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the shard's segment: the parked flusher's next write+fsync
+	// pass fails the way a full or dying disk would.
+	s := j.shards[0]
+	s.mu.Lock()
+	s.f.Close()
+	s.mu.Unlock()
+	close(hold)
+
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- j.AwaitDurable(tick) }()
+	select {
+	case err := <-waitErr:
+		if err == nil {
+			t.Fatalf("AwaitDurable reported durability for ticket %d after the flush failed", tick)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("AwaitDurable still parked after flush failure")
+	}
+	if wm := j.Watermark(); wm >= tick {
+		t.Fatalf("watermark %d passed ticket %d whose batch never reached disk", wm, tick)
+	}
+	// The journal is latched by the time the waiter failed (fail runs before
+	// failWaiters): new appends surface the failure instead of staging into
+	// a pipeline that can no longer make them durable.
+	if err := j.Append(Record{Type: TypeSubmit, Job: 8, Tool: "racon", Handler: "h1"}); err == nil {
+		t.Fatal("append accepted after a flusher write error")
+	}
+}
+
 func TestGroupCommitRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	j := gcOpen(t, dir, Options{})

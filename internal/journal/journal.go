@@ -131,12 +131,14 @@ type shard struct {
 	closed  bool
 	// unsyncedMin is the lowest ticket written to this shard since its
 	// last fsync (0: none) — the shard's contribution to the commit
-	// watermark. Written under mu; the watermark scan reads it lock-free,
-	// after scanning the staging rings and the in-flight batch, so a
-	// ticket is visible in at least one of the three until it is durable.
-	// Atomic rather than mu-guarded so the scan never parks behind another
-	// shard's in-flight fsync (mu is held across write+fsync) — that stall
-	// would serialize the stripe pipelines against each other.
+	// watermark. Written under mu. In GroupCommit mode the watermark scan
+	// reads it lock-free, after scanning the staging rings and the
+	// in-flight batch marker, so a ticket is visible in at least one of
+	// the three until it is durable; atomic rather than mu-guarded so that
+	// scan never parks behind another shard's in-flight fsync (mu is held
+	// across write+fsync), which would serialize the stripe pipelines
+	// against each other. Without group commit there is no in-flight
+	// marker and the scan takes mu instead — see shardMinPending.
 	unsyncedMin atomic.Uint64
 }
 
@@ -299,8 +301,11 @@ func Open(dir string, opts Options) (*Journal, error) {
 	}
 	// The incarnation epoch must outrank every sequence number any previous
 	// incarnation could have issued a ticket under: segment and snapshot
-	// seqs only ever grow (compaction reopens past them, never below), so
-	// 1 + the max over every stream is strictly above all prior epochs.
+	// seqs only ever grow (compaction reopens past them, never below), and
+	// every incarnation opens its segments at maxSeq+1 (see the shard loop
+	// below), so 1 + the max over every stream is strictly above all prior
+	// epochs — reopening never reuses one, whatever layout the directory
+	// started with.
 	maxSeq := 0
 	bump := func(seqs []int) {
 		if len(seqs) > 0 && seqs[len(seqs)-1] > maxSeq {
@@ -338,19 +343,21 @@ func Open(dir string, opts Options) (*Journal, error) {
 	}
 	for i := 0; i < opts.Shards; i++ {
 		sdir := dir
-		seq := maxSeq // legacy layout: shares the seq space with snapshots
+		// Every shard's first segment opens above the journal-wide max, not
+		// just above that shard's own tail. Seeding from the shard's tail
+		// alone would break the epoch on the legacy→sharded upgrade path: a
+		// single-pipeline journal's top-level wal-* files pin maxSeq high,
+		// fresh shard dirs would start at seg 1 and never catch up, so every
+		// crash incarnation would recompute the same maxSeq and reissue the
+		// same epoch — duplicating commit tickets across incarnations and
+		// breaking replay's last-record-wins fold. Opening at maxSeq+1 makes
+		// any incarnation's mere existence raise the next Open's maxSeq, so
+		// the epoch is strictly increasing however the layout got here.
+		seq := maxSeq
 		if opts.Shards > 1 {
 			sdir = filepath.Join(dir, shardDirName(i))
 			if err := os.MkdirAll(sdir, 0o755); err != nil {
 				return fail(fmt.Errorf("journal: create %s: %w", sdir, err))
-			}
-			segs, err := listSeqs(sdir, segPrefix, segSuffix)
-			if err != nil {
-				return fail(err)
-			}
-			seq = 0
-			if len(segs) > 0 {
-				seq = segs[len(segs)-1]
 			}
 		}
 		s := &shard{j: j, id: i, dir: sdir, stats: ShardStats{Shard: i}}
@@ -575,8 +582,9 @@ func (j *Journal) append(rec Record, wait bool) (uint64, error) {
 		return 0, errClosed
 	}
 	// The ticket is taken under the shard lock, so the shard's on-disk
-	// order equals ticket order and the watermark scan (which also takes
-	// this lock) never observes the ticket counter ahead of the record.
+	// order equals ticket order; shardMinPending takes this same lock on
+	// the non-group-commit path, so the watermark scan never observes the
+	// ticket counter ahead of the shard's pending state.
 	rec.Tick = j.tick.Add(1)
 	buf, err := encodePooled(rec)
 	if err != nil {
@@ -708,8 +716,24 @@ func (j *Journal) shardMinPending(s *shard) uint64 {
 			st.mu.Unlock()
 		}
 		merge(f.inflightMin.Load())
+		// unsyncedMin can be read lock-free here: in GroupCommit mode the
+		// shard is only written by writeBatch, whose tickets stay covered by
+		// inflightMin (published before the rings drain, cleared only after
+		// the fsync) for the whole stage→durable journey.
+		merge(s.unsyncedMin.Load())
+		return min
 	}
+	// Without group commit there is no in-flight marker bridging the gap
+	// between ticket issue (tick.Add under s.mu in append) and the
+	// unsyncedMin store: a lock-free read could observe the ticket counter
+	// at T while the appender holding s.mu has not yet recorded T as
+	// pending, and publish a watermark covering an un-fsynced record. Take
+	// s.mu so the scan orders after any in-flight append on this shard —
+	// parking behind a synchronous fsync is acceptable on this path, which
+	// is not the throughput configuration.
+	s.mu.Lock()
 	merge(s.unsyncedMin.Load())
+	s.mu.Unlock()
 	return min
 }
 
@@ -819,13 +843,24 @@ func (j *Journal) crashTorn(garbage map[int][]byte) error {
 		s.mu.Lock()
 		s.closed = true
 		s.w = nil // drop the buffer: un-synced records vanish
-		path := s.f.Name()
-		err := s.f.Close()
+		var path string
+		var cerr error
+		if s.f != nil {
+			path = s.f.Name()
+			cerr = s.f.Close()
+			s.f = nil
+		}
+		// s.f is nil while WriteSnapshot has the shard's segments sealed for
+		// the swap: there is no handle to close and no live segment to tear,
+		// so a crash racing a snapshot just marks the shard dead.
 		s.mu.Unlock()
-		if err != nil {
+		if cerr != nil {
 			if firstErr == nil {
-				firstErr = err
+				firstErr = cerr
 			}
+			continue
+		}
+		if path == "" {
 			continue
 		}
 		if g := garbage[s.id]; len(g) > 0 {
@@ -946,10 +981,22 @@ func (j *Journal) WriteSnapshot(recs []Record) error {
 	ierr := install()
 	for _, s := range j.shards {
 		s.mu.Lock()
-		err := s.openSegment(sealed[s.id] + 1)
+		var err error
+		if s.closed {
+			// A Crash (or Close) landed while the segments were sealed: the
+			// journal is dead, so fall through to the latch below instead of
+			// resurrecting a file handle on a crashed shard.
+			err = errClosed
+		} else {
+			err = s.openSegment(sealed[s.id] + 1)
+		}
 		s.mu.Unlock()
 		if err != nil {
+			// Whoever flips closed false→true owns the directory lock's
+			// release; if a concurrent Crash/Close beat us to it, the lock is
+			// theirs (possibly already released) and must not be touched.
 			j.stateMu.Lock()
+			already := j.closed
 			j.closed = true
 			j.stateMu.Unlock()
 			for _, s2 := range j.shards {
@@ -958,8 +1005,10 @@ func (j *Journal) WriteSnapshot(recs []Record) error {
 				s2.mu.Unlock()
 			}
 			j.failWaiters(errClosed)
-			releaseLock(j.lock)
-			j.lock = nil
+			if !already {
+				releaseLock(j.lock)
+				j.lock = nil
+			}
 			if ierr != nil {
 				return ierr
 			}

@@ -421,6 +421,170 @@ func TestShardedReopenKeepsTicketOrder(t *testing.T) {
 	}
 }
 
+// TestLegacyUpgradeEpochStrictlyIncreasing reopens a directory seeded with
+// legacy top-level segments as a sharded journal across several crash
+// incarnations. The legacy wal-* files pin the historical max sequence high;
+// each sharded incarnation must still raise it (its shard segments open above
+// the global max), so every Open issues a strictly higher incarnation epoch
+// and no two incarnations ever share commit tickets — the merged replay must
+// order the incarnations' records without ticket collisions.
+func TestLegacyUpgradeEpochStrictlyIncreasing(t *testing.T) {
+	dir := t.TempDir()
+	// Seed a legacy single-pipeline journal with enough rotations to pin
+	// maxSeq well above the shard count.
+	j, err := Open(dir, Options{Shards: 1, SegmentBytes: 128, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := testRecords(12)
+	appendAll(t, j, legacy)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	topSegs, err := listSeqs(dir, segPrefix, segSuffix)
+	if err != nil || len(topSegs) < 3 {
+		t.Fatalf("legacy seed: top-level segments %v, err=%v, want several", topSegs, err)
+	}
+
+	var epochs []uint64
+	total := len(legacy)
+	for inc := 0; inc < 3; inc++ {
+		j, err := Open(dir, Options{Shards: 4, SyncEvery: 1})
+		if err != nil {
+			t.Fatalf("incarnation %d: %v", inc, err)
+		}
+		epochs = append(epochs, j.tick.Load()>>tickEpochShift)
+		for i := 0; i < 5; i++ {
+			if err := j.Append(Record{
+				Type: TypeSubmit, Job: 1000*(inc+1) + i, Tool: "racon", Handler: "h1",
+			}); err != nil {
+				t.Fatalf("incarnation %d append: %v", inc, err)
+			}
+			total++
+		}
+		// Crash, not Close: the reused-epoch bug only bites when the next
+		// Open recomputes the epoch from whatever the dead process left.
+		if err := j.Crash(); err != nil {
+			t.Fatalf("incarnation %d crash: %v", inc, err)
+		}
+	}
+	for i := 1; i < len(epochs); i++ {
+		if epochs[i] <= epochs[i-1] {
+			t.Fatalf("incarnation %d reused epoch: %v (tickets would collide across crashes)", i, epochs)
+		}
+	}
+	got, _, err := ReplayAll(dir)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(got) != total {
+		t.Fatalf("replayed %d records, want %d", len(got), total)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Tick <= got[i-1].Tick && got[i].Tick != 0 {
+			t.Fatalf("record %d: tick %d not above predecessor %d (duplicate or interleaved epoch)",
+				i, got[i].Tick, got[i-1].Tick)
+		}
+	}
+}
+
+// TestCrashRacingSnapshotDoesNotPanic races CrashTorn against WriteSnapshot:
+// the snapshot seals every shard's segment (s.f = nil) before reopening, and
+// a crash landing in that window must model process death — mark the shards
+// dead, skip the missing handles — not panic on a nil file. Either side may
+// report an error; the journal just has to stay replayable.
+func TestCrashRacingSnapshotDoesNotPanic(t *testing.T) {
+	for iter := 0; iter < 40; iter++ {
+		dir := filepath.Join(t.TempDir(), "j")
+		j, err := Open(dir, Options{Shards: 4, GroupCommit: true, DurableSubmits: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendAll(t, j, testRecords(8))
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_ = j.WriteSnapshot([]Record{{Type: TypeSubmit, Job: 1, Tool: "racon", Handler: "h1"}})
+		}()
+		go func() {
+			defer wg.Done()
+			_ = j.CrashTorn([]byte{0xde, 0xad, 0xbe, 0xef})
+		}()
+		wg.Wait()
+		if _, _, err := ReplayAll(dir); err != nil {
+			t.Fatalf("iter %d: replay after crash/snapshot race: %v", iter, err)
+		}
+	}
+}
+
+// TestNonGroupCommitWatermarkNeverPassesUnsynced is the watermark safety
+// property on the inline (non-group-commit) path, where there is no in-flight
+// batch marker: concurrent batched appenders race the watermark scan, a crash
+// drops the buffered tail, and every ticket at or below the last observed
+// watermark must still be in the replay — the scan must never publish past a
+// ticket whose record has not been fsynced.
+func TestNonGroupCommitWatermarkNeverPassesUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{Shards: 4, SyncEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	issued := make(map[uint64]bool)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				tick, err := j.AppendAsync(Record{
+					Type: TypeStart, Job: g*100000 + i, Handler: "h1",
+				})
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				issued[tick] = true
+				mu.Unlock()
+			}
+		}(g)
+	}
+	deadline := time.Now().Add(100 * time.Millisecond)
+	wm := uint64(0)
+	for time.Now().Before(deadline) {
+		if w := j.Watermark(); w > wm {
+			wm = w
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	wm = j.Watermark()
+	if err := j.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReplayAll(dir)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	durable := make(map[uint64]bool, len(got))
+	for _, r := range got {
+		durable[r.Tick] = true
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	missing := 0
+	for tick := range issued {
+		if tick <= wm && !durable[tick] {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d tickets at or below watermark %d missing after crash (watermark passed un-fsynced records)", missing, wm)
+	}
+}
+
 // TestShardedLockExcludesSecondOpen makes sure the flock guard still covers
 // the sharded layout: the LOCK file stays top-level, so a second opener is
 // rejected whatever the shard count.
