@@ -22,6 +22,20 @@
 //	gyan-server -cluster-size 3 &
 //	curl localhost:8080/api/cluster
 //	curl -X POST localhost:8080/api/cluster/jobs -d '{"tool":"racon","dataset":"alzheimers_nfl","params":{"scale":"0.01"}}'
+//
+// With -bus tcp the cluster spans processes: each member is its own
+// gyan-server speaking the steal/lease/anti-entropy protocol over real
+// sockets, wall-paced (-tick-real, -speedup) instead of lockstep, with a
+// persistent member catalog fencing restarts by incarnation. One process
+// per member, all sharing the -peers map:
+//
+//	gyan-server -bus tcp -member h0 -members h0,h1 \
+//	    -peers h0=127.0.0.1:9000,h1=127.0.0.1:9001 \
+//	    -journal /var/lib/gyan/net -addr 127.0.0.1:8080 &
+//	gyan-server -bus tcp -member h1 -members h0,h1 \
+//	    -peers h0=127.0.0.1:9000,h1=127.0.0.1:9001 \
+//	    -journal /var/lib/gyan/net -addr 127.0.0.1:8081 &
+//	curl localhost:8080/api/cluster/transport
 package main
 
 import (
@@ -30,6 +44,8 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"gyan/internal/api"
@@ -38,6 +54,7 @@ import (
 	"gyan/internal/galaxy"
 	"gyan/internal/journal"
 	"gyan/internal/sched"
+	"gyan/internal/transport/tcpbus"
 	"gyan/internal/workload"
 )
 
@@ -55,8 +72,33 @@ func main() {
 		clusterSize = flag.Int("cluster-size", 1, "boot an in-process N-handler cluster (>1) instead of a single Galaxy; serves /api/cluster")
 		handlerID   = flag.String("handler-id", "h", "handler ID prefix for cluster members (-cluster-size > 1): IDs are <prefix>0..<prefix>N-1")
 		memberTTL   = flag.Duration("member-ttl", 0, "cluster membership lease TTL; a member whose renewals lapse this long is declared dead (0: 6 ticks)")
+
+		// Networked-cluster flags (-bus tcp): one OS process per member, the
+		// cluster protocol carried over real sockets by internal/transport/tcpbus.
+		busKind   = flag.String("bus", "sim", "cluster message bus: sim (in-process, lockstep virtual time) or tcp (one process per member, real sockets, wall-paced)")
+		member    = flag.String("member", "", "this process's member ID (-bus tcp)")
+		members   = flag.String("members", "", "comma-separated full membership, e.g. h0,h1 (-bus tcp)")
+		peers     = flag.String("peers", "", "comma-separated id=host:port bus addresses for every member (-bus tcp)")
+		listenBus = flag.String("listen-bus", "", "bus listen address (-bus tcp); defaults to this member's -peers entry")
+		advertise = flag.String("advertise", "", "bus address peers dial; defaults to the resolved listen address")
+		speedup   = flag.Float64("speedup", 120, "virtual seconds per real second (-bus tcp)")
+		tickReal  = flag.Duration("tick-real", 50*time.Millisecond, "real interval between cluster steps (-bus tcp)")
 	)
 	flag.Parse()
+	if *busKind == "tcp" {
+		if err := runClusterTCP(tcpConfig{
+			addr: *addr, member: *member, membersCSV: *members, peersCSV: *peers,
+			listenBus: *listenBus, advertise: *advertise, journalDir: *journalDir,
+			seed: *seed, shards: *shards, leaseTTL: *leaseTTL, memberTTL: *memberTTL,
+			speedup: *speedup, tickReal: *tickReal,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *busKind != "sim" {
+		log.Fatalf("unknown -bus %q (want sim or tcp)", *busKind)
+	}
 	if *clusterSize > 1 {
 		if err := runCluster(*addr, *clusterSize, *handlerID, *seed, *journalDir, *shards, *leaseTTL, *memberTTL); err != nil {
 			log.Fatal(err)
@@ -89,6 +131,34 @@ func runCluster(addr string, size int, idPrefix string, seed uint64, journalDir 
 	if err != nil {
 		return err
 	}
+	if err := registerWorkloads(c, seed); err != nil {
+		return err
+	}
+	s := api.NewClusterServer(c)
+	log.Printf("gyan-server cluster listening on %s (%d handlers %s0..%s%d, journals under %q)",
+		addr, size, idPrefix, idPrefix, size-1, journalDir)
+	return http.ListenAndServe(addr, s.Handler())
+}
+
+// tcpConfig carries the -bus tcp flag set.
+type tcpConfig struct {
+	addr       string
+	member     string
+	membersCSV string
+	peersCSV   string
+	listenBus  string
+	advertise  string
+	journalDir string
+	seed       uint64
+	shards     int
+	leaseTTL   time.Duration
+	memberTTL  time.Duration
+	speedup    float64
+	tickReal   time.Duration
+}
+
+// registerWorkloads loads the paper's three datasets onto a cluster.
+func registerWorkloads(c *cluster.Cluster, seed uint64) error {
 	reads, err := workload.AlzheimersNFL(seed)
 	if err != nil {
 		return err
@@ -104,10 +174,124 @@ func runCluster(addr string, size int, idPrefix string, seed uint64, journalDir 
 	c.RegisterDataset("alzheimers_nfl", reads)
 	c.RegisterDataset("acinetobacter_pittii", small)
 	c.RegisterDataset("klebsiella_pneumoniae_ksb2", large)
+	return nil
+}
+
+// runClusterTCP boots ONE cluster member in this process and wires it to
+// its peers over TCP: the same protocol the simulated bus carries, on real
+// sockets. Every member journals under its own subdirectory of the SHARED
+// -journal root (survivors replay a dead peer's journal from there), and
+// the member catalog under <journal>/catalog persists each member's
+// incarnation so a kill -9'd process rejoins under a bumped one.
+//
+// Virtual time is wall-paced: a background ticker steps the cluster every
+// -tick-real, mapping real elapsed time times -speedup onto the virtual
+// clock — so a job with minutes of virtual runtime completes in seconds of
+// wall time, while leases and backoffs keep their virtual arithmetic.
+func runClusterTCP(cfg tcpConfig) error {
+	if cfg.member == "" {
+		return fmt.Errorf("-bus tcp requires -member")
+	}
+	if cfg.journalDir == "" {
+		return fmt.Errorf("-bus tcp requires -journal: survivors replay a dead peer's journal from the shared root")
+	}
+	var ids []string
+	for _, id := range strings.Split(cfg.membersCSV, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) < 2 {
+		return fmt.Errorf("-bus tcp requires -members with at least two IDs, got %q", cfg.membersCSV)
+	}
+	self := -1
+	for i, id := range ids {
+		if id == cfg.member {
+			self = i
+		}
+	}
+	if self < 0 {
+		return fmt.Errorf("-member %q not in -members %v", cfg.member, ids)
+	}
+	peerAddrs := map[string]string{}
+	for _, kv := range strings.Split(cfg.peersCSV, ",") {
+		if kv = strings.TrimSpace(kv); kv == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("bad -peers entry %q (want id=host:port)", kv)
+		}
+		peerAddrs[id] = addr
+	}
+	for _, id := range ids {
+		if peerAddrs[id] == "" {
+			return fmt.Errorf("-peers missing an address for member %q", id)
+		}
+	}
+	if cfg.listenBus == "" {
+		cfg.listenBus = peerAddrs[cfg.member]
+	}
+
+	cat, err := tcpbus.OpenCatalog(filepath.Join(cfg.journalDir, "catalog"))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	clock := func() time.Duration {
+		return time.Duration(float64(time.Since(start)) * cfg.speedup)
+	}
+	bus, err := tcpbus.New(tcpbus.Options{
+		Self: cfg.member, Listen: cfg.listenBus, Advertise: cfg.advertise,
+		Peers: peerAddrs, Catalog: cat, Clock: clock, Seed: cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Protocol cadence in virtual terms: one tick of virtual time passes per
+	// real -tick-real, so renewals go out roughly once per real tick. The
+	// default member TTL tolerates ~60 missed ticks (3 real seconds at the
+	// default -tick-real) before declaring death: unlike the lockstep sim,
+	// a real socket can spend a full jittered reconnect backoff delivering
+	// nothing, and a TTL shorter than that window declares live peers dead
+	// on every transient — at worst mutually, right after a restart.
+	vtick := time.Duration(float64(cfg.tickReal) * cfg.speedup)
+	if cfg.memberTTL <= 0 {
+		cfg.memberTTL = 60 * vtick
+	}
+	c, err := cluster.New(cluster.Config{
+		Members:     ids,
+		Local:       []string{cfg.member},
+		Bus:         bus,
+		WallClock:   clock,
+		Incarnation: bus.Incarnation(),
+		KeyOffset:   uint64(self),
+		KeyStride:   uint64(len(ids)),
+		Dir:         cfg.journalDir,
+		Journal:     journal.Options{GroupCommit: true, Shards: cfg.shards, Adaptive: true},
+		LeaseTTL:    cfg.leaseTTL,
+		Seed:        cfg.seed,
+		Tick:        vtick,
+		MemberTTL:   cfg.memberTTL,
+		Sched:       sched.Config{Backfill: true},
+	})
+	if err != nil {
+		return err
+	}
+	if err := registerWorkloads(c, cfg.seed); err != nil {
+		return err
+	}
 	s := api.NewClusterServer(c)
-	log.Printf("gyan-server cluster listening on %s (%d handlers %s0..%s%d, journals under %q)",
-		addr, size, idPrefix, idPrefix, size-1, journalDir)
-	return http.ListenAndServe(addr, s.Handler())
+	s.SetAsync(true)
+	go func() {
+		for range time.Tick(cfg.tickReal) {
+			s.Tick()
+		}
+	}()
+	log.Printf("gyan-server member %q (incarnation %d) listening on %s, bus on %s, peers %v, speedup %gx",
+		cfg.member, bus.Incarnation(), cfg.addr, bus.Addr(), peerAddrs, cfg.speedup)
+	return http.ListenAndServe(cfg.addr, s.Handler())
 }
 
 func run(addr, policyName string, seed uint64, journalDir, handler string, shards int, asyncAck bool, leaseTTL time.Duration, pprofOn bool) error {

@@ -20,12 +20,31 @@ type ClusterServer struct {
 	c  *cluster.Cluster
 	// horizon bounds how far one request may advance virtual time.
 	horizon time.Duration
+	// async stops mutating requests from driving virtual time to drain
+	// before responding: in the networked server a background ticker owns
+	// the clock, and a POST answers 202 with the job's routed-but-queued
+	// state instead of its terminal one.
+	async bool
 }
 
 // NewClusterServer wraps c. Datasets must be registered on the cluster
 // (cluster.RegisterDataset) before jobs naming them are submitted.
 func NewClusterServer(c *cluster.Cluster) *ClusterServer {
 	return &ClusterServer{c: c, horizon: 24 * time.Hour}
+}
+
+// SetAsync switches submission/kill handlers to return immediately (202)
+// instead of running the simulation to drain. Required when something else
+// — the networked server's tick loop — is driving Step concurrently.
+func (s *ClusterServer) SetAsync(v bool) { s.async = v }
+
+// Tick runs one cluster step serialized against in-flight API requests (the
+// engines are not safe under a Step racing a Submit). The networked
+// server's clock loop calls this instead of c.Step directly.
+func (s *ClusterServer) Tick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c.Step()
 }
 
 // Handler returns the route table.
@@ -35,6 +54,7 @@ func (s *ClusterServer) Handler() http.Handler {
 	mux.HandleFunc("/api/cluster", s.handleStatus)
 	mux.HandleFunc("/api/cluster/survey", s.handleSurvey)
 	mux.HandleFunc("/api/cluster/transport", s.handleTransport)
+	mux.HandleFunc("/api/cluster/sync", s.handleSync)
 	mux.HandleFunc("/api/cluster/jobs", s.handleJobs)
 	mux.HandleFunc("/api/cluster/jobs/", s.handleJob)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -70,6 +90,8 @@ func (s *ClusterServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodGet)
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	writeJSON(w, http.StatusOK, s.c.Status())
 }
 
@@ -80,6 +102,8 @@ func (s *ClusterServer) handleSurvey(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodGet)
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	writeJSON(w, http.StatusOK, s.c.Survey())
 }
 
@@ -91,7 +115,27 @@ func (s *ClusterServer) handleTransport(w http.ResponseWriter, r *http.Request) 
 		methodNotAllowed(w, http.MethodGet)
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	writeJSON(w, http.StatusOK, s.c.TransportStatus())
+}
+
+// handleSync serves POST /api/cluster/sync: fsync every live member's
+// journal. External chaos drivers call it before a kill -9 so the work they
+// just submitted is durably on disk and the audit can hold the survivor
+// accountable for it.
+func (s *ClusterServer) handleSync(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.c.SyncJournals(); err != nil {
+		writeErr(w, http.StatusInternalServerError, "sync: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"synced": true})
 }
 
 // clusterSubmitRequest is the POST /api/cluster/jobs body.
@@ -155,13 +199,18 @@ func (s *ClusterServer) handleJobs(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		s.c.Run(s.c.Now() + s.horizon)
+		status := http.StatusCreated
+		if s.async {
+			status = http.StatusAccepted // the tick loop will run it
+		} else {
+			s.c.Run(s.c.Now() + s.horizon)
+		}
 		ref, job, ok := s.c.Lookup(ref.Key)
 		if !ok {
 			writeErr(w, http.StatusInternalServerError, "submitted key %d vanished", ref.Key)
 			return
 		}
-		writeJSON(w, http.StatusCreated, toClusterJobJSON(ref, toJobJSON(job)))
+		writeJSON(w, status, toClusterJobJSON(ref, toJobJSON(job)))
 	default:
 		methodNotAllowed(w, http.MethodGet, http.MethodPost)
 	}
@@ -197,7 +246,9 @@ func (s *ClusterServer) handleJob(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusNotFound, "no live job with key %d", key)
 			return
 		}
-		s.c.Run(s.c.Now() + s.horizon)
+		if !s.async {
+			s.c.Run(s.c.Now() + s.horizon)
+		}
 		ref, job, _ := s.c.Lookup(key)
 		writeJSON(w, http.StatusOK, toClusterJobJSON(ref, toJobJSON(job)))
 	}
@@ -211,6 +262,8 @@ func (s *ClusterServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.c.Registry().WritePrometheus(w); err != nil {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 	}

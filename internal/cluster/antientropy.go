@@ -188,7 +188,10 @@ func (c *Cluster) onAEReplyLocked(h *handler, msg transport.Message, now time.Du
 		if a.Accepted {
 			continue
 		}
-		if c.assign[pd.key] != pd.victim || c.ring.OwnerOfKey(pd.key) != h.id {
+		if owner, ok := c.assign[pd.key]; ok && owner != pd.victim {
+			continue // already re-homed locally
+		}
+		if c.ring.OwnerOfKey(pd.key) != h.id {
 			continue
 		}
 		c.requeueDeadKeyLocked(h, pd.victim, pd.jobID, pd.submit, pd.key, now)

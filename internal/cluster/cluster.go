@@ -36,6 +36,35 @@ type Config struct {
 	// BaseID prefixes handler IDs: BaseID+"0" .. BaseID+strconv(N-1).
 	// Default "h".
 	BaseID string
+	// Members, when set, is the full cluster membership by ID and overrides
+	// Handlers/BaseID. With a networked Bus each process hosts a subset of
+	// the membership (Local) and the rest are remote peers reached over the
+	// wire.
+	Members []string
+	// Local names the members hosted in this process; default all of
+	// Members. Exactly one local member is required when Bus is set (a
+	// tcpbus endpoint serves one member).
+	Local []string
+	// Bus, when set, replaces the built-in simulated bus — the tcpbus path.
+	// The caller owns its lifecycle.
+	Bus transport.Transport
+	// WallClock, when set, switches Step from lockstep ticking to wall-time
+	// pacing: each Step advances the virtual clock to WallClock() instead of
+	// now+Tick. Lease TTLs, steal backoffs and AE rounds then key off real
+	// elapsed time (scaled however the caller's clock maps it).
+	WallClock func() time.Duration
+	// Incarnation is this process's member-catalog incarnation (tcp mode);
+	// values above 1 mean a restart-rejoin: the local journal is replayed
+	// only to advance the job-ID allocator (survivors own the old jobs), the
+	// ring is reconstructed through the same remove+add the survivors
+	// applied, and the member boots warming — refusing submissions and
+	// steals until every live peer has acknowledged the new incarnation.
+	Incarnation uint64
+	// KeyOffset/KeyStride carve the global key space between processes
+	// (process i of P uses offset i, stride P) so concurrently drawn keys
+	// never collide. Defaults 0 and 1.
+	KeyOffset uint64
+	KeyStride uint64
 	// Dir is the journal root; handler i journals to Dir/<id>. Empty uses
 	// a temp directory (removed by Close).
 	Dir string
@@ -118,13 +147,18 @@ type JobRef struct {
 	ID      int    `json:"id"`
 }
 
-// handler is one cluster member.
+// handler is one locally hosted cluster member. Remote members (partial
+// residency over a networked bus) have no handler — they exist only as IDs
+// in c.order, lease entries in peers' protocol state, and journal
+// directories on the shared filesystem.
 type handler struct {
 	id    string
 	g     *galaxy.Galaxy
 	jr    *journal.Journal
 	dir   string
 	alive bool
+	// inc is this member's catalog incarnation (1 in the simulator).
+	inc uint64
 	// proto is this member's protocol state machine (protocol.go).
 	proto *protoState
 	// routed/stolenIn/stolenOut/rebalancedIn count jobs for Status.
@@ -160,12 +194,16 @@ type Cluster struct {
 	assign  map[uint64]string
 	jobs    map[uint64]*tracked
 	steals  uint64
+	rejoins uint64
 	tmpDir  string
+	dirRoot string
 
-	// bus is the simulated message transport every protocol exchange rides;
-	// dead archives the post-mortem view of each declared member (built once
-	// by the first declarer, consulted by every claimer).
-	bus  *transport.Bus
+	// bus is the message transport every protocol exchange rides — the
+	// deterministic simulated bus by default, a caller-supplied networked
+	// one (tcpbus) for real deployments; dead archives the post-mortem view
+	// of each declared member (built once by the first declarer, consulted
+	// by every claimer).
+	bus  transport.Transport
 	dead map[string]*deadMemberInfo
 
 	memberTTL    time.Duration
@@ -193,6 +231,8 @@ type Cluster struct {
 	freeVec      obs.GaugeVec
 	stripesVec   obs.GaugeVec
 	transportVec obs.GaugeVec
+	peerVec      obs.GaugeVec
+	rejoinVec    obs.CounterVec
 	rebalances   uint64
 	lastSurveys  map[string]smi.Usage
 }
@@ -200,11 +240,42 @@ type Cluster struct {
 // New builds and boots a cluster. Every handler starts alive with an empty
 // journal in its own directory.
 func New(cfg Config) (*Cluster, error) {
-	if cfg.Handlers < 1 {
-		return nil, fmt.Errorf("cluster: need at least 1 handler, got %d", cfg.Handlers)
-	}
 	if cfg.BaseID == "" {
 		cfg.BaseID = "h"
+	}
+	if len(cfg.Members) == 0 {
+		if cfg.Handlers < 1 {
+			return nil, fmt.Errorf("cluster: need at least 1 handler, got %d", cfg.Handlers)
+		}
+		for i := 0; i < cfg.Handlers; i++ {
+			cfg.Members = append(cfg.Members, cfg.BaseID+strconv.Itoa(i))
+		}
+	}
+	if len(cfg.Local) == 0 {
+		cfg.Local = append([]string(nil), cfg.Members...)
+	}
+	local := make(map[string]bool, len(cfg.Local))
+	for _, id := range cfg.Local {
+		found := false
+		for _, m := range cfg.Members {
+			if m == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("cluster: local member %q not in membership %v", id, cfg.Members)
+		}
+		local[id] = true
+	}
+	if cfg.Bus != nil && len(cfg.Local) != 1 {
+		return nil, fmt.Errorf("cluster: a networked bus serves exactly one local member, got %d", len(cfg.Local))
+	}
+	if cfg.KeyStride == 0 {
+		cfg.KeyStride = 1
+	}
+	if cfg.Incarnation == 0 {
+		cfg.Incarnation = 1
 	}
 	if cfg.Stripes <= 0 {
 		cfg.Stripes = DefaultStripes
@@ -241,20 +312,24 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{
 		cfg:          cfg,
-		handlers:     make(map[string]*handler, cfg.Handlers),
+		handlers:     make(map[string]*handler, len(cfg.Local)),
 		datasets:     make(map[string]any),
 		assign:       make(map[uint64]string),
 		jobs:         make(map[uint64]*tracked),
 		lastSurveys:  make(map[string]smi.Usage),
 		dead:         make(map[string]*deadMemberInfo),
+		nextKey:      cfg.KeyOffset,
 		memberTTL:    cfg.MemberTTL,
 		renewEvery:   cfg.RenewEvery,
 		aeEvery:      cfg.AntiEntropyEvery,
 		stealBackoff: cfg.StealBackoff,
 		reg:          reg,
-		bus: transport.New(transport.Options{
+		bus:          cfg.Bus,
+	}
+	if c.bus == nil {
+		c.bus = transport.New(transport.Options{
 			Seed: cfg.Seed, BaseDelay: cfg.BusDelay, Plan: cfg.MsgFaults,
-		}),
+		})
 	}
 	c.routedVec = reg.CounterVec("gyan_cluster_jobs_routed_total",
 		"Jobs routed to each handler by the partition ring.", "handler")
@@ -294,6 +369,10 @@ func New(cfg Config) (*Cluster, error) {
 		"Divergences repaired by the anti-entropy sweep, by kind.", "handler", "kind")
 	c.transportVec = reg.GaugeVec("gyan_cluster_transport_events",
 		"Cumulative transport bus events at last scrape.", "event")
+	c.peerVec = reg.GaugeVec("gyan_cluster_peer_transport",
+		"Per-peer connection-level transport counters (networked bus only).", "peer", "event")
+	c.rejoinVec = reg.CounterVec("gyan_cluster_rejoins_total",
+		"Members welcomed back into the ring under a new incarnation.", "member")
 
 	dir := cfg.Dir
 	if dir == "" {
@@ -317,10 +396,29 @@ func New(cfg Config) (*Cluster, error) {
 		jopts.Shards = journal.DefaultShards
 		jopts.Adaptive = true
 	}
-	var ids []string
-	for i := 0; i < cfg.Handlers; i++ {
-		id := cfg.BaseID + strconv.Itoa(i)
+	c.dirRoot = dir
+	for _, id := range cfg.Members {
+		c.order = append(c.order, id)
+		if !local[id] {
+			continue // remote member: an ID and a lease entry, no engine here
+		}
 		hdir := filepath.Join(dir, id)
+		// A rejoining incarnation reopens its old journal directory. Its
+		// previous life's non-terminal work belongs to the survivors who
+		// claimed it, so nothing is requeued from the replay — but the
+		// job-ID allocator must advance past every ID the directory has ever
+		// issued, or the new life's journal trails would collide with the
+		// old ones and corrupt the exactly-once audit fold.
+		maxJob := 0
+		if cfg.Incarnation > 1 {
+			if recs, _, err := journal.ReplayAll(hdir); err == nil {
+				for _, rec := range recs {
+					if rec.Job > maxJob {
+						maxJob = rec.Job
+					}
+				}
+			}
+		}
 		jr, err := journal.Open(hdir, jopts)
 		if err != nil {
 			c.Close()
@@ -330,6 +428,9 @@ func New(cfg Config) (*Cluster, error) {
 			galaxy.WithScheduler(sched.New(cfg.Sched)),
 			galaxy.WithJournal(jr, id),
 		}
+		if maxJob > 0 {
+			gopts = append(gopts, galaxy.WithJobIDBase(maxJob))
+		}
 		if cfg.LeaseTTL > 0 {
 			gopts = append(gopts, galaxy.WithLeaseTTL(cfg.LeaseTTL))
 		}
@@ -338,26 +439,56 @@ func New(cfg Config) (*Cluster, error) {
 			c.Close()
 			return nil, err
 		}
-		h := &handler{id: id, g: g, jr: jr, dir: hdir, alive: true}
+		h := &handler{id: id, g: g, jr: jr, dir: hdir, alive: true, inc: cfg.Incarnation}
 		c.handlers[id] = h
-		c.order = append(c.order, id)
 		c.upVec.With(id).Set(1)
-		ids = append(ids, id)
 	}
-	ring, err := NewRing(cfg.Stripes, ids)
+	ring, err := NewRing(cfg.Stripes, cfg.Members)
 	if err != nil {
 		c.Close()
 		return nil, err
 	}
 	c.ring = ring
+	if cfg.Incarnation > 1 {
+		// Reconstruct the ring surgery the survivors performed when this
+		// member's previous incarnation died: remove then re-add. Ring ops
+		// are history-dependent, so replaying the same op sequence is what
+		// keeps every member's stripe table convergent (single-death
+		// histories; see DESIGN §16).
+		for _, id := range cfg.Local {
+			c.ring.Remove(id)
+			c.ring.Add(id)
+		}
+	}
 	// Protocol state last: every member seeds its own RNG stream and boots
 	// with a full lease for each peer (the detector's grace period).
 	for i, id := range c.order {
-		c.handlers[id].proto = newProtoState(
-			cfg.Seed^(0x9e3779b97f4a7c15*uint64(i+1)), ids, id, cfg.MemberTTL)
+		h := c.handlers[id]
+		if h == nil {
+			continue
+		}
+		h.proto = newProtoState(
+			cfg.Seed^(0x9e3779b97f4a7c15*uint64(i+1)), cfg.Members, id, cfg.MemberTTL)
+		if cfg.Incarnation > 1 && cfg.Bus != nil {
+			// Rejoin warming: no submissions and no thieving until every
+			// live peer has acknowledged the new incarnation — the window in
+			// which survivors replay this member's old journal must close
+			// before new trails can appear in it.
+			h.proto.warming = true
+		}
 	}
 	reg.OnScrape(c.scrape)
 	return c, nil
+}
+
+// journalDirFor maps any member — local or remote — to its journal
+// directory under the shared root; the dead-member replay path uses it when
+// the dead peer has no local handler.
+func (c *Cluster) journalDirFor(id string) string {
+	if h := c.handlers[id]; h != nil {
+		return h.dir
+	}
+	return filepath.Join(c.dirRoot, id)
 }
 
 // Close crashes every live journal (releasing flocks) and removes the temp
@@ -402,7 +533,7 @@ func (c *Cluster) Galaxy(id string) *galaxy.Galaxy {
 func (c *Cluster) JournalDirs() map[string]string {
 	out := make(map[string]string, len(c.order))
 	for _, id := range c.order {
-		out[id] = c.handlers[id].dir
+		out[id] = c.journalDirFor(id)
 	}
 	return out
 }
@@ -443,22 +574,42 @@ func (c *Cluster) Submit(tool string, params map[string]string, datasetName stri
 			return JobRef{}, fmt.Errorf("cluster: key %d already in use", key)
 		}
 	} else {
+		// Draw the next key on this process's stride. Keys whose stripe the
+		// ring assigns to a member hosted elsewhere are burned and the draw
+		// advances: a burned key never reaches any journal, so the audit
+		// never sees it. A full pass over the key space without hitting a
+		// locally hosted stripe means this process hosts none.
 		key = c.nextKey
+		for tries := 0; c.handlers[c.ring.OwnerOfKey(key)] == nil; tries++ {
+			if tries >= 4*c.cfg.Stripes {
+				return JobRef{}, fmt.Errorf("cluster: no locally hosted stripe reachable from key %d", c.nextKey)
+			}
+			key += c.cfg.KeyStride
+		}
 	}
 	owner := c.ring.OwnerOfKey(key)
 	h := c.handlers[owner]
-	if h == nil || !h.alive {
+	if h == nil {
+		// A pinned key aimed at a remote member's stripe: this process
+		// cannot journal it. The caller should submit it on the owning
+		// process (or let the stride draw route around it).
+		return JobRef{}, fmt.Errorf("cluster: ring owner %q for key %d is not hosted in this process", owner, key)
+	}
+	if !h.alive {
 		// The key is NOT consumed: a submission aimed at a dead member's
 		// stripe mid-failover can be retried verbatim once the survivors'
 		// rebalance-claims land.
 		return JobRef{}, fmt.Errorf("cluster: ring owner %q for key %d is not alive", owner, key)
 	}
+	if h.proto != nil && h.proto.warming {
+		return JobRef{}, fmt.Errorf("cluster: member %q is warming up after rejoin; retry", owner)
+	}
 	if opts.Key != nil {
 		if key >= c.nextKey {
-			c.nextKey = key + 1
+			c.nextKey = key + c.cfg.KeyStride
 		}
 	} else {
-		c.nextKey++
+		c.nextKey = key + c.cfg.KeyStride
 	}
 	p := make(map[string]string, len(params)+1)
 	for k, v := range params {
@@ -533,6 +684,16 @@ func (c *Cluster) KillJob(key uint64) bool {
 func (c *Cluster) Step() bool {
 	c.mu.Lock()
 	target := c.now + c.cfg.Tick
+	if c.cfg.WallClock != nil {
+		// Wall-clock pacing: virtual time tracks the caller's clock instead
+		// of advancing a fixed quantum per Step. The clock is monotonic but
+		// never rewinds the cluster.
+		if w := c.cfg.WallClock(); w > c.now {
+			target = w
+		} else {
+			target = c.now
+		}
+	}
 	live := c.liveLocked()
 	c.mu.Unlock()
 	for _, h := range live {
@@ -566,7 +727,7 @@ func (c *Cluster) Step() bool {
 func (c *Cluster) protoBusyLocked() bool {
 	for _, id := range c.order {
 		h := c.handlers[id]
-		if !h.alive {
+		if h == nil || !h.alive {
 			continue
 		}
 		m := h.proto
@@ -591,7 +752,7 @@ func (c *Cluster) Run(horizon time.Duration) time.Duration {
 func (c *Cluster) liveLocked() []*handler {
 	out := make([]*handler, 0, len(c.order))
 	for _, id := range c.order {
-		if h := c.handlers[id]; h.alive {
+		if h := c.handlers[id]; h != nil && h.alive {
 			out = append(out, h)
 		}
 	}
@@ -671,7 +832,7 @@ func (c *Cluster) StealPhases() map[string]string {
 	out := make(map[string]string)
 	for _, id := range c.order {
 		h := c.handlers[id]
-		if !h.alive {
+		if h == nil || !h.alive {
 			continue
 		}
 		for x, o := range h.proto.out {
@@ -698,7 +859,7 @@ func (c *Cluster) SyncJournals() error {
 	defer c.mu.Unlock()
 	for _, id := range c.order {
 		h := c.handlers[id]
-		if !h.alive {
+		if h == nil || !h.alive {
 			continue
 		}
 		if err := h.jr.Sync(); err != nil {
@@ -728,6 +889,7 @@ func AdoptFilterFor(r *Ring, self string) func(journal.Record) bool {
 type HandlerStatus struct {
 	ID           string `json:"id"`
 	Alive        bool   `json:"alive"`
+	Remote       bool   `json:"remote,omitempty"`
 	Stripes      int    `json:"stripes"`
 	QueueDepth   int    `json:"queue_depth"`
 	Running      int    `json:"running"`
@@ -770,6 +932,16 @@ func (c *Cluster) Status() Status {
 	counts := c.ring.Counts()
 	for _, id := range c.order {
 		h := c.handlers[id]
+		if h == nil {
+			// A remote member: this process knows its stripes and what the
+			// local failure detector believes about it, nothing more.
+			hs := HandlerStatus{
+				ID: id, Alive: !c.deadByLocalViewLocked(id), Remote: true,
+				Stripes: counts[id], JournalDir: c.journalDirFor(id),
+			}
+			st.Handlers = append(st.Handlers, hs)
+			continue
+		}
 		hs := HandlerStatus{
 			ID: id, Alive: h.alive, Stripes: counts[id],
 			Routed: h.routed, StolenIn: h.stolenIn, StolenOut: h.stolenOut,
@@ -784,6 +956,22 @@ func (c *Cluster) Status() Status {
 		st.Handlers = append(st.Handlers, hs)
 	}
 	return st
+}
+
+// deadByLocalViewLocked reports whether any locally hosted member has
+// declared `id` dead — the best liveness answer a partial-residency process
+// can give about a remote peer.
+func (c *Cluster) deadByLocalViewLocked(id string) bool {
+	for _, lid := range c.order {
+		h := c.handlers[lid]
+		if h == nil || h.proto == nil || !h.alive {
+			continue
+		}
+		if h.proto.deadSeen[id] {
+			return true
+		}
+	}
+	return false
 }
 
 // HandlerSurvey is one member's device view in the aggregated cluster
@@ -802,7 +990,9 @@ func (c *Cluster) Survey() []HandlerSurvey {
 	now := c.now
 	live := make([]*handler, 0, len(c.order))
 	for _, id := range c.order {
-		live = append(live, c.handlers[id])
+		if h := c.handlers[id]; h != nil {
+			live = append(live, h)
+		}
 	}
 	c.mu.Unlock()
 	out := make([]HandlerSurvey, 0, len(live))
@@ -841,6 +1031,20 @@ func (c *Cluster) scrape() {
 	} {
 		c.transportVec.With(e.name).Set(float64(e.v))
 	}
+	if ps, ok := c.bus.(transport.PeerStatser); ok {
+		for peer, st := range ps.PeerStats() {
+			c.peerVec.With(peer, "connects").Set(float64(st.Connects))
+			c.peerVec.With(peer, "reconnects").Set(float64(st.Reconnects))
+			c.peerVec.With(peer, "inflight").Set(float64(st.Inflight))
+			c.peerVec.With(peer, "sent").Set(float64(st.Sent))
+			c.peerVec.With(peer, "dropped").Set(float64(st.Dropped))
+			conn := 0.0
+			if st.Connected {
+				conn = 1
+			}
+			c.peerVec.With(peer, "connected").Set(conn)
+		}
+	}
 }
 
 // MemberProtocol is one member's protocol-state snapshot in
@@ -848,6 +1052,14 @@ func (c *Cluster) scrape() {
 type MemberProtocol struct {
 	ID    string `json:"id"`
 	Alive bool   `json:"alive"`
+	// Remote marks members that live in another process (networked bus);
+	// their protocol state is not visible here.
+	Remote bool `json:"remote,omitempty"`
+	// Incarnation is the member's boot generation (bumped on rejoin).
+	Incarnation uint64 `json:"incarnation,omitempty"`
+	// Warming is true while a rejoined member refuses new work, waiting
+	// for every live peer to acknowledge its new incarnation.
+	Warming bool `json:"warming,omitempty"`
 	// Leases maps each peer to the seconds remaining on its lease
 	// (negative: lapsed but not yet swept by the detector).
 	Leases map[string]float64 `json:"leases,omitempty"`
@@ -866,6 +1078,9 @@ type MemberProtocol struct {
 type TransportStatus struct {
 	Bus     transport.Stats  `json:"bus"`
 	Members []MemberProtocol `json:"members"`
+	// Peers carries connection-level stats per remote peer when the bus is
+	// a networked one (tcpbus); absent under the simulated bus.
+	Peers map[string]transport.PeerStats `json:"peers,omitempty"`
 }
 
 // TransportStatus reports cumulative bus statistics and each live member's
@@ -874,10 +1089,20 @@ func (c *Cluster) TransportStatus() TransportStatus {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ts := TransportStatus{Bus: c.bus.Stats()}
+	if ps, ok := c.bus.(transport.PeerStatser); ok {
+		ts.Peers = ps.PeerStats()
+	}
 	for _, id := range c.order {
 		h := c.handlers[id]
-		mp := MemberProtocol{ID: id, Alive: h.alive}
+		if h == nil {
+			ts.Members = append(ts.Members, MemberProtocol{
+				ID: id, Alive: !c.deadByLocalViewLocked(id), Remote: true,
+			})
+			continue
+		}
+		mp := MemberProtocol{ID: id, Alive: h.alive, Incarnation: h.inc}
 		if h.alive {
+			mp.Warming = h.proto.warming
 			m := h.proto
 			mp.Leases = make(map[string]float64, len(m.leases))
 			for p, exp := range m.leases {

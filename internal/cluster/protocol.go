@@ -56,10 +56,40 @@ type peerLoad struct {
 	Free  int `json:"free"`
 }
 
-// Message bodies. The bus carries them in-process; fields are exported so
-// a future serializing transport could marshal them unchanged.
+// Message bodies. The simulated bus carries them in-process as live values;
+// a serializing transport (tcpbus) round-trips them through the body codec,
+// so every type is registered with the transport registry at init.
+func init() {
+	transport.RegisterBody(transport.MsgLeaseRenew, renewBody{})
+	transport.RegisterBody(transport.MsgStealPrepare, prepareBody{})
+	transport.RegisterBody(transport.MsgStealAccept, acceptBody{})
+	transport.RegisterBody(transport.MsgStealRetire, retireBody{})
+	transport.RegisterBody(transport.MsgStealAbort, abortBody{})
+	transport.RegisterBody(transport.MsgAbortAck, abortAckBody{})
+	transport.RegisterBody(transport.MsgClaim, claimBody{})
+	transport.RegisterBody(transport.MsgRejoinAck, rejoinAckBody{})
+	transport.RegisterBody(transport.MsgAEDigest, aeDigestBody{})
+	transport.RegisterBody(transport.MsgAEReply, aeReplyBody{})
+}
+
 type renewBody struct {
 	Load peerLoad
+	// Inc is the sender's incarnation. A renewal whose incarnation exceeds
+	// what the receiver last saw announces a restart: the old life is
+	// declared dead (claiming its journal) and the new one rejoins the ring.
+	Inc uint64
+	// Warming is set while a rejoined sender refuses work awaiting
+	// acknowledgement; every receiver re-acks a warming renewal, so a lost
+	// rejoin-ack is repaired by the next renewal cycle.
+	Warming bool
+}
+
+// rejoinAckBody welcomes a rejoined member's new incarnation: the sender has
+// declared the old life dead (its journal claimed, its ring stripes
+// re-dealt) and re-added the member, so the rejoiner may leave warming once
+// every live peer has acked.
+type rejoinAckBody struct {
+	Inc uint64
 }
 
 type prepareBody struct {
@@ -126,6 +156,14 @@ type protoState struct {
 	gossip   map[string]peerLoad
 	deadSeen map[string]bool
 
+	// peerInc tracks the highest incarnation seen per peer; a renewal above
+	// it triggers the declare-dead-then-rejoin sequence. warming marks a
+	// rejoined member that refuses submissions and steals until every live
+	// peer has acked (rejoinAcks) its new incarnation.
+	peerInc    map[string]uint64
+	warming    bool
+	rejoinAcks map[string]bool
+
 	renewedOnce bool
 	lastRenew   time.Duration
 
@@ -154,6 +192,8 @@ func newProtoState(seed uint64, peers []string, self string, ttl time.Duration) 
 		leases:      make(map[string]time.Duration),
 		gossip:      make(map[string]peerLoad),
 		deadSeen:    make(map[string]bool),
+		peerInc:     make(map[string]uint64),
+		rejoinAcks:  make(map[string]bool),
 		nextXfer:    1,
 		out:         make(map[uint64]*outXfer),
 		inSeen:      make(map[inKey]string),
@@ -196,10 +236,11 @@ func (c *Cluster) protocolPass(now time.Duration) {
 	defer c.mu.Unlock()
 	for _, id := range c.order {
 		h := c.handlers[id]
-		if !h.alive {
-			continue
+		if h == nil || !h.alive {
+			continue // remote member (networked bus): no engine here
 		}
 		c.deliverLocked(h, now)
+		c.warmCheckLocked(h)
 		c.detectFailuresLocked(h, now)
 		c.renewLeaseLocked(h, now)
 		c.stealDecisionLocked(h, now)
@@ -213,7 +254,9 @@ func (c *Cluster) deliverLocked(h *handler, now time.Duration) {
 	for _, msg := range c.bus.Receive(now, h.id) {
 		switch msg.Type {
 		case transport.MsgLeaseRenew:
-			c.onRenewLocked(h, msg)
+			c.onRenewLocked(h, msg, now)
+		case transport.MsgRejoinAck:
+			c.onRejoinAckLocked(h, msg)
 		case transport.MsgStealPrepare:
 			c.onPrepareLocked(h, msg, now)
 		case transport.MsgStealAccept:
@@ -236,20 +279,98 @@ func (c *Cluster) deliverLocked(h *handler, now time.Duration) {
 
 // onRenewLocked folds one lease renewal into the member's lease table. The
 // lease extends from the renewal's SEND time — a delayed message proves
-// liveness only as of when it left the sender.
-func (c *Cluster) onRenewLocked(h *handler, msg transport.Message) {
+// liveness only as of when it left the sender. A renewal carrying a higher
+// incarnation than the peer's last-known one announces a restart: the old
+// life is declared dead first (even if its lease never lapsed — the claim
+// and journal replay must happen exactly once per death) and the new life
+// is welcomed back into the ring.
+func (c *Cluster) onRenewLocked(h *handler, msg transport.Message, now time.Duration) {
 	m := h.proto
-	if m.deadSeen[msg.From] {
-		return // no resurrection: a declared member stays dead
-	}
 	body := msg.Body.(renewBody)
+	known := m.peerInc[msg.From]
+	if known == 0 {
+		known = 1 // every member boots at incarnation 1
+	}
+	if body.Inc > known {
+		if !m.deadSeen[msg.From] {
+			c.declareDeadLocked(h, msg.From, now)
+		}
+		c.rejoinPeerLocked(h, msg.From, body.Inc, now)
+	} else if m.deadSeen[msg.From] {
+		return // no resurrection: the same incarnation stays dead
+	}
+	if body.Inc > m.peerInc[msg.From] {
+		m.peerInc[msg.From] = body.Inc
+	}
 	if exp := msg.SentAt + c.memberTTL; exp > m.leases[msg.From] {
 		m.leases[msg.From] = exp
 	}
 	m.gossip[msg.From] = body.Load
+	if body.Warming {
+		// Re-ack every warming renewal: a lost rejoin-ack would otherwise
+		// leave the rejoiner refusing work forever.
+		c.bus.Send(now, transport.MsgRejoinAck, h.id, msg.From, rejoinAckBody{Inc: body.Inc})
+	}
+}
+
+// rejoinPeerLocked welcomes a restarted peer's new incarnation: clear the
+// declared-dead fence, re-add it to the ring (mirroring the Remove the
+// death performed, so every member's stripe table replays the same op
+// history), and drop the stale post-mortem archive so a future death of the
+// NEW incarnation replays the journal fresh.
+func (c *Cluster) rejoinPeerLocked(h *handler, peer string, inc uint64, now time.Duration) {
+	m := h.proto
+	delete(m.deadSeen, peer)
+	m.peerInc[peer] = inc
+	if !c.ring.isMember(peer) {
+		c.ring.Add(peer)
+	}
+	delete(c.dead, peer)
+	c.rejoins++
+	c.rejoinVec.With(peer).Inc()
+}
+
+// onRejoinAckLocked collects a survivor's welcome; warming ends when every
+// live peer has acked this member's current incarnation (warmCheckLocked).
+func (c *Cluster) onRejoinAckLocked(h *handler, msg transport.Message) {
+	m := h.proto
+	body := msg.Body.(rejoinAckBody)
+	if !m.warming || body.Inc != h.inc {
+		return
+	}
+	m.rejoinAcks[msg.From] = true
+}
+
+// warmCheckLocked leaves warming once every peer this member considers live
+// has acknowledged its incarnation. A peer that is genuinely down stops
+// blocking the exit when its lease lapses and it lands in deadSeen.
+func (c *Cluster) warmCheckLocked(h *handler) {
+	m := h.proto
+	if !m.warming {
+		return
+	}
+	for _, p := range c.order {
+		if p == h.id || m.deadSeen[p] {
+			continue
+		}
+		if !m.rejoinAcks[p] {
+			return
+		}
+	}
+	m.warming = false
 }
 
 // renewLeaseLocked broadcasts this member's lease renewal with load gossip.
+// Renewals go to EVERY peer, including ones this member has declared dead:
+// a renewal is also the resurrection beacon. If a "dead" peer is actually a
+// restarted process — or a live one that transiently declared US dead — the
+// incarnation it carries is what lets the two sides converge again
+// (onRenewLocked's rejoin path). Skipping deadSeen peers here deadlocks a
+// networked restart permanently: after a kill -9, the survivor and the
+// rebooted member can each declare the other dead inside one reconnect
+// backoff window, and with neither renewing to the other, the rejoin
+// trigger never fires. Renewals to a genuinely dead member are a bounded
+// trickle the bus counts as lost — the price of the beacon.
 func (c *Cluster) renewLeaseLocked(h *handler, now time.Duration) {
 	m := h.proto
 	if m.renewedOnce && now < m.lastRenew+c.renewEvery {
@@ -260,11 +381,17 @@ func (c *Cluster) renewLeaseLocked(h *handler, now time.Duration) {
 	u := smi.UsageFromReport(smi.Snapshot(h.g.Cluster, now))
 	c.lastSurveys[h.id] = u
 	load := peerLoad{Depth: h.g.QueuedBacklog(), Free: len(u.AvailableGPUs)}
+	if m.warming {
+		// Advertise no capacity while warming: a peer enticed into preparing
+		// a steal here would only be refused.
+		load = peerLoad{}
+	}
 	for _, p := range c.order {
-		if p == h.id || m.deadSeen[p] {
+		if p == h.id {
 			continue
 		}
-		c.bus.Send(now, transport.MsgLeaseRenew, h.id, p, renewBody{Load: load})
+		c.bus.Send(now, transport.MsgLeaseRenew, h.id, p,
+			renewBody{Load: load, Inc: h.inc, Warming: m.warming})
 	}
 	c.renewVec.With(h.id).Inc()
 }
@@ -287,7 +414,7 @@ func (c *Cluster) detectFailuresLocked(h *handler, now time.Duration) {
 // backlogged and gossip shows an idle peer. One batch in flight at a time.
 func (c *Cluster) stealDecisionLocked(h *handler, now time.Duration) {
 	m := h.proto
-	if len(m.out) > 0 {
+	if m.warming || len(m.out) > 0 {
 		return
 	}
 	depth := h.g.QueuedBacklog()
@@ -346,12 +473,20 @@ func (c *Cluster) onPrepareLocked(h *handler, msg transport.Message, now time.Du
 	m := h.proto
 	body := msg.Body.(prepareBody)
 	k := inKey{victim: msg.From, xfer: body.Xfer}
-	if m.deadSeen[msg.From] {
+	if m.deadSeen[msg.From] || m.warming {
+		// Dead victims' journals are already claimed; a warming member must
+		// not let new trails appear in its journal while survivors may still
+		// be replaying its previous life's. Either way: refuse.
 		if m.inSeen[k] == "" {
 			m.inSeen[k] = "refused"
 		}
 		c.bus.Send(now, transport.MsgAbortAck, h.id, msg.From, abortAckBody{Xfer: body.Xfer})
 		return
+	}
+	if body.T.Dataset == nil && body.T.DatasetName != "" {
+		// Payloads never cross a serializing transport (Dataset is json:"-");
+		// re-resolve from this process's registry by name.
+		body.T.Dataset = c.datasets[body.T.DatasetName]
 	}
 	switch m.inSeen[k] {
 	case "accepted":
@@ -400,7 +535,21 @@ func (c *Cluster) retireOutLocked(h *handler, o *outXfer, now time.Duration) {
 	h.stolenOut++
 	c.retireVec.With(h.id, o.thief).Inc()
 	delete(h.proto.out, o.xferID)
+	c.rehomeRetiredLocked(h, o.key, o.thief)
 	c.bus.Send(now, transport.MsgStealRetire, h.id, o.thief, retireBody{Xfer: o.xferID})
+}
+
+// rehomeRetiredLocked points the victim's assign entry at the thief once a
+// transfer retires. Over the in-process bus the thief's accept already wrote
+// the shared map, so this is a no-op there; over a networked bus each process
+// has its own map, and without this the victim would still read itself as the
+// key's owner — which makes declareDead's "already re-homed" gate skip the
+// key if the thief later dies owing it. Only a binding that still names this
+// member is moved: anything else means a later transfer already won.
+func (c *Cluster) rehomeRetiredLocked(h *handler, key uint64, thief string) {
+	if cur, ok := c.assign[key]; !ok || cur == h.id {
+		c.assign[key] = thief
+	}
 }
 
 // onRetireLocked clears the thief-side unretired marker. Idempotent.
@@ -515,6 +664,14 @@ func (c *Cluster) declareDeadLocked(h *handler, dead string, now time.Duration) 
 
 	di := c.ensureDeadInfoLocked(dead)
 
+	// Resolve this member's own protocol state that referenced the dead —
+	// outbound transfers whose thief died, and parked prepares whose
+	// tentative thief died — BEFORE walking the dead journal for requeues:
+	// retiring an accepted-but-unretired transfer re-homes its assign entry
+	// to the dead thief, which is what lets the rehome loop below pick the
+	// key up instead of skipping it as someone else's.
+	c.resolveDeadThiefLocked(h, dead, now)
+
 	// Claim the inherited stripes, durably.
 	var stripes []int
 	for s, owner := range di.moved {
@@ -549,9 +706,12 @@ func (c *Cluster) declareDeadLocked(h *handler, dead string, now time.Duration) 
 		if !ok {
 			continue
 		}
-		if c.assign[key] != dead {
+		if owner, ok := c.assign[key]; ok && owner != dead {
 			continue // already re-homed (stolen away before the death)
 		}
+		// A key absent from the local assign map was submitted by another
+		// process (networked bus); the dead journal is the only witness, so
+		// fall through and requeue it here.
 		if c.ring.OwnerOfKey(key) != h.id {
 			continue // another claimer's stripe
 		}
@@ -561,11 +721,6 @@ func (c *Cluster) declareDeadLocked(h *handler, dead string, now time.Duration) 
 		}
 		c.requeueDeadKeyLocked(h, dead, jid, t.submit, key, now)
 	}
-
-	// Resolve this member's own protocol state that referenced the dead:
-	// outbound transfers whose thief died, and parked prepares whose
-	// tentative thief died.
-	c.resolveDeadThiefLocked(h, dead, now)
 }
 
 // ensureDeadInfoLocked builds (once) the shared post-mortem archive for a
@@ -575,18 +730,17 @@ func (c *Cluster) ensureDeadInfoLocked(dead string) *deadMemberInfo {
 	if di := c.dead[dead]; di != nil {
 		return di
 	}
-	dh := c.handlers[dead]
 	di := &deadMemberInfo{moved: map[int]string{}, trails: map[int]*deadTrail{}}
 	if c.ring.isMember(dead) {
 		di.moved = c.ring.Remove(dead)
 	}
-	if dh != nil {
-		recs, corrupts, err := journal.ReplayAll(dh.dir)
-		if err == nil {
-			di.records = len(recs)
-			di.torn = len(corrupts)
-			di.trails, di.order = foldDeadJournal(recs)
-		}
+	// journalDirFor works for remote members too (networked bus over a
+	// shared journal root); a missing directory just yields empty trails.
+	recs, corrupts, err := journal.ReplayAll(c.journalDirFor(dead))
+	if err == nil {
+		di.records = len(recs)
+		di.torn = len(corrupts)
+		di.trails, di.order = foldDeadJournal(recs)
 	}
 	c.dead[dead] = di
 	return di
@@ -722,6 +876,7 @@ func (c *Cluster) resolveDeadThiefLocked(h *handler, dead string, now time.Durat
 				h.g.RetireSteal(o.jobID)
 				h.stolenOut++
 				c.retireVec.With(h.id, dead).Inc()
+				c.rehomeRetiredLocked(h, o.key, dead)
 			} else {
 				h.g.AbortSteal(o.jobID, "thief died before accepting")
 				c.abortVec.With(h.id, dead).Inc()
@@ -734,7 +889,7 @@ func (c *Cluster) resolveDeadThiefLocked(h *handler, dead string, now time.Durat
 			continue
 		}
 		delete(m.pendingDead, k)
-		if c.assign[pd.key] != pd.victim {
+		if owner, ok := c.assign[pd.key]; ok && owner != pd.victim {
 			continue
 		}
 		if c.ring.OwnerOfKey(pd.key) != h.id {

@@ -189,6 +189,15 @@ func WithObserver(o *obs.Observer) Option {
 	return func(g *Galaxy) { g.obsv = o }
 }
 
+// WithJobIDBase starts the job-ID allocator past n, so the first submitted
+// job gets ID n+1. A rejoining cluster member reopens its old journal
+// directory under a new incarnation; its allocator must clear every ID the
+// directory has ever issued or the new life's journal trails would collide
+// with the old ones and corrupt the exactly-once audit fold.
+func WithJobIDBase(n int) Option {
+	return func(g *Galaxy) { g.nextID.Store(int64(n)) }
+}
+
 // New builds a Galaxy instance over the cluster. A nil cluster builds the
 // paper's 2-GPU testbed.
 func New(cluster *gpu.Cluster, opts ...Option) *Galaxy {

@@ -36,10 +36,12 @@ type TransferredJob struct {
 	// accepting handler issues its own ID).
 	FromJob int
 	// ToolID, Params, Dataset, DatasetName and Runtime are the original
-	// dispatch inputs.
+	// dispatch inputs. Dataset is the live in-process payload and never
+	// crosses a serializing transport (json:"-"); a networked receiver
+	// re-resolves it from its own dataset registry by DatasetName.
 	ToolID      string
 	Params      map[string]string
-	Dataset     any
+	Dataset     any `json:"-"`
 	DatasetName string
 	Runtime     string
 	// User, Priority, GPUs and EstRuntime reproduce the scheduler request.

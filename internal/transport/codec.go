@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// Body codec. The simulated Bus hands message bodies across goroutines as
+// live Go values, so receivers type-assert them by concrete type
+// (msg.Body.(renewBody)). A serializing transport has to round-trip those
+// same values through bytes and still satisfy the same type asserts, which
+// needs a registry mapping each message type name to a body prototype. The
+// protocol layer registers its bodies at init time; tcpbus decodes inbound
+// frames through DecodeBody so the value a receiver sees is exactly the
+// concrete type the in-process bus would have delivered.
+
+var (
+	codecMu    sync.RWMutex
+	bodyProtos = map[string]reflect.Type{}
+)
+
+// RegisterBody associates a message type name with the concrete body type
+// its payload decodes into. prototype is a zero value of that type (not a
+// pointer). Re-registering the same type for a name is a no-op; conflicting
+// registrations panic — they would silently mis-decode traffic.
+func RegisterBody(msgType string, prototype any) {
+	t := reflect.TypeOf(prototype)
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if prev, ok := bodyProtos[msgType]; ok && prev != t {
+		panic(fmt.Sprintf("transport: message type %q already registered with body %v (got %v)", msgType, prev, t))
+	}
+	bodyProtos[msgType] = t
+}
+
+// EncodeBody marshals a message body for the wire.
+func EncodeBody(body any) ([]byte, error) {
+	if body == nil {
+		return nil, nil
+	}
+	return json.Marshal(body)
+}
+
+// DecodeBody unmarshals a payload into the registered body type for
+// msgType, returning it as a value (so receiver-side type asserts on the
+// concrete type work). An unregistered type is an error: delivering a
+// json.RawMessage instead would fail the receiver's assert anyway, and
+// failing loudly points at the missing RegisterBody call.
+func DecodeBody(msgType string, raw []byte) (any, error) {
+	codecMu.RLock()
+	t, ok := bodyProtos[msgType]
+	codecMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no body registered for message type %q", msgType)
+	}
+	p := reflect.New(t)
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, p.Interface()); err != nil {
+			return nil, fmt.Errorf("transport: decode %q body: %w", msgType, err)
+		}
+	}
+	return p.Elem().Interface(), nil
+}

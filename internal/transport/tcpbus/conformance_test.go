@@ -1,0 +1,64 @@
+package tcpbus_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"gyan/internal/transport"
+	"gyan/internal/transport/tcpbus"
+	"gyan/internal/transport/transporttest"
+)
+
+// reserveAddr grabs a free loopback port and releases it for the bus to
+// re-bind. The tiny race with other processes is acceptable in tests.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// The real-socket bus must pass the exact conformance suite the simulated
+// bus passes: that equivalence is what lets the cluster protocol run over
+// either without knowing which.
+func TestTCPBusConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T) *transporttest.Harness {
+		members := []string{"a", "b"}
+		addrs := map[string]string{}
+		for _, id := range members {
+			addrs[id] = reserveAddr(t)
+		}
+		start := time.Now()
+		clock := func() time.Duration { return time.Since(start) }
+		buses := map[string]*tcpbus.Bus{}
+		for _, id := range members {
+			cat, err := tcpbus.OpenCatalog(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := tcpbus.New(tcpbus.Options{
+				Self: id, Listen: addrs[id], Peers: addrs, Catalog: cat, Clock: clock,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			buses[id] = b
+			t.Cleanup(b.Close)
+		}
+		return &transporttest.Harness{
+			Members:  members,
+			Endpoint: func(id string) transport.Transport { return buses[id] },
+			Now:      clock,
+			Advance:  time.Sleep,
+			Kill:     func(id string) { buses[id].Kill(id) },
+			Revive:   func(id string) { buses[id].Revive(id) },
+			Cut:      func(from, to string) { buses[from].Cut(to) },
+			Heal:     func(from, to string) { buses[from].Heal(to) },
+		}
+	})
+}

@@ -30,6 +30,7 @@ const (
 	MsgClaim        = "rebalance-claim" // survivor -> all: I claimed these stripes
 	MsgAEDigest     = "ae-digest"       // member -> peer: per-stripe trail digest
 	MsgAEReply      = "ae-reply"        // peer -> member: divergence report
+	MsgRejoinAck    = "rejoin-ack"      // survivor -> rejoiner: new incarnation welcomed
 )
 
 // Message is one typed envelope in flight or delivered.
@@ -72,6 +73,41 @@ type Stats struct {
 	LostToKill  uint64 `json:"lost_to_kill"`
 }
 
+// Transport is the surface the cluster protocol rides: the simulated Bus and
+// the real-socket tcpbus.Bus both implement it. Send never blocks and never
+// fails — loss is a statistic, not an error, because every protocol exchange
+// already tolerates drops via retries. Receive pops whatever has arrived for
+// a member, ordered by (DeliverAt, Seq). Kill and Revive model a member's
+// crash and restart at the network layer: a killed member's inbound queue is
+// destroyed and stays closed until Revive bumps its incarnation.
+type Transport interface {
+	Send(now time.Duration, typ, from, to string, body any)
+	Receive(now time.Duration, to string) []Message
+	Kill(id string)
+	Revive(id string)
+	Pending() int
+	PendingFor(id string) int
+	NextDeliveryAfter(now time.Duration) (time.Duration, bool)
+	Stats() Stats
+}
+
+// PeerStats is one peer's connection-level view on a networked transport.
+type PeerStats struct {
+	Addr       string `json:"addr"`
+	Connects   uint64 `json:"connects"`
+	Reconnects uint64 `json:"reconnects"`
+	Inflight   int    `json:"inflight"`
+	Sent       uint64 `json:"sent"`
+	Dropped    uint64 `json:"dropped"`
+	Connected  bool   `json:"connected"`
+}
+
+// PeerStatser is the optional Transport extension a networked bus implements;
+// the obs scrape and /api/cluster/transport mirror it when present.
+type PeerStatser interface {
+	PeerStats() map[string]PeerStats
+}
+
 // Bus is the simulated network. Safe for concurrent use, though under the
 // cluster's lockstep tick discipline sends happen in deterministic order.
 type Bus struct {
@@ -81,8 +117,12 @@ type Bus struct {
 	seq    uint64
 	queues map[string][]Message
 	dead   map[string]bool
+	incs   map[string]uint64
 	stats  Stats
 }
+
+// Bus implements the Transport surface the cluster programs against.
+var _ Transport = (*Bus)(nil)
 
 // New builds a bus.
 func New(opts Options) *Bus {
@@ -94,6 +134,7 @@ func New(opts Options) *Bus {
 		rng:    sim.NewRNG(opts.Seed ^ 0x7472616e73706f72), // "transpor"
 		queues: make(map[string][]Message),
 		dead:   make(map[string]bool),
+		incs:   make(map[string]uint64),
 	}
 }
 
@@ -104,12 +145,15 @@ func New(opts Options) *Bus {
 func (b *Bus) Send(now time.Duration, typ, from, to string, body any) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.seq++
-	b.stats.Sent++
 	if b.dead[to] {
+		// Checked before the sequence and Sent counters move: a message to a
+		// killed member never existed on the wire, so it only counts under
+		// LostToKill — Sent stays an honest wire-traffic count.
 		b.stats.LostToKill++
 		return
 	}
+	b.seq++
+	b.stats.Sent++
 	plan := b.opts.Plan
 	if plan.Partitioned(from, to) {
 		b.stats.Partitioned++
@@ -189,6 +233,26 @@ func (b *Bus) Kill(id string) {
 	b.stats.LostToKill += uint64(len(b.queues[id]))
 	delete(b.queues, id)
 	b.dead[id] = true
+}
+
+// Revive reopens a killed member's inbound side under a bumped incarnation:
+// the restart half of kill -9. The queue was destroyed at kill time, so the
+// member comes back with a fresh (empty) inbox — nothing sent during the
+// outage is resurrected — and sends to it queue again. Reviving a member
+// that was never killed only bumps its incarnation.
+func (b *Bus) Revive(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.dead, id)
+	b.incs[id]++
+}
+
+// Incarnation reports how many times a member has been revived; 0 for a
+// member in its first life.
+func (b *Bus) Incarnation(id string) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.incs[id]
 }
 
 // Pending reports how many messages are queued bus-wide (in flight).

@@ -162,3 +162,56 @@ func TestBusNextDeliveryAfter(t *testing.T) {
 		t.Fatalf("pending = %d", b.Pending())
 	}
 }
+
+// A killed member must be revivable: Kill used to set b.dead[to] with no
+// path that ever cleared it, so a restarted member stayed unreachable
+// forever. Revive reopens delivery (under a fresh inbound queue — the old
+// life's in-flight traffic was lost at the kill, not resurrected).
+func TestBusKillReviveRedelivers(t *testing.T) {
+	b := New(Options{BaseDelay: time.Millisecond})
+
+	b.Send(0, MsgLeaseRenew, "h0", "h1", 1)
+	b.Kill("h1")
+	if got := b.Receive(time.Second, "h1"); got != nil {
+		t.Fatalf("dead member received: %+v", got)
+	}
+	b.Send(time.Second, MsgLeaseRenew, "h0", "h1", 2) // lost: still dead
+
+	b.Revive("h1")
+	if inc := b.Incarnation("h1"); inc != 1 {
+		t.Fatalf("revive did not bump incarnation: %d", inc)
+	}
+	b.Send(2*time.Second, MsgLeaseRenew, "h0", "h1", 3)
+	got := b.Receive(3*time.Second, "h1")
+	if len(got) != 1 || got[0].Body.(int) != 3 {
+		t.Fatalf("post-revive delivery wrong (old-life traffic must stay lost): %+v", got)
+	}
+	if st := b.Stats(); st.LostToKill != 2 || st.Delivered != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// A message to a killed member never existed on the wire: it must not burn
+// a sequence number or count as Sent — only LostToKill moves. (Send used to
+// increment both before the dead-member check, so kill-heavy runs reported
+// inflated wire traffic and gappy sequences.)
+func TestBusSendStatsAccounting(t *testing.T) {
+	b := New(Options{BaseDelay: time.Millisecond})
+	b.Kill("h2")
+
+	b.Send(0, MsgLeaseRenew, "h0", "h1", 1)
+	b.Send(0, MsgLeaseRenew, "h0", "h2", 2) // to dead: no wire traffic
+	b.Send(0, MsgLeaseRenew, "h0", "h1", 3)
+
+	got := b.Receive(time.Second, "h1")
+	if len(got) != 2 {
+		t.Fatalf("live deliveries wrong: %+v", got)
+	}
+	if got[1].Seq != got[0].Seq+1 {
+		t.Fatalf("dead-destined send burned a sequence number: seqs %d, %d", got[0].Seq, got[1].Seq)
+	}
+	st := b.Stats()
+	if st.Sent != 2 || st.Delivered != 2 || st.LostToKill != 1 {
+		t.Fatalf("dead-destined send must count only under LostToKill: %+v", st)
+	}
+}

@@ -1,0 +1,181 @@
+// Package transporttest is the conformance suite every transport.Transport
+// implementation must pass: the simulated in-process Bus and the real-socket
+// tcpbus run the exact same assertions, which is what entitles the cluster
+// protocol to treat the two interchangeably. The suite pins the contract the
+// protocol actually leans on — delivery ordered by (DeliverAt, Seq), no
+// doubles, kill/revive semantics, one-way partitions — not incidental
+// behavior like latency shape or loss of in-flight traffic during an
+// outage (a serializing transport may retry across a restart; the simulated
+// bus drops — both are legal, duplicates are not).
+package transporttest
+
+import (
+	"testing"
+	"time"
+
+	"gyan/internal/transport"
+)
+
+// MsgPayload is the suite's message type, registered with the body codec so
+// serializing transports can round-trip it.
+const MsgPayload = "conformance-payload"
+
+// Payload is the suite's message body.
+type Payload struct {
+	N int
+}
+
+func init() { transport.RegisterBody(MsgPayload, Payload{}) }
+
+// Harness adapts one transport implementation to the suite. A fresh harness
+// is built per subtest.
+type Harness struct {
+	// Members lists the member IDs the harness wired up (at least two).
+	Members []string
+	// Endpoint returns the Transport a member sends and receives through.
+	// The simulated bus returns the same object for every member; tcpbus
+	// returns that member's process-local endpoint.
+	Endpoint func(id string) transport.Transport
+	// Now is the clock value to pass into Send/Receive.
+	Now func() time.Duration
+	// Advance moves time forward: virtually for the simulated bus, by
+	// really sleeping for a wall-clock transport.
+	Advance func(d time.Duration)
+	// Kill crashes a member's endpoint; Revive restarts it (same address,
+	// bumped incarnation where the transport tracks one).
+	Kill   func(id string)
+	Revive func(id string)
+	// Cut blocks the from->to direction only; Heal restores it.
+	Cut  func(from, to string)
+	Heal func(from, to string)
+}
+
+// Run drives the conformance suite; mk builds a fresh harness per subtest.
+func Run(t *testing.T, mk func(t *testing.T) *Harness) {
+	t.Run("DeliveryOrdering", func(t *testing.T) { orderingTest(t, mk(t)) })
+	t.Run("KillRejoin", func(t *testing.T) { killRejoinTest(t, mk(t)) })
+	t.Run("OneWayPartition", func(t *testing.T) { partitionTest(t, mk(t)) })
+}
+
+// collect polls a member until want messages arrived or patience runs out.
+func collect(t *testing.T, h *Harness, id string, want int) []transport.Message {
+	t.Helper()
+	ep := h.Endpoint(id)
+	var out []transport.Message
+	for i := 0; i < 4000 && len(out) < want; i++ {
+		out = append(out, ep.Receive(h.Now(), id)...)
+		h.Advance(2 * time.Millisecond)
+	}
+	if len(out) < want {
+		t.Fatalf("collected %d/%d messages for %s: %+v", len(out), want, id, out)
+	}
+	return out
+}
+
+// assertQuiet asserts no further delivery shows up for a member.
+func assertQuiet(t *testing.T, h *Harness, id string) {
+	t.Helper()
+	ep := h.Endpoint(id)
+	for i := 0; i < 50; i++ {
+		if got := ep.Receive(h.Now(), id); len(got) != 0 {
+			t.Fatalf("unexpected delivery for %s: %+v", id, got)
+		}
+		h.Advance(2 * time.Millisecond)
+	}
+}
+
+// orderingTest: a burst from one sender arrives exactly once, in send order,
+// with (DeliverAt, Seq) non-decreasing — the sort contract Receive promises.
+func orderingTest(t *testing.T, h *Harness) {
+	a, b := h.Members[0], h.Members[1]
+	const n = 20
+	for i := 0; i < n; i++ {
+		h.Endpoint(a).Send(h.Now(), MsgPayload, a, b, Payload{N: i})
+	}
+	got := collect(t, h, b, n)
+	if len(got) != n {
+		t.Fatalf("delivered %d, want %d", len(got), n)
+	}
+	for i, m := range got {
+		if m.Body.(Payload).N != i {
+			t.Fatalf("message %d out of order: %+v", i, m)
+		}
+		if m.From != a || m.To != b || m.Type != MsgPayload {
+			t.Fatalf("message %d metadata wrong: %+v", i, m)
+		}
+		if i > 0 {
+			prev := got[i-1]
+			if m.DeliverAt < prev.DeliverAt ||
+				(m.DeliverAt == prev.DeliverAt && m.Seq <= prev.Seq) {
+				t.Fatalf("(DeliverAt, Seq) not increasing at %d: %+v then %+v", i, prev, m)
+			}
+		}
+	}
+	assertQuiet(t, h, b)
+}
+
+// killRejoinTest: a killed member receives nothing; a revived one receives
+// traffic sent after the restart. Messages sent during the outage may be
+// lost or delivered late — implementation's choice — but nothing is ever
+// delivered twice, and nothing delivered before the kill reappears.
+func killRejoinTest(t *testing.T, h *Harness) {
+	a, b := h.Members[0], h.Members[1]
+
+	h.Endpoint(a).Send(h.Now(), MsgPayload, a, b, Payload{N: 0})
+	pre := collect(t, h, b, 1)
+	if pre[0].Body.(Payload).N != 0 {
+		t.Fatalf("pre-kill delivery wrong: %+v", pre)
+	}
+
+	h.Kill(b)
+	h.Endpoint(a).Send(h.Now(), MsgPayload, a, b, Payload{N: 1}) // outage window
+	assertQuiet(t, h, b)
+
+	h.Revive(b)
+	h.Endpoint(a).Send(h.Now(), MsgPayload, a, b, Payload{N: 2})
+
+	// Collect until the post-revive message lands; the outage-window message
+	// may precede it (late retry) or never arrive, both legal.
+	seen := map[int]int{}
+	deadline := 4000
+	for i := 0; i < deadline && seen[2] == 0; i++ {
+		for _, m := range h.Endpoint(b).Receive(h.Now(), b) {
+			seen[m.Body.(Payload).N]++
+		}
+		h.Advance(2 * time.Millisecond)
+	}
+	if seen[2] != 1 {
+		t.Fatalf("post-revive message not delivered exactly once: %v", seen)
+	}
+	if seen[0] != 0 {
+		t.Fatalf("pre-kill message re-delivered after revive: %v", seen)
+	}
+	if seen[1] > 1 {
+		t.Fatalf("outage-window message duplicated: %v", seen)
+	}
+}
+
+// partitionTest: a cut blocks exactly its direction; traffic the other way
+// keeps flowing, and healing restores the cut direction without replaying
+// what was dropped into it.
+func partitionTest(t *testing.T, h *Harness) {
+	a, b := h.Members[0], h.Members[1]
+
+	h.Cut(a, b)
+	h.Endpoint(a).Send(h.Now(), MsgPayload, a, b, Payload{N: 10}) // blocked
+	h.Endpoint(b).Send(h.Now(), MsgPayload, b, a, Payload{N: 20}) // flows
+
+	got := collect(t, h, a, 1)
+	if got[0].Body.(Payload).N != 20 || got[0].From != b {
+		t.Fatalf("reverse direction delivery wrong: %+v", got)
+	}
+	assertQuiet(t, h, b)
+
+	h.Heal(a, b)
+	h.Endpoint(a).Send(h.Now(), MsgPayload, a, b, Payload{N: 11})
+	got = collect(t, h, b, 1)
+	if got[0].Body.(Payload).N != 11 {
+		t.Fatalf("healed direction delivered wrong message (dropped one replayed?): %+v", got)
+	}
+	assertQuiet(t, h, b)
+}
